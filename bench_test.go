@@ -1,0 +1,608 @@
+package hyperprof
+
+// This file is the benchmark harness required by DESIGN.md: one benchmark
+// per paper table and figure (each regenerates the artifact and reports its
+// headline numbers as custom metrics), plus the ablation benches for the
+// repository's own design choices and microbenchmarks of the substrates.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hyperprof/internal/compress"
+	"hyperprof/internal/experiments"
+	"hyperprof/internal/model"
+	"hyperprof/internal/protowire"
+	"hyperprof/internal/sha3"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// benchChar lazily runs one shared characterization for all figure benches;
+// BenchmarkCharacterization measures the run itself.
+var (
+	benchOnce sync.Once
+	benchCh   *experiments.Characterization
+	benchErr  error
+)
+
+func benchFixture(b *testing.B) *experiments.Characterization {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultCharConfig()
+		cfg.SpannerQueries = 800
+		cfg.BigTableQueries = 800
+		cfg.BigQueryQueries = 120
+		benchCh, benchErr = experiments.RunCharacterization(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCh
+}
+
+// BenchmarkCharacterization measures a full three-platform profiling run
+// (the substrate under every characterization artifact).
+func BenchmarkCharacterization(b *testing.B) {
+	cfg := experiments.DefaultCharConfig()
+	cfg.SpannerQueries = 300
+	cfg.BigTableQueries = 300
+	cfg.BigQueryQueries = 40
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := experiments.RunCharacterization(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1StorageRatios regenerates Table 1.
+func BenchmarkTable1StorageRatios(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1(ch)
+	}
+	b.ReportMetric(rows[0].HDD, "spanner-hdd-ratio")
+	b.ReportMetric(rows[1].HDD, "bigtable-hdd-ratio")
+	b.ReportMetric(rows[2].HDD, "bigquery-hdd-ratio")
+}
+
+// BenchmarkFigure2EndToEnd regenerates the end-to-end time breakdown.
+func BenchmarkFigure2EndToEnd(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var cpu, remote, io float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure2(ch)
+		cpu, remote, io = experiments.Figure2Overall(ch)
+	}
+	b.ReportMetric(cpu*100, "overall-cpu-pct")
+	b.ReportMetric(remote*100, "overall-remote-pct")
+	b.ReportMetric(io*100, "overall-io-pct")
+}
+
+// BenchmarkFigure3CycleBreakdown regenerates the broad cycle split.
+func BenchmarkFigure3CycleBreakdown(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform]map[taxonomy.Broad]float64
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Figure3(ch)
+	}
+	b.ReportMetric(fig[taxonomy.Spanner][taxonomy.CoreCompute]*100, "spanner-core-pct")
+	b.ReportMetric(fig[taxonomy.BigQuery][taxonomy.SystemTax]*100, "bigquery-systax-pct")
+}
+
+// BenchmarkFigure4CoreCompute regenerates the core-compute breakdown.
+func BenchmarkFigure4CoreCompute(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform]map[taxonomy.Category]float64
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Figure4(ch)
+	}
+	b.ReportMetric(fig[taxonomy.Spanner][taxonomy.Read]*100, "spanner-read-pct")
+	b.ReportMetric(fig[taxonomy.BigQuery][taxonomy.Filter]*100, "bigquery-filter-pct")
+}
+
+// BenchmarkFigure5DatacenterTax regenerates the datacenter-tax breakdown.
+func BenchmarkFigure5DatacenterTax(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform]map[taxonomy.Category]float64
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Figure5(ch)
+	}
+	b.ReportMetric(fig[taxonomy.BigTable][taxonomy.RPC]*100, "bigtable-rpc-pct")
+	b.ReportMetric(fig[taxonomy.BigQuery][taxonomy.Compression]*100, "bigquery-compression-pct")
+}
+
+// BenchmarkFigure6SystemTax regenerates the system-tax breakdown.
+func BenchmarkFigure6SystemTax(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform]map[taxonomy.Category]float64
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Figure6(ch)
+	}
+	b.ReportMetric(fig[taxonomy.BigQuery][taxonomy.STL]*100, "bigquery-stl-pct")
+	b.ReportMetric(fig[taxonomy.Spanner][taxonomy.OperatingSystems]*100, "spanner-os-pct")
+}
+
+// BenchmarkTable6Microarch regenerates platform IPC/MPKI statistics.
+func BenchmarkTable6Microarch(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var ipcBQ, ipcSP float64
+	for i := 0; i < b.N; i++ {
+		t6 := experiments.Table6(ch)
+		ipcBQ = t6[taxonomy.BigQuery].IPC
+		ipcSP = t6[taxonomy.Spanner].IPC
+	}
+	b.ReportMetric(ipcBQ, "bigquery-ipc")
+	b.ReportMetric(ipcSP, "spanner-ipc")
+}
+
+// BenchmarkTable7MicroarchByCategory regenerates per-class IPC/MPKI stats.
+func BenchmarkTable7MicroarchByCategory(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var bqCC float64
+	for i := 0; i < b.N; i++ {
+		bqCC = experiments.Table7(ch)[taxonomy.BigQuery][taxonomy.CoreCompute].IPC
+	}
+	b.ReportMetric(bqCC, "bigquery-cc-ipc")
+}
+
+// BenchmarkFigure9SyncOnChip regenerates the upper-bound sweep.
+func BenchmarkFigure9SyncOnChip(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform][]experiments.Fig9Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure9(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(experiments.SpeedupSweep) - 1
+	b.ReportMetric(fig[taxonomy.Spanner][last].WithDep, "spanner-hwonly-bound")
+	b.ReportMetric(fig[taxonomy.Spanner][last].WithoutDep, "spanner-codesign-bound")
+	b.ReportMetric(fig[taxonomy.BigQuery][last].WithDep, "bigquery-hwonly-bound")
+}
+
+// BenchmarkFigure10Grouped regenerates the per-group sweep.
+func BenchmarkFigure10Grouped(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	groups := 0
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure10(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = 0
+		for _, p := range taxonomy.Platforms() {
+			groups += len(fig[p])
+		}
+	}
+	b.ReportMetric(float64(groups), "populated-groups")
+}
+
+// BenchmarkFigure13Features regenerates the invocation-model study.
+func BenchmarkFigure13Features(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform][]experiments.Fig13Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure13(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	final := fig[taxonomy.Spanner][len(fig[taxonomy.Spanner])-1].Speedups
+	b.ReportMetric(final[model.AsyncOnChip], "spanner-async")
+	b.ReportMetric(final[model.ChainedOnChip], "spanner-chained")
+	bqFinal := fig[taxonomy.BigQuery][len(fig[taxonomy.BigQuery])-1].Speedups
+	b.ReportMetric(bqFinal[model.SyncOffChip], "bigquery-offchip")
+}
+
+// BenchmarkFigure14SetupSweep regenerates the setup-time study.
+func BenchmarkFigure14SetupSweep(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform][]experiments.Fig14Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure14(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pts := fig[taxonomy.Spanner]
+	b.ReportMetric(pts[0].Speedups[model.SyncOnChip], "spanner-sync-fast-setup")
+	b.ReportMetric(pts[len(pts)-1].Speedups[model.SyncOnChip], "spanner-sync-slow-setup")
+}
+
+// BenchmarkFigure15PriorAccels regenerates the published-accelerator study.
+func BenchmarkFigure15PriorAccels(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var fig map[taxonomy.Platform][]experiments.Fig15Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure15(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := fig[taxonomy.Spanner]
+	b.ReportMetric(rows[len(rows)-1].Sync, "spanner-combined-sync")
+	b.ReportMetric(rows[len(rows)-1].Chained, "spanner-combined-chained")
+}
+
+// BenchmarkTable8Validation regenerates the SoC model validation.
+func BenchmarkTable8Validation(b *testing.B) {
+	cfg := experiments.DefaultTable8Config()
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		t8, err := experiments.Table8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = t8.DiffFrac
+	}
+	b.ReportMetric(diff*100, "model-vs-measured-pct")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationOverlapPrecedence quantifies the §4.1 precedence rule.
+func BenchmarkAblationOverlapPrecedence(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var paper, cpuFirst float64
+	for i := 0; i < b.N; i++ {
+		paper, cpuFirst = experiments.OverlapPrecedenceAblation(ch, taxonomy.BigQuery)
+	}
+	b.ReportMetric(paper*100, "paper-precedence-cpu-pct")
+	b.ReportMetric(cpuFirst*100, "cpufirst-precedence-cpu-pct")
+}
+
+// BenchmarkAblationChainImbalance sweeps chain imbalance.
+func BenchmarkAblationChainImbalance(b *testing.B) {
+	ratios := []float64{1, 2, 4, 8, 16}
+	var pts []experiments.ChainImbalancePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.ChainImbalanceAblation(ratios)
+	}
+	b.ReportMetric(pts[0].ChainedVsAsync, "balanced-chained-vs-async")
+	b.ReportMetric(pts[len(pts)-1].ChainedVsAsync, "imbalanced-chained-vs-async")
+}
+
+// BenchmarkAblationPayloadSweep sweeps off-chip payload size.
+func BenchmarkAblationPayloadSweep(b *testing.B) {
+	ch := benchFixture(b)
+	sys, err := ch.DeriveSystem(taxonomy.BigQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := []float64{0, 1e6, 1e8, 1e10}
+	b.ResetTimer()
+	var pts []experiments.PayloadSweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.PayloadSweepAblation(sys, sizes)
+	}
+	b.ReportMetric(pts[0].OffChip, "offchip-0B")
+	b.ReportMetric(pts[len(pts)-1].OffChip, "offchip-10GB")
+}
+
+// BenchmarkAblationVariedSpeedups compares lockstep vs varied speedups.
+func BenchmarkAblationVariedSpeedups(b *testing.B) {
+	ch := benchFixture(b)
+	sys, err := ch.DeriveSystem(taxonomy.Spanner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res experiments.VariedSpeedupResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.VariedSpeedupAblation(sys)
+	}
+	b.ReportMetric(res.Lockstep, "lockstep-8x")
+	b.ReportMetric(res.Varied, "varied-4x-16x")
+}
+
+// BenchmarkAblationSamplingRate quantifies trace-sampling fidelity.
+func BenchmarkAblationSamplingRate(b *testing.B) {
+	ch := benchFixture(b)
+	rates := []int{1, 10, 50}
+	b.ResetTimer()
+	var out map[int]float64
+	for i := 0; i < b.N; i++ {
+		out = experiments.SamplingRateAblation(ch, taxonomy.Spanner, rates)
+	}
+	b.ReportMetric(out[1]*100, "full-sample-cpu-pct")
+	b.ReportMetric(out[50]*100, "one-in-50-cpu-pct")
+}
+
+// BenchmarkAblationChainHandoff sweeps the software chain's handoff cost.
+func BenchmarkAblationChainHandoff(b *testing.B) {
+	handoffs := []time.Duration{0, 500 * time.Nanosecond, 5 * time.Microsecond}
+	var out map[time.Duration]time.Duration
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = experiments.ChainHandoffAblation(1, 150, handoffs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(out[0].Microseconds()), "handoff-0-us")
+	b.ReportMetric(float64(out[5*time.Microsecond].Microseconds()), "handoff-5us-us")
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkSimKernelEvents measures raw event throughput of the DES kernel.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	k := sim.New()
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Duration(i), func() { n++ })
+	}
+	k.Run()
+	if n != b.N {
+		b.Fatal("lost events")
+	}
+}
+
+// BenchmarkSimProcSwitch measures process park/resume round trips.
+func BenchmarkSimProcSwitch(b *testing.B) {
+	k := sim.New()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSHA3 measures the from-scratch Keccak implementation.
+func BenchmarkSHA3(b *testing.B) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sha3.Sum256(buf)
+	}
+}
+
+// BenchmarkProtowireMarshal measures the from-scratch protobuf encoder.
+func BenchmarkProtowireMarshal(b *testing.B) {
+	gen := protowire.NewGenerator(1, protowire.DefaultGenConfig())
+	msgs := gen.Corpus(2, 64)
+	var total int64
+	for _, m := range msgs {
+		total += int64(m.Size())
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			m.Marshal(nil)
+		}
+	}
+}
+
+// BenchmarkProtowireUnmarshal measures the decoder.
+func BenchmarkProtowireUnmarshal(b *testing.B) {
+	gen := protowire.NewGenerator(1, protowire.DefaultGenConfig())
+	msgs := gen.Corpus(2, 64)
+	wires := make([][]byte, len(msgs))
+	var total int64
+	for i, m := range msgs {
+		wires[i] = m.Marshal(nil)
+		total += int64(len(wires[i]))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, w := range wires {
+			if _, err := protowire.Unmarshal(msgs[j].Desc, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkModelEvaluation measures one full model evaluation.
+func BenchmarkModelEvaluation(b *testing.B) {
+	sys := model.System{
+		CPUTime: 1, DepTime: 0.5, F: 0.5, Bandwidth: 4e9,
+		Components: []model.Component{
+			{Name: "a", Time: 0.2, Accelerated: true, Speedup: 8, Sync: 1},
+			{Name: "b", Time: 0.2, Accelerated: true, Speedup: 8, Chained: true},
+			{Name: "c", Time: 0.2, Accelerated: true, Speedup: 8, Sync: 0},
+			{Name: "d", Time: 0.2},
+		},
+	}
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = sys.Speedup()
+	}
+	b.ReportMetric(s, "speedup")
+}
+
+// BenchmarkTraceBreakdown measures the §4.1 sweep-line categorization.
+func BenchmarkTraceBreakdown(b *testing.B) {
+	tr := trace.NewTracer(1)
+	tc := tr.Start(taxonomy.Spanner, 0)
+	for i := 0; i < 64; i++ {
+		s := time.Duration(i) * time.Millisecond
+		tc.Annotate(s, s+5*time.Millisecond, trace.Class(i%3))
+	}
+	tr.Finish(tc, 70*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.ComputeBreakdown()
+	}
+}
+
+// --- Extension benches (§6.4 future work) ---
+
+// BenchmarkExtensionChain3 regenerates the three-accelerator chained
+// validation (protobuf -> compression -> SHA3).
+func BenchmarkExtensionChain3(b *testing.B) {
+	var diff, ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Chain3Experiment(1, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = r.DiffFrac
+		ratio = r.Ratio
+	}
+	b.ReportMetric(diff*100, "model-vs-measured-pct")
+	b.ReportMetric(ratio, "compression-ratio")
+}
+
+// BenchmarkExtensionPartialSync sweeps intermediate synchronization levels.
+func BenchmarkExtensionPartialSync(b *testing.B) {
+	ch := benchFixture(b)
+	sys, err := ch.DeriveSystem(taxonomy.Spanner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := []float64{1, 0.75, 0.5, 0.25, 0}
+	b.ResetTimer()
+	var pts []experiments.PartialSyncPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.PartialSyncSweep(sys, gs)
+	}
+	b.ReportMetric(pts[0].Speedup, "fully-sync")
+	b.ReportMetric(pts[len(pts)-1].Speedup, "fully-async")
+}
+
+// BenchmarkExtensionMixedPlacement ranks per-component placement penalties.
+func BenchmarkExtensionMixedPlacement(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := ch.MixedPlacementStudy(taxonomy.BigQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Penalty > worst {
+				worst = r.Penalty
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst-offchip-penalty-pct")
+}
+
+// BenchmarkCompress measures the from-scratch Snappy-format codec.
+func BenchmarkCompress(b *testing.B) {
+	gen := protowire.NewGenerator(1, protowire.DefaultGenConfig())
+	var src []byte
+	for _, m := range gen.Corpus(2, 64) {
+		src = m.Marshal(src)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.Encode(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompress measures decoding.
+func BenchmarkDecompress(b *testing.B) {
+	gen := protowire.NewGenerator(1, protowire.DefaultGenConfig())
+	var src []byte
+	for _, m := range gen.Corpus(2, 64) {
+		src = m.Marshal(src)
+	}
+	enc, err := compress.Encode(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionLatencyStudy regenerates the latency-under-load curve.
+func BenchmarkExtensionLatencyStudy(b *testing.B) {
+	var pts []experiments.LatencyPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.LatencyStudy(1, []float64{1000, 30000, 80000}, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].P99Seconds*1e3, "p99-ms-light")
+	b.ReportMetric(pts[len(pts)-1].P99Seconds*1e3, "p99-ms-heavy")
+}
+
+// BenchmarkExtensionAcceleratorPriority regenerates the priority ranking.
+func BenchmarkExtensionAcceleratorPriority(b *testing.B) {
+	ch := benchFixture(b)
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		rows, err := ch.AcceleratorPriority(taxonomy.Spanner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = rows[0].Sensitivity
+	}
+	b.ReportMetric(top*100, "top-sensitivity-pct")
+}
+
+// BenchmarkExtensionChainScaling regenerates the chain-length study.
+func BenchmarkExtensionChainScaling(b *testing.B) {
+	var rows []experiments.ChainScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.ChainScaling([]int{1, 2, 4, 8, 16})
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Sync, "sync-16-stages")
+	b.ReportMetric(last.Chained, "chained-16-stages")
+}
+
+// BenchmarkAblationTieringPolicy compares RAM cache policies (§3's learned
+// data-placement direction).
+func BenchmarkAblationTieringPolicy(b *testing.B) {
+	var res *experiments.TieringPolicyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.TieringPolicyAblation(1, 30000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RAMHitRatio["LRU"]*100, "lru-ram-hit-pct")
+	b.ReportMetric(res.RAMHitRatio["TinyLFU"]*100, "tinylfu-ram-hit-pct")
+}

@@ -1,0 +1,114 @@
+// Command hyperprof runs the full characterization study — the equivalents
+// of the paper's Table 1, Figures 2–6 and Tables 6–7 — over the simulated
+// Spanner, BigTable and BigQuery platforms, and prints each artifact.
+//
+// Usage:
+//
+//	hyperprof [-seed N] [-spanner N] [-bigtable N] [-bigquery N] [-clients N] [-rate N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hyperprof"
+	"hyperprof/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hyperprof: ")
+	cfg := hyperprof.DefaultCharacterizationConfig()
+	seed := flag.Uint64("seed", cfg.Seed, "deterministic run seed")
+	spannerQ := flag.Int("spanner", cfg.SpannerQueries, "Spanner operation count")
+	bigtableQ := flag.Int("bigtable", cfg.BigTableQueries, "BigTable operation count")
+	bigqueryQ := flag.Int("bigquery", cfg.BigQueryQueries, "BigQuery query count")
+	clients := flag.Int("clients", cfg.Clients, "closed-loop clients per platform")
+	rate := flag.Int("rate", cfg.TraceRate, "trace sampling rate (keep 1/rate)")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text tables")
+	chromeOut := flag.String("chrome-trace", "", "also write sampled traces to this file in Chrome trace-event format (view in Perfetto)")
+	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
+	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
+	flag.Parse()
+
+	cfg.Seed = *seed
+	cfg.SpannerQueries = *spannerQ
+	cfg.BigTableQueries = *bigtableQ
+	cfg.BigQueryQueries = *bigqueryQ
+	cfg.Clients = *clients
+	cfg.TraceRate = *rate
+
+	ch, err := hyperprof.Characterize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		data, err := hyperprof.BuildReport(ch).JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	out := os.Stdout
+	fmt.Fprintln(out, hyperprof.RenderTable1(hyperprof.Table1(ch)))
+	fmt.Fprintln(out, hyperprof.RenderTables23())
+	fmt.Fprintln(out, hyperprof.RenderFigure2(hyperprof.Figure2(ch)))
+	cpu, remote, io := hyperprof.Figure2Overall(ch)
+	fmt.Fprintf(out, "Across all platforms: %.0f%% CPU, %.0f%% remote work, %.0f%% IO (paper: 48/22/30)\n\n",
+		cpu*100, remote*100, io*100)
+	fmt.Fprintln(out, hyperprof.RenderFigure3(hyperprof.Figure3(ch)))
+	fmt.Fprintln(out, hyperprof.RenderFigure4(hyperprof.Figure4(ch)))
+	fmt.Fprintln(out, hyperprof.RenderFigure5(hyperprof.Figure5(ch)))
+	fmt.Fprintln(out, hyperprof.RenderFigure6(hyperprof.Figure6(ch)))
+	fmt.Fprintln(out, hyperprof.RenderTables67(ch))
+	for _, p := range hyperprof.Platforms() {
+		fmt.Fprintf(out, "%s: %d traces over a simulated %v; mean %.1f KB storage read per query\n",
+			p, len(ch.Traces[p]), ch.Elapsed[p].Round(1e6), ch.QueryBytes[p]/1024)
+	}
+
+	if *topN > 0 {
+		fmt.Fprintln(out, "\nHottest leaf functions (GWP view):")
+		for _, p := range hyperprof.Platforms() {
+			fmt.Fprintf(out, "  %s:\n", p)
+			for _, fn := range ch.Prof(p).TopFunctions(p, *topN) {
+				fmt.Fprintf(out, "    %-34s %-18s %v\n", fn.Function, fn.Category, fn.CPU.Round(1e6))
+			}
+		}
+	}
+
+	if *pprofPrefix != "" {
+		for _, p := range hyperprof.Platforms() {
+			data, err := ch.Prof(p).ExportPprof(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := fmt.Sprintf("%s-%s.pb.gz", *pprofPrefix, strings.ToLower(string(p)))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(out, "Wrote pprof profile %s (go tool pprof -top %s)\n", name, name)
+		}
+	}
+
+	if *chromeOut != "" {
+		var all []*trace.Trace
+		for _, p := range hyperprof.Platforms() {
+			all = append(all, ch.Traces[p]...)
+		}
+		data, err := trace.ExportChrome(all, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*chromeOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "\nWrote %d bytes of Chrome trace events to %s (open in Perfetto)\n", len(data), *chromeOut)
+	}
+}

@@ -1,0 +1,45 @@
+// Command validate reproduces the paper's Table 8 model validation: it runs
+// the simulated heterogeneous SoC (protobuf-serialization and SHA3
+// accelerators) through the unaccelerated, accelerated and chained
+// benchmarks over a fleet-representative protobuf corpus, feeds the measured
+// parameters into the analytical chained model, and prints the comparison.
+//
+// Usage:
+//
+//	validate [-seed N] [-messages N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyperprof"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+	cfg := hyperprof.DefaultTable8Config()
+	seed := flag.Uint64("seed", cfg.Seed, "corpus seed")
+	messages := flag.Int("messages", cfg.Messages, "protobuf messages in the batch")
+	extended := flag.Bool("extended", false, "also run the three-accelerator chain (protobuf -> compression -> SHA3)")
+	flag.Parse()
+	cfg.Seed = *seed
+	cfg.Messages = *messages
+
+	t8, err := hyperprof.ValidateChainedModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hyperprof.RenderTable8(t8))
+
+	if *extended {
+		r, err := hyperprof.ValidateChain3(cfg.Seed, cfg.Messages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(hyperprof.RenderChain3(r))
+	}
+}

@@ -1,0 +1,72 @@
+package hyperprof_test
+
+import (
+	"fmt"
+
+	"hyperprof"
+)
+
+// ExampleSystem_Speedup evaluates the analytical model on the paper's
+// Table 8 parameters: protobuf serialization chained into SHA3 hashing on
+// the validation SoC.
+func ExampleSystem_Speedup() {
+	const us = 1e-6
+	sys := hyperprof.System{
+		CPUTime: (518.3 + 1112.5 + 4948.7) * us,
+		F:       1,
+		Components: []hyperprof.Component{
+			{Name: "proto-ser", Time: 518.3 * us, Accelerated: true, Speedup: 31, Setup: 1488.9 * us, Chained: true},
+			{Name: "sha3", Time: 1112.5 * us, Accelerated: true, Speedup: 51.3, Setup: 4.1 * us, Chained: true},
+		},
+	}
+	fmt.Printf("baseline: %.1f us\n", sys.BaselineE2E()/us)
+	fmt.Printf("chained:  %.1f us\n", sys.AcceleratedE2E()/us)
+	fmt.Printf("speedup:  %.2fx\n", sys.Speedup())
+	// Output:
+	// baseline: 6579.5 us
+	// chained:  6459.3 us
+	// speedup:  1.02x
+}
+
+// ExampleSystem_Configure compares the four accelerator execution models of
+// §6.3 on one synthetic system.
+func ExampleSystem_Configure() {
+	sys := hyperprof.System{
+		CPUTime:   1.0,
+		Bandwidth: 4e9,
+		Components: []hyperprof.Component{
+			{Name: "compression", Time: 0.3, Accelerated: true, Speedup: 8, Setup: 0.01},
+			{Name: "protobuf", Time: 0.3, Accelerated: true, Speedup: 8, Setup: 0.01},
+		},
+	}
+	off := map[string]float64{"compression": 2e9, "protobuf": 2e9}
+	for _, inv := range hyperprof.Invocations() {
+		fmt.Printf("%-18s %.3fx\n", inv, sys.Configure(inv, off).Speedup())
+	}
+	// Output:
+	// Sync + Off-Chip    0.401x
+	// Sync + On-Chip     2.020x
+	// Async + On-Chip    2.235x
+	// Chained + On-Chip  2.235x
+}
+
+// ExampleSystem_WithoutDependencies shows the paper's central Amdahl
+// argument: with remote work and IO kept, accelerating the CPU barely
+// helps; co-designing them away unlocks the acceleration.
+func ExampleSystem_WithoutDependencies() {
+	sys := hyperprof.System{
+		CPUTime: 1.0,
+		DepTime: 1.0, // as much time in storage/remote work as on CPU
+		F:       0.5,
+		Components: []hyperprof.Component{
+			{Name: "everything", Time: 1.0, Accelerated: true, Speedup: 1, Sync: 1},
+		},
+	}
+	hw := sys.WithUniformSpeedup(64)
+	fmt.Printf("hardware only: %.2fx\n", hw.Speedup())
+	codesign := hw.WithoutDependencies()
+	fmt.Printf("with co-design: %.2fx\n", sys.BaselineE2E()/codesign.AcceleratedE2E())
+	// Output:
+	// hardware only: 1.49x
+	// with co-design: 96.00x
+}

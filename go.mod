@@ -1,0 +1,3 @@
+module hyperprof
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package hyperprof reproduces "Profiling Hyperscale Big Data Processing"
+// (Gonzalez et al., ISCA 2023) as a runnable Go system: deterministic
+// simulations of Spanner-, BigTable- and BigQuery-like platforms with
+// Dapper-style tracing and GWP-style fleet profiling, the paper's analytical
+// "sea of accelerators" model (Equations 1–12), the limit studies of §6, and
+// the chained protobuf+SHA3 SoC validation of Table 8.
+//
+// This package is the public facade: it re-exports the library's primary
+// entry points so downstream users never import internal packages.
+//
+//   - Characterize runs the three platform simulations under calibrated
+//     workloads and yields every §3–§5 table and figure (Table 1, Figures
+//     2–6, Tables 6–7).
+//   - System / Component is the analytical model; DeriveSystem extracts a
+//     model instance from a characterization.
+//   - Figure9..Figure15 run the §6 limit studies.
+//   - ValidateChainedModel reproduces the Table 8 experiment.
+package hyperprof
+
+import (
+	"hyperprof/internal/experiments"
+	"hyperprof/internal/model"
+	"hyperprof/internal/profile"
+	"hyperprof/internal/soc"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// Platform identifies one of the three profiled platforms.
+type Platform = taxonomy.Platform
+
+// The three platforms.
+const (
+	Spanner  = taxonomy.Spanner
+	BigTable = taxonomy.BigTable
+	BigQuery = taxonomy.BigQuery
+)
+
+// Platforms lists the platforms in presentation order.
+func Platforms() []Platform { return taxonomy.Platforms() }
+
+// Category is a fine-grained cycle category (Tables 2–5).
+type Category = taxonomy.Category
+
+// Broad is a top-level cycle class (core compute, datacenter tax, system tax).
+type Broad = taxonomy.Broad
+
+// Analytical model (the paper's primary contribution, §6).
+type (
+	// System is the full model input (Figure 7).
+	System = model.System
+	// Component is one CPU subcomponent t_sub_i.
+	Component = model.Component
+	// Invocation selects an accelerator execution model (§6.3.2).
+	Invocation = model.Invocation
+)
+
+// The four §6.3 invocation models.
+const (
+	SyncOffChip   = model.SyncOffChip
+	SyncOnChip    = model.SyncOnChip
+	AsyncOnChip   = model.AsyncOnChip
+	ChainedOnChip = model.ChainedOnChip
+)
+
+// Invocations lists the invocation models in Figure 13 order.
+func Invocations() []Invocation { return model.Invocations() }
+
+// Characterization is a completed profiling run over the three platforms.
+type Characterization = experiments.Characterization
+
+// CharacterizationConfig sizes a characterization run.
+type CharacterizationConfig = experiments.CharConfig
+
+// DefaultCharacterizationConfig returns a configuration that completes in a
+// few seconds with stable aggregates.
+func DefaultCharacterizationConfig() CharacterizationConfig {
+	return experiments.DefaultCharConfig()
+}
+
+// Characterize runs the full characterization (the paper's "representative
+// day" of traces and profiles).
+func Characterize(cfg CharacterizationConfig) (*Characterization, error) {
+	return experiments.RunCharacterization(cfg)
+}
+
+// Characterization artifacts (§3–§5).
+var (
+	// Table1 extracts the storage-to-storage ratios.
+	Table1 = experiments.Table1
+	// Figure2 extracts the end-to-end time breakdown by query group.
+	Figure2 = experiments.Figure2
+	// Figure2Overall extracts the cross-platform average CPU/remote/IO split.
+	Figure2Overall = experiments.Figure2Overall
+	// Figure3 extracts the broad cycle breakdown.
+	Figure3 = experiments.Figure3
+	// Figure4 extracts the core-compute category breakdown.
+	Figure4 = experiments.Figure4
+	// Figure5 extracts the datacenter-tax breakdown.
+	Figure5 = experiments.Figure5
+	// Figure6 extracts the system-tax breakdown.
+	Figure6 = experiments.Figure6
+	// Table6 extracts platform IPC/MPKI statistics.
+	Table6 = experiments.Table6
+	// Table7 extracts IPC/MPKI statistics by broad class.
+	Table7 = experiments.Table7
+)
+
+// Limit studies (§6.2–§6.3).
+var (
+	// Figure9 runs the synchronous on-chip upper-bound sweep.
+	Figure9 = experiments.Figure9
+	// Figure10 runs the per-query-group upper-bound sweep.
+	Figure10 = experiments.Figure10
+	// Figure13 runs the accelerator feature study.
+	Figure13 = experiments.Figure13
+	// Figure14 runs the setup-time sweep.
+	Figure14 = experiments.Figure14
+	// Figure15 runs the prior-accelerator comparison.
+	Figure15 = experiments.Figure15
+)
+
+// MicroarchStats is an aggregated IPC/MPKI report row.
+type MicroarchStats = profile.Stats
+
+// GroupStats is one Figure 2 row.
+type GroupStats = trace.GroupStats
+
+// Table8Result holds the §6.4 model-validation outcome.
+type Table8Result = soc.Table8
+
+// Table8Config sizes the validation experiment.
+type Table8Config = experiments.Table8Config
+
+// DefaultTable8Config returns the paper-calibrated validation setup.
+func DefaultTable8Config() Table8Config { return experiments.DefaultTable8Config() }
+
+// ValidateChainedModel reproduces Table 8: measure the simulated SoC running
+// real protobuf serialization chained into real SHA3 hashing, then compare
+// the chained model's estimate against the measurement.
+func ValidateChainedModel(cfg Table8Config) (*Table8Result, error) {
+	return experiments.Table8(cfg)
+}
+
+// Chain3Result holds the extended three-accelerator validation outcome
+// (protobuf serialization -> block compression -> SHA3), the §6.4
+// future-work experiment.
+type Chain3Result = soc.Chain3Result
+
+// ValidateChain3 runs the extended validation with a real compression stage
+// between serialization and hashing.
+func ValidateChain3(seed uint64, messages int) (*Chain3Result, error) {
+	return experiments.Chain3Experiment(seed, messages)
+}
+
+// Extension studies (§6.4 future work).
+var (
+	// PartialSyncSweep evaluates intermediate synchronization levels
+	// between the paper's fully-sync and fully-async endpoints.
+	PartialSyncSweep = experiments.PartialSyncSweep
+	// ChainScaling evaluates the invocation models as the accelerator
+	// chain grows.
+	ChainScaling = experiments.ChainScaling
+	// LatencyStudy measures p50/p99 latency versus offered load on the
+	// Spanner simulation (open-loop Poisson arrivals).
+	LatencyStudy = experiments.LatencyStudy
+	// RenderLatency renders a latency-under-load curve.
+	RenderLatency = experiments.RenderLatency
+	// RenderChain3 renders the extended validation.
+	RenderChain3 = experiments.RenderChain3
+	// RenderMixedPlacement renders a placement-sensitivity study.
+	RenderMixedPlacement = experiments.RenderMixedPlacement
+	// RenderPriority renders an accelerator-priority ranking.
+	RenderPriority = experiments.RenderPriority
+)
+
+// Report is the machine-readable form of the full characterization study.
+type Report = experiments.Report
+
+// BuildReport assembles the machine-readable report (serialize with
+// Report.JSON).
+var BuildReport = experiments.BuildReport
+
+// Renderers produce the textual equivalents of the paper's tables/figures.
+var (
+	RenderTable1   = experiments.RenderTable1
+	RenderFigure2  = experiments.RenderFigure2
+	RenderFigure3  = experiments.RenderFigure3
+	RenderFigure4  = experiments.RenderFigure4
+	RenderFigure5  = experiments.RenderFigure5
+	RenderFigure6  = experiments.RenderFigure6
+	RenderTables23 = experiments.RenderTables23
+	RenderTables67 = experiments.RenderTables67
+	RenderFigure9  = experiments.RenderFigure9
+	RenderFigure10 = experiments.RenderFigure10
+	RenderFigure13 = experiments.RenderFigure13
+	RenderFigure14 = experiments.RenderFigure14
+	RenderFigure15 = experiments.RenderFigure15
+	RenderTable8   = experiments.RenderTable8
+)

@@ -1,0 +1,549 @@
+// Package bigquery simulates a BigQuery-like distributed analytics query
+// engine (§2.2.3): queries execute as a two-stage DAG where stage-1 workers
+// scan columnar table partitions from the distributed file system, filter
+// and partially aggregate them, then hand results to a distributed shuffle
+// tier; stage-2 workers fetch shuffle partitions and run the final
+// aggregate/join/sort. The relational compute is real — results are exact
+// over materialized key/value columns — while wide payload columns are
+// modeled as file bytes only.
+package bigquery
+
+import (
+	"fmt"
+
+	"time"
+
+	"hyperprof/internal/cluster"
+	"hyperprof/internal/columnar"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/storage"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// Config sizes a BigQuery deployment.
+type Config struct {
+	// Workers is the number of worker machines.
+	Workers int
+	// ShuffleServers is the size of the distributed shuffle tier.
+	ShuffleServers int
+	// Chunkservers backs the DFS the tables live on.
+	Chunkservers int
+	// FactPartitions, RowsPerPartition and PartitionFileBytes size the fact
+	// table. File bytes exceed materialized rows: wide payload columns are
+	// modeled in bytes only.
+	FactPartitions     int
+	RowsPerPartition   int
+	PartitionFileBytes int64
+	// DimRows sizes the join dimension table.
+	DimRows int
+	// Groups is the cardinality of the aggregation key.
+	Groups int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale deployment preserving the
+// paper-relevant behaviour (scans much larger than cache, real shuffles).
+func DefaultConfig() Config {
+	return Config{
+		Workers:            8,
+		ShuffleServers:     4,
+		Chunkservers:       8,
+		FactPartitions:     16,
+		RowsPerPartition:   2000,
+		PartitionFileBytes: 8 << 20,
+		DimRows:            512,
+		Groups:             64,
+		Seed:               1,
+	}
+}
+
+// Kind is a query template.
+type Kind int
+
+// The three query templates of the default workload.
+const (
+	// ScanAgg scans the fact table, filters, and aggregates sums by group.
+	ScanAgg Kind = iota
+	// JoinQuery additionally joins groups against the dimension table and
+	// sorts the output; it shuffles row-level data, not just partials.
+	JoinQuery
+	// Report is a small cached-table query: sort and materialize a
+	// dashboard-style result.
+	Report
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ScanAgg:
+		return "ScanAgg"
+	case JoinQuery:
+		return "Join"
+	case Report:
+		return "Report"
+	}
+	return "Unknown"
+}
+
+// Query is one request: a template plus a filter threshold.
+type Query struct {
+	Kind Kind
+	// Threshold filters fact rows to val >= Threshold.
+	Threshold int64
+}
+
+// Result is a query's real output.
+type Result struct {
+	// Groups maps group key to SUM(val) over the filtered rows.
+	Groups map[int64]int64
+	// Labeled maps dimension labels to sums (join queries only).
+	Labeled map[string]int64
+	// SortedKeys is the group keys in descending-sum order (join/report).
+	SortedKeys []int64
+	// RowsScanned counts fact rows touched.
+	RowsScanned int
+}
+
+// Core CPU budgets per query kind (pre-tax), distributed over the kind's
+// stage splits; solved so the default mix lands on Figure 4's BigQuery bar.
+var coreBudget = map[Kind]time.Duration{
+	ScanAgg:   22 * time.Millisecond,
+	JoinQuery: 12 * time.Millisecond,
+	Report:    12 * time.Millisecond,
+}
+
+// Engine is a running BigQuery deployment.
+type Engine struct {
+	env     *platform.Env
+	cfg     Config
+	mgr     *cluster.Manager
+	dfs     *storage.DFS
+	taxes   platform.TaxTables
+	workers []*cluster.Machine
+	coord   *cluster.Machine
+	shuffle []*shuffleServer
+	rng     *stats.RNG
+
+	fact    []*partition
+	dim     map[int64]string
+	nextQID int
+
+	stage1 map[Kind]platform.Recipe // per-partition
+	stage2 map[Kind]platform.Recipe // per-query
+	planR  platform.Recipe
+
+	// Counters for tests and reports.
+	Queries      map[Kind]int
+	ShuffleBytes int64
+}
+
+type partition struct {
+	file string
+	keys []int64
+	vals []int64
+}
+
+type shuffleServer struct {
+	machine *cluster.Machine
+	srv     *netsim.Server
+	slots   map[string]shuffleSlot
+}
+
+type shuffleSlot struct {
+	bytes   int64
+	payload interface{}
+}
+
+// New builds and starts a deployment on the environment.
+func New(env *platform.Env, cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 || cfg.FactPartitions <= 0 || cfg.RowsPerPartition <= 0 {
+		return nil, fmt.Errorf("bigquery: invalid config %+v", cfg)
+	}
+	if cfg.ShuffleServers <= 0 || cfg.Chunkservers < 3 {
+		return nil, fmt.Errorf("bigquery: need shuffle servers and >= 3 chunkservers")
+	}
+	ramR, ssdR, hddR := platform.PaperStorageRatio(taxonomy.BigQuery)
+	// Caches are deliberately provisioned far below the scan working set:
+	// the paper observes analytics tables are "larger and less cachable"
+	// than database working sets (§4.2).
+	dataBytes := int64(cfg.FactPartitions) * cfg.PartitionFileBytes
+	ram := dataBytes/int64(cfg.Chunkservers)/40 + 256<<10
+	caps := storage.Capacities{
+		storage.RAM: ram,
+		storage.SSD: ram * ssdR / ramR,
+		storage.HDD: ram * hddR / ramR,
+	}
+	spec := cluster.Spec{
+		Regions:         1,
+		RacksPerRegion:  2,
+		MachinesPerRack: (cfg.Workers + cfg.ShuffleServers + 2) / 2,
+		CoresPerMachine: 8,
+		Storage:         caps,
+	}
+	mgr, err := cluster.NewManager(env.Net, spec)
+	if err != nil {
+		return nil, err
+	}
+	dfs, err := storage.NewDFS(storage.DFSConfig{
+		Chunkservers:     cfg.Chunkservers,
+		Replication:      3,
+		ChunkSize:        4 << 20,
+		ServerCapacities: caps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		env:     env,
+		cfg:     cfg,
+		mgr:     mgr,
+		dfs:     dfs,
+		taxes:   platform.TaxTablesFor(taxonomy.BigQuery),
+		rng:     stats.NewRNG(cfg.Seed),
+		dim:     map[int64]string{},
+		Queries: map[Kind]int{},
+	}
+	machines := mgr.Machines()
+	e.coord = machines[0]
+	for i := 0; i < cfg.Workers; i++ {
+		e.workers = append(e.workers, machines[(i+1)%len(machines)])
+	}
+	for i := 0; i < cfg.ShuffleServers; i++ {
+		m := machines[(cfg.Workers+1+i)%len(machines)]
+		ss := &shuffleServer{machine: m, srv: netsim.NewServer(m.Node, 16), slots: map[string]shuffleSlot{}}
+		ss.srv.Handle("shuffle.put", e.handleShufflePut(ss))
+		ss.srv.Handle("shuffle.get", e.handleShuffleGet(ss))
+		ss.srv.Start()
+		e.shuffle = append(e.shuffle, ss)
+	}
+	e.registerClassifier()
+	e.buildRecipes()
+	if err := e.load(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) registerClassifier() {
+	c := e.env.Prof.Classifier()
+	c.Register("bigquery.filter.", taxonomy.Filter)
+	c.Register("bigquery.aggregate.", taxonomy.Aggregate)
+	c.Register("bigquery.compute.", taxonomy.Compute)
+	c.Register("bigquery.join.", taxonomy.Join)
+	c.Register("bigquery.destructure.", taxonomy.Destructure)
+	c.Register("bigquery.sort.", taxonomy.Sort)
+	c.Register("bigquery.project.", taxonomy.Project)
+	c.Register("bigquery.materialize.", taxonomy.Materialize)
+	c.Register("bigquery.misc.", taxonomy.MiscCore)
+}
+
+func (e *Engine) buildRecipes() {
+	cc := platform.PaperMicro(taxonomy.BigQuery, taxonomy.CoreCompute)
+	mk := func(budget time.Duration, split platform.Split) platform.Recipe {
+		micros := platform.MicroFor(cc, split.Keys()...)
+		r := platform.BuildRecipe(budget, split, micros)
+		dct, st := platform.TaxBudgets(taxonomy.BigQuery, float64(budget))
+		return append(r, e.taxes.TaxRecipe(time.Duration(dct), time.Duration(st))...)
+	}
+	// Stage fractions of each kind's core budget (see Figure 4 calibration
+	// in the package design notes).
+	s1frac := map[Kind]float64{ScanAgg: 0.69, JoinQuery: 0.33, Report: 0.48}
+	s1split := map[Kind]platform.Split{
+		ScanAgg: {
+			"bigquery.filter.Scan": 0.30, "bigquery.compute.ColumnOps": 0.18,
+			"bigquery.destructure.FieldAccess": 0.10, "bigquery.project.Columns": 0.05,
+			"bigquery.runtime.Glue": 0.06,
+		},
+		JoinQuery: {
+			"bigquery.filter.Scan": 0.12, "bigquery.destructure.FieldAccess": 0.06,
+			"bigquery.compute.ColumnOps": 0.10, "bigquery.runtime.Glue": 0.05,
+		},
+		Report: {
+			"bigquery.filter.Scan": 0.08, "bigquery.destructure.FieldAccess": 0.08,
+			"bigquery.project.Columns": 0.12, "bigquery.compute.ColumnOps": 0.15,
+			"bigquery.runtime.Glue": 0.05,
+		},
+	}
+	s2split := map[Kind]platform.Split{
+		ScanAgg: {"bigquery.aggregate.Merge": 0.22, "bigquery.misc.Coord": 0.09},
+		JoinQuery: {
+			"bigquery.join.HashProbe": 0.24, "bigquery.aggregate.Merge": 0.14,
+			"bigquery.sort.OrderBy": 0.12, "bigquery.materialize.Build": 0.07,
+			"bigquery.misc.Coord": 0.10,
+		},
+		Report: {
+			"bigquery.sort.OrderBy": 0.25, "bigquery.materialize.Build": 0.15,
+			"bigquery.aggregate.Merge": 0.07, "bigquery.misc.Coord": 0.05,
+		},
+	}
+	e.stage1 = map[Kind]platform.Recipe{}
+	e.stage2 = map[Kind]platform.Recipe{}
+	for _, k := range []Kind{ScanAgg, JoinQuery, Report} {
+		b := coreBudget[k]
+		s1b := time.Duration(float64(b) * s1frac[k])
+		perPartition := time.Duration(int64(s1b) / int64(e.cfg.FactPartitions))
+		e.stage1[k] = mk(perPartition, s1split[k])
+		e.stage2[k] = mk(b-s1b, s2split[k])
+	}
+	e.planR = mk(500*time.Microsecond, platform.Split{"bigquery.misc.Plan": 0.6, "bigquery.runtime.Glue": 0.4})
+}
+
+// load generates the fact and dimension tables and writes partition files.
+func (e *Engine) load() error {
+	rng := e.rng.Fork()
+	for pi := 0; pi < e.cfg.FactPartitions; pi++ {
+		p := &partition{
+			file: fmt.Sprintf("bq/fact/part-%03d", pi),
+			keys: make([]int64, e.cfg.RowsPerPartition),
+			vals: make([]int64, e.cfg.RowsPerPartition),
+		}
+		for i := range p.keys {
+			p.keys[i] = int64(rng.Intn(e.cfg.Groups))
+			p.vals[i] = int64(rng.Intn(1000))
+		}
+		if _, err := e.dfs.Create(p.file, e.cfg.PartitionFileBytes); err != nil {
+			return err
+		}
+		e.fact = append(e.fact, p)
+	}
+	for i := 0; i < e.cfg.DimRows; i++ {
+		e.dim[int64(i)] = fmt.Sprintf("label-%03d", i%37)
+	}
+	if _, err := e.dfs.Create("bq/report/small", 512<<10); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Machines exposes the fleet for inventory accounting.
+func (e *Engine) Machines() []*cluster.Machine { return e.mgr.Machines() }
+
+// DFS exposes the backing file system.
+func (e *Engine) DFS() *storage.DFS { return e.dfs }
+
+// Stop shuts down the shuffle tier.
+func (e *Engine) Stop() {
+	for _, s := range e.shuffle {
+		s.srv.Stop()
+	}
+}
+
+func (e *Engine) handleShufflePut(ss *shuffleServer) netsim.Handler {
+	return func(p *sim.Proc, req netsim.Request) netsim.Response {
+		slot := req.Payload.(shufflePutArgs)
+		p.Use(ss.machine.Node.CPU, 1, time.Duration(float64(req.Bytes)/4e9*float64(time.Second))+20*time.Microsecond)
+		// The shuffle tier persists intermediate data: compact partials sit
+		// in flash, large row spills go to disk, as production distributed
+		// shuffles tier their storage.
+		p.Sleep(ss.machine.Store.RawAccess(shuffleTier(req.Bytes), req.Bytes, true))
+		ss.slots[slot.key] = shuffleSlot{bytes: req.Bytes, payload: slot.payload}
+		return netsim.Response{Bytes: 32}
+	}
+}
+
+func (e *Engine) handleShuffleGet(ss *shuffleServer) netsim.Handler {
+	return func(p *sim.Proc, req netsim.Request) netsim.Response {
+		key := req.Payload.(string)
+		slot, ok := ss.slots[key]
+		if !ok {
+			return netsim.Response{Err: fmt.Errorf("bigquery: shuffle slot %q missing", key)}
+		}
+		p.Use(ss.machine.Node.CPU, 1, time.Duration(float64(slot.bytes)/4e9*float64(time.Second))+20*time.Microsecond)
+		p.Sleep(ss.machine.Store.RawAccess(shuffleTier(slot.bytes), slot.bytes, false))
+		delete(ss.slots, key)
+		return netsim.Response{Bytes: slot.bytes, Payload: slot.payload}
+	}
+}
+
+type shufflePutArgs struct {
+	key     string
+	payload interface{}
+}
+
+// shuffleTier picks the storage medium for a shuffle slot: flash for compact
+// partial aggregates, disk for wide row spills.
+func shuffleTier(bytes int64) storage.Tier {
+	if bytes <= 1<<20 {
+		return storage.SSD
+	}
+	return storage.HDD
+}
+
+// Run executes a query end-to-end from the calling (coordinator) process and
+// returns its real result.
+func (e *Engine) Run(p *sim.Proc, tr *trace.Trace, q Query) (*Result, error) {
+	qid := e.nextQID
+	e.nextQID++
+	e.env.ExecRecipe(p, taxonomy.BigQuery, e.coord.Node, tr, e.planR)
+	switch q.Kind {
+	case ScanAgg, JoinQuery:
+		return e.runDistributed(p, tr, q, qid)
+	case Report:
+		return e.runReport(p, tr, q)
+	}
+	return nil, fmt.Errorf("bigquery: unknown query kind %d", q.Kind)
+}
+
+// scanPartitions returns the partitions a query reads. Join queries prune:
+// they scan only the first half of the fact table (a dimension-selective
+// predicate) but spill wide intermediate rows through the shuffle, which is
+// what makes them remote-work bound.
+func (e *Engine) scanPartitions(q Query) int {
+	if q.Kind == JoinQuery {
+		n := e.cfg.FactPartitions / 4
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return e.cfg.FactPartitions
+}
+
+// runDistributed executes the two-stage scan/shuffle/reduce plan.
+func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) (*Result, error) {
+	nW := len(e.workers)
+	nParts := e.scanPartitions(q)
+	partials := make([]map[int64]int64, nParts)
+	rowsScanned := make([]int, nW)
+	errs := make([]error, nW)
+	bar := sim.NewBarrier(e.env.K, nW)
+
+	// Stage 1: each worker scans its share of partitions and shuffles one
+	// partial per partition.
+	for w := 0; w < nW; w++ {
+		w := w
+		worker := e.workers[w]
+		e.env.K.Go(fmt.Sprintf("bq-s1-w%d", w), func(wp *sim.Proc) {
+			defer bar.Done()
+			for pi := w; pi < nParts; pi += nW {
+				part := e.fact[pi]
+				ioStart := wp.Now()
+				d, _, err := e.dfs.Read(part.file, 0, e.cfg.PartitionFileBytes)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				wp.Sleep(d)
+				platform.AnnotateIO(tr, ioStart, wp.Now())
+
+				e.env.ExecRecipe(wp, taxonomy.BigQuery, worker.Node, tr, e.stage1[q.Kind])
+
+				// Real vectorized filter + partial aggregation.
+				sel := columnar.FilterGE(part.vals, q.Threshold)
+				partial, err := columnar.HashAggregate(part.keys, part.vals, sel)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				rowsScanned[w] += len(part.vals)
+				partials[pi] = partial
+
+				// Shuffle the partial to its server; join queries spill
+				// wide intermediate rows (a large fraction of the scanned
+				// bytes), scan-aggregates only compact partials.
+				bytes := int64(len(partial)) * 16
+				if q.Kind == JoinQuery {
+					bytes = e.cfg.PartitionFileBytes
+				}
+				ss := e.shuffle[pi%len(e.shuffle)]
+				remStart := wp.Now()
+				resp, _ := ss.srv.Call(wp, worker.Node, netsim.Request{
+					Method:  "shuffle.put",
+					Bytes:   bytes,
+					Payload: shufflePutArgs{key: slotKey(qid, pi), payload: partial},
+				})
+				platform.AnnotateRemote(tr, remStart, wp.Now())
+				if resp.Err != nil {
+					errs[w] = resp.Err
+					return
+				}
+				e.ShuffleBytes += bytes
+			}
+		})
+	}
+	p.WaitBarrier(bar)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: fetch every shuffle slot and reduce on one worker.
+	reducer := e.workers[qid%nW]
+	merged := map[int64]int64{}
+	for pi := 0; pi < nParts; pi++ {
+		ss := e.shuffle[pi%len(e.shuffle)]
+		remStart := p.Now()
+		resp, _ := ss.srv.Call(p, reducer.Node, netsim.Request{Method: "shuffle.get", Payload: slotKey(qid, pi)})
+		platform.AnnotateRemote(tr, remStart, p.Now())
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		columnar.MergeGroups(merged, resp.Payload.(map[int64]int64))
+	}
+	e.env.ExecRecipe(p, taxonomy.BigQuery, reducer.Node, tr, e.stage2[q.Kind])
+
+	res := &Result{Groups: merged}
+	for _, n := range rowsScanned {
+		res.RowsScanned += n
+	}
+	if q.Kind == JoinQuery {
+		res.Labeled = columnar.HashJoin(merged, e.dim)
+		res.SortedKeys = columnar.SortKeysByValueDesc(merged)
+	}
+	e.Queries[q.Kind]++
+	return res, nil
+}
+
+// runReport executes the small cached-table query on a single worker.
+func (e *Engine) runReport(p *sim.Proc, tr *trace.Trace, q Query) (*Result, error) {
+	worker := e.workers[e.nextQID%len(e.workers)]
+	ioStart := p.Now()
+	d, _, err := e.dfs.Read("bq/report/small", 0, 512<<10)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(d)
+	platform.AnnotateIO(tr, ioStart, p.Now())
+
+	e.env.ExecRecipe(p, taxonomy.BigQuery, worker.Node, tr, e.stage1[Report])
+	// Real vectorized compute over the first fact partition (the "small
+	// table" proxy).
+	part := e.fact[0]
+	sel := columnar.FilterGE(part.vals, q.Threshold)
+	groups, err := columnar.HashAggregate(part.keys, part.vals, sel)
+	if err != nil {
+		return nil, err
+	}
+	e.env.ExecRecipe(p, taxonomy.BigQuery, worker.Node, tr, e.stage2[Report])
+	e.Queries[Report]++
+	return &Result{Groups: groups, SortedKeys: columnar.SortKeysByValueDesc(groups), RowsScanned: len(part.vals)}, nil
+}
+
+func slotKey(qid, pi int) string { return fmt.Sprintf("q%d/p%d", qid, pi) }
+
+// Reference computes the exact expected aggregation over the whole fact
+// table without simulation, for verifying query results in tests.
+func (e *Engine) Reference(threshold int64) map[int64]int64 {
+	return e.ReferenceOver(threshold, len(e.fact))
+}
+
+// ReferenceOver computes the exact aggregation over the first nParts
+// partitions (join queries prune to half the table).
+func (e *Engine) ReferenceOver(threshold int64, nParts int) map[int64]int64 {
+	out := map[int64]int64{}
+	for pi := 0; pi < nParts && pi < len(e.fact); pi++ {
+		part := e.fact[pi]
+		for i, v := range part.vals {
+			if v >= threshold {
+				out[part.keys[i]] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package bigquery
+
+import (
+	"testing"
+	"time"
+
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FactPartitions = 8
+	cfg.RowsPerPartition = 500
+	cfg.Workers = 4
+	cfg.PartitionFileBytes = 8 << 20 // keep scans much larger than the caches
+	return cfg
+}
+
+func newEngine(t *testing.T, seed uint64) (*platform.Env, *Engine) {
+	t.Helper()
+	env := platform.NewEnv(seed, 1)
+	e, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, e
+}
+
+func TestNewValidation(t *testing.T) {
+	env := platform.NewEnv(1, 1)
+	bad := DefaultConfig()
+	bad.Workers = 0
+	if _, err := New(env, bad); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad = DefaultConfig()
+	bad.Chunkservers = 1
+	if _, err := New(env, bad); err == nil {
+		t.Fatal("one chunkserver accepted")
+	}
+}
+
+func TestScanAggExactResult(t *testing.T) {
+	env, e := newEngine(t, 2)
+	want := e.Reference(500)
+	var got *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		got, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got.Groups), len(want))
+	}
+	for k, v := range want {
+		if got.Groups[k] != v {
+			t.Fatalf("group %d = %d, want %d", k, got.Groups[k], v)
+		}
+	}
+	if got.RowsScanned != 8*500 {
+		t.Fatalf("rows scanned = %d", got.RowsScanned)
+	}
+}
+
+func TestJoinQueryLabelsAndOrder(t *testing.T) {
+	env, e := newEngine(t, 3)
+	var got *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		got, err = e.Run(p, nil, Query{Kind: JoinQuery, Threshold: 0})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labeled) == 0 {
+		t.Fatal("join produced no labels")
+	}
+	// Labeled sums must equal group sums re-labeled through the dimension,
+	// over the pruned partition set join queries scan.
+	want := map[string]int64{}
+	for k, v := range e.ReferenceOver(0, e.scanPartitions(Query{Kind: JoinQuery})) {
+		want[e.dim[k]] += v
+	}
+	for label, v := range want {
+		if got.Labeled[label] != v {
+			t.Fatalf("label %q = %d, want %d", label, got.Labeled[label], v)
+		}
+	}
+	// SortedKeys must be in descending sum order.
+	for i := 1; i < len(got.SortedKeys); i++ {
+		if got.Groups[got.SortedKeys[i-1]] < got.Groups[got.SortedKeys[i]] {
+			t.Fatal("sorted keys not descending")
+		}
+	}
+}
+
+func TestReportQuery(t *testing.T) {
+	env, e := newEngine(t, 4)
+	var got *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		got, err = e.Run(p, nil, Query{Kind: Report, Threshold: 900})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact over partition 0 only.
+	want := map[int64]int64{}
+	for i, v := range e.fact[0].vals {
+		if v >= 900 {
+			want[e.fact[0].keys[i]] += v
+		}
+	}
+	if len(got.Groups) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got.Groups), len(want))
+	}
+	for k, v := range want {
+		if got.Groups[k] != v {
+			t.Fatalf("group %d mismatch", k)
+		}
+	}
+}
+
+func TestScanAggTraceShape(t *testing.T) {
+	env, e := newEngine(t, 5)
+	var tr *trace.Trace
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		tr = env.Tracer.Start(taxonomy.BigQuery, p.Now())
+		_, err = e.Run(p, tr, Query{Kind: ScanAgg, Threshold: 100})
+		env.Tracer.Finish(tr, p.Now())
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tr.ComputeBreakdown()
+	if b.CPU <= 0 || b.IO <= 0 || b.Remote <= 0 {
+		t.Fatalf("breakdown = %+v, want all three classes", b)
+	}
+	// Scans dominate: IO should exceed CPU for a big scan query.
+	if b.IO <= b.CPU {
+		t.Fatalf("IO %v <= CPU %v; scans should dominate", b.IO, b.CPU)
+	}
+}
+
+func TestProfiledCategoriesCoverTable5(t *testing.T) {
+	env, e := newEngine(t, 6)
+	env.K.Go("client", func(p *sim.Proc) {
+		// The calibrated workload mix: half scans, a third joins, a tail of
+		// reports.
+		for i := 0; i < 12; i++ {
+			e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 300})
+			if i%3 != 0 {
+				e.Run(p, nil, Query{Kind: JoinQuery, Threshold: 200})
+			}
+			if i%4 == 0 {
+				e.Run(p, nil, Query{Kind: Report, Threshold: 100})
+			}
+		}
+		e.Stop()
+	})
+	env.K.Run()
+	cb := env.Prof.CategoryBreakdown(taxonomy.BigQuery, taxonomy.CoreCompute)
+	for _, cat := range taxonomy.BigQueryCoreCompute() {
+		if cb[cat] <= 0 {
+			t.Errorf("category %q has no cycles: %v", cat, cb)
+		}
+	}
+	// Filter should be the largest core category under the default mix.
+	for cat, f := range cb {
+		if cat != taxonomy.Filter && f > cb[taxonomy.Filter]+0.03 {
+			t.Errorf("category %q (%.3f) exceeds Filter (%.3f)", cat, f, cb[taxonomy.Filter])
+		}
+	}
+	bb := env.Prof.BroadBreakdown(taxonomy.BigQuery)
+	if bb[taxonomy.CoreCompute] > 0.3 {
+		t.Errorf("core compute fraction %.2f too high for BigQuery", bb[taxonomy.CoreCompute])
+	}
+}
+
+func TestShuffleBytesAccounted(t *testing.T) {
+	env, e := newEngine(t, 7)
+	env.K.Go("client", func(p *sim.Proc) {
+		e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 0})
+		e.Stop()
+	})
+	env.K.Run()
+	if e.ShuffleBytes <= 0 {
+		t.Fatal("no shuffle bytes recorded")
+	}
+	if e.Queries[ScanAgg] != 1 {
+		t.Fatalf("queries = %v", e.Queries)
+	}
+}
+
+func TestConcurrentQueriesShareWorkers(t *testing.T) {
+	env, e := newEngine(t, 8)
+	done := 0
+	for i := 0; i < 3; i++ {
+		env.K.Go("client", func(p *sim.Proc) {
+			if _, err := e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 400}); err != nil {
+				t.Errorf("query failed: %v", err)
+			}
+			done++
+			if done == 3 {
+				e.Stop()
+			}
+		})
+	}
+	env.K.Run()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() time.Duration {
+		env := platform.NewEnv(42, 1)
+		e, err := New(env, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.K.Go("client", func(p *sim.Proc) {
+			for i := 0; i < 4; i++ {
+				e.Run(p, nil, Query{Kind: Kind(i % 3), Threshold: int64(i * 100)})
+			}
+			e.Stop()
+		})
+		return env.K.Run()
+	}
+	if run() != run() {
+		t.Fatal("nondeterministic end time")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ScanAgg.String() != "ScanAgg" || JoinQuery.String() != "Join" || Report.String() != "Report" || Kind(9).String() != "Unknown" {
+		t.Fatal("kind strings")
+	}
+}

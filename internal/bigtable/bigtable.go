@@ -1,0 +1,536 @@
+// Package bigtable simulates a BigTable-like cluster-level NoSQL key-value
+// store (§2.2.2): tablet servers with in-memory memtables, a replicated
+// commit log and immutable SSTables on the shared distributed file system,
+// minor compactions (memtable flushes) and blocking major compactions in
+// remote storage — the remote-work component §4.1 attributes to BigTable.
+// Key/value data is real: gets return the bytes puts stored, merged across
+// memtable, immutable memtables and SSTables newest-first.
+package bigtable
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hyperprof/internal/bloom"
+	"hyperprof/internal/cluster"
+	"hyperprof/internal/compress"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/storage"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// Config sizes a BigTable deployment.
+type Config struct {
+	// Tablets is the number of tablets (each owned by one tablet server).
+	Tablets int
+	// TabletServers is the number of serving machines.
+	TabletServers int
+	// Chunkservers backs the shared DFS.
+	Chunkservers int
+	// RowsPerTablet and ValueBytes size the dataset.
+	RowsPerTablet int
+	ValueBytes    int64
+	// FlushEvery puts trigger a minor compaction (memtable flush).
+	FlushEvery int
+	// MajorEvery flushes trigger a blocking major compaction.
+	MajorEvery int
+	// ScanRows is the row count of a scan operation.
+	ScanRows int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale deployment preserving the
+// paper-relevant behaviour.
+func DefaultConfig() Config {
+	return Config{
+		Tablets:       8,
+		TabletServers: 4,
+		Chunkservers:  6,
+		RowsPerTablet: 3000,
+		ValueBytes:    1024,
+		FlushEvery:    10,
+		MajorEvery:    3,
+		ScanRows:      100,
+		Seed:          1,
+	}
+}
+
+// Core-compute CPU budgets per operation (pre-tax), solved so the aggregate
+// core split under the default mix lands on Figure 4's BigTable bar.
+const (
+	getCoreBudget   = 500 * time.Microsecond
+	putCoreBudget   = 1140 * time.Microsecond
+	scanCoreBudget  = 1110 * time.Microsecond
+	minorCoreBudget = 2500 * time.Microsecond
+	majorCoreBudget = 18 * time.Millisecond
+)
+
+// DB is a running BigTable deployment.
+type DB struct {
+	env     *platform.Env
+	cfg     Config
+	mgr     *cluster.Manager
+	dfs     *storage.DFS
+	taxes   platform.TaxTables
+	tablets []*tablet
+	rng     *stats.RNG
+	zipf    *stats.Zipf
+
+	getRecipe   platform.Recipe
+	putRecipe   platform.Recipe
+	scanRecipe  platform.Recipe
+	minorRecipe platform.Recipe
+	majorRecipe platform.Recipe
+
+	// Counters for tests and reports.
+	Gets, Puts, Scans, MinorCompactions, MajorCompactions int
+	// BloomSkips counts SSTable probes avoided by Bloom filters;
+	// RawBytes/CompressedBytes account flush compression.
+	BloomSkips                int
+	RawBytes, CompressedBytes int64
+}
+
+type sstable struct {
+	file string
+	data map[string][]byte
+	// bytes is the on-DFS (block-compressed) size; rawBytes the logical
+	// size before compression.
+	bytes    int64
+	rawBytes int64
+	// filter lets point reads skip DFS probes for keys this table cannot
+	// contain.
+	filter *bloom.Filter
+}
+
+// seal finalizes an sstable: it builds the Bloom filter over its keys and
+// block-compresses its contents (real codec) to size the DFS file.
+func (s *sstable) seal() {
+	s.filter = bloom.New(len(s.data)+1, 0.01)
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var raw []byte
+	for _, k := range keys {
+		s.filter.Add(k)
+		raw = append(raw, k...)
+		raw = append(raw, s.data[k]...)
+	}
+	s.rawBytes = int64(len(raw))
+	enc, err := compress.Encode(raw)
+	if err != nil {
+		panic(fmt.Sprintf("bigtable: seal: %v", err))
+	}
+	s.bytes = int64(len(enc))
+	if s.bytes == 0 {
+		s.bytes = 1
+	}
+}
+
+type tablet struct {
+	id      int
+	server  *cluster.Machine
+	mem     map[string][]byte
+	memSize int64
+	memPuts int
+	imm     []*sstable // flushing memtable snapshots, newest first
+	ssts    []*sstable // on-DFS sstables, newest first
+	flushes int
+	nextSST int
+	// compacting is non-nil while a major compaction blocks the tablet.
+	compacting *sim.Signal
+}
+
+// New builds and starts a deployment on the environment.
+func New(env *platform.Env, cfg Config) (*DB, error) {
+	if cfg.Tablets <= 0 || cfg.TabletServers <= 0 || cfg.RowsPerTablet <= 0 {
+		return nil, fmt.Errorf("bigtable: invalid config %+v", cfg)
+	}
+	if cfg.Chunkservers < 3 {
+		return nil, fmt.Errorf("bigtable: need >= 3 chunkservers, got %d", cfg.Chunkservers)
+	}
+	ramR, ssdR, hddR := platform.PaperStorageRatio(taxonomy.BigTable)
+	// RAM sized so caches hold a few percent of the resident data.
+	dataPerServer := int64(cfg.Tablets) * int64(cfg.RowsPerTablet) * cfg.ValueBytes / int64(cfg.TabletServers)
+	ram := dataPerServer/32 + 256<<10
+	caps := storage.Capacities{
+		storage.RAM: ram,
+		storage.SSD: ram * ssdR / ramR,
+		storage.HDD: ram * hddR / ramR,
+	}
+	spec := cluster.Spec{
+		Regions:         1,
+		RacksPerRegion:  2,
+		MachinesPerRack: (cfg.TabletServers + 1) / 2,
+		CoresPerMachine: 16,
+		Storage:         caps,
+	}
+	mgr, err := cluster.NewManager(env.Net, spec)
+	if err != nil {
+		return nil, err
+	}
+	dfs, err := storage.NewDFS(storage.DFSConfig{
+		Chunkservers:     cfg.Chunkservers,
+		Replication:      3,
+		ChunkSize:        1 << 20,
+		ServerCapacities: caps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		env:   env,
+		cfg:   cfg,
+		mgr:   mgr,
+		dfs:   dfs,
+		taxes: platform.TaxTablesFor(taxonomy.BigTable),
+		rng:   stats.NewRNG(cfg.Seed),
+	}
+	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerTablet, 1.1)
+	db.registerClassifier()
+	db.buildRecipes()
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) registerClassifier() {
+	c := db.env.Prof.Classifier()
+	c.Register("bigtable.read.", taxonomy.Read)
+	c.Register("bigtable.write.", taxonomy.Write)
+	c.Register("bigtable.consensus.", taxonomy.Consensus)
+	c.Register("bigtable.query.", taxonomy.Query)
+	c.Register("bigtable.compaction.", taxonomy.Compaction)
+	c.Register("bigtable.misc.", taxonomy.MiscCore)
+}
+
+func (db *DB) buildRecipes() {
+	cc := platform.PaperMicro(taxonomy.BigTable, taxonomy.CoreCompute)
+	mk := func(budget time.Duration, split platform.Split) platform.Recipe {
+		micros := platform.MicroFor(cc, split.Keys()...)
+		r := platform.BuildRecipe(budget, split, micros)
+		dct, st := platform.TaxBudgets(taxonomy.BigTable, float64(budget))
+		return append(r, db.taxes.TaxRecipe(time.Duration(dct), time.Duration(st))...)
+	}
+	db.getRecipe = mk(getCoreBudget, platform.Split{
+		"bigtable.read.Seek": 0.70, "bigtable.misc.Bloom": 0.15, "bigtable.runtime.Glue": 0.15,
+	})
+	db.putRecipe = mk(putCoreBudget, platform.Split{
+		"bigtable.write.MemInsert": 0.45, "bigtable.consensus.LogAck": 0.25,
+		"bigtable.misc.Bloom": 0.15, "bigtable.runtime.Glue": 0.15,
+	})
+	db.scanRecipe = mk(scanCoreBudget, platform.Split{
+		"bigtable.query.ScanMerge": 0.45, "bigtable.read.Seek": 0.25,
+		"bigtable.misc.Bloom": 0.15, "bigtable.runtime.Glue": 0.15,
+	})
+	db.minorRecipe = mk(minorCoreBudget, platform.Split{
+		"bigtable.compaction.Flush": 0.75, "bigtable.misc.Bloom": 0.12, "bigtable.runtime.Glue": 0.13,
+	})
+	db.majorRecipe = mk(majorCoreBudget, platform.Split{
+		"bigtable.compaction.Merge": 0.75, "bigtable.misc.Bloom": 0.12, "bigtable.runtime.Glue": 0.13,
+	})
+}
+
+// load places tablets on servers and bootstraps a base SSTable per tablet.
+func (db *DB) load() error {
+	machines := db.mgr.Machines()
+	for t := 0; t < db.cfg.Tablets; t++ {
+		tab := &tablet{
+			id:     t,
+			server: machines[t%len(machines)],
+			mem:    map[string][]byte{},
+		}
+		base := &sstable{
+			file: fmt.Sprintf("bt/tablet%d/base", t),
+			data: map[string][]byte{},
+		}
+		for i := 0; i < db.cfg.RowsPerTablet; i++ {
+			base.data[rowKey(t, i)] = bootstrapValue(t, i, int(db.cfg.ValueBytes))
+		}
+		base.seal()
+		if _, err := db.dfs.Create(base.file, base.bytes); err != nil {
+			return err
+		}
+		tab.ssts = []*sstable{base}
+		tab.nextSST = 1
+		db.tablets = append(db.tablets, tab)
+	}
+	return nil
+}
+
+func rowKey(tablet, row int) string { return fmt.Sprintf("t%d/k%d", tablet, row) }
+
+// bootstrapValue generates a row's initial content: a deterministic first
+// byte (tests and scan predicates rely on it) followed by incompressible
+// per-row noise — bootstrap data models already-compressed historical
+// payloads, so base SSTables do not shrink further under block compression.
+func bootstrapValue(t, i, n int) []byte {
+	val := make([]byte, n)
+	if n == 0 {
+		return val
+	}
+	val[0] = byte(uint64(t)*11 + uint64(i)*17)
+	x := uint64(t)*2654435761 + uint64(i)*40503 + 12345
+	for j := 1; j < n; j++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		val[j] = byte(x >> 33)
+	}
+	return val
+}
+
+// NumTablets returns the tablet count.
+func (db *DB) NumTablets() int { return db.cfg.Tablets }
+
+// RowsPerTablet returns the rows per tablet.
+func (db *DB) RowsPerTablet() int { return db.cfg.RowsPerTablet }
+
+// PickRow draws a Zipf-popular row index.
+func (db *DB) PickRow() int { return db.zipf.Next() }
+
+// Machines exposes the tablet-server fleet.
+func (db *DB) Machines() []*cluster.Machine { return db.mgr.Machines() }
+
+// DFS exposes the backing file system (for inventory and stats).
+func (db *DB) DFS() *storage.DFS { return db.dfs }
+
+// SSTableCount returns the number of live SSTables for a tablet (tests).
+func (db *DB) SSTableCount(t int) int { return len(db.tablets[t].ssts) }
+
+// waitIfCompacting blocks the op while the tablet's major compaction runs,
+// annotating the wait as remote work (compaction happens in remote storage).
+func (db *DB) waitIfCompacting(p *sim.Proc, tr *trace.Trace, tab *tablet) {
+	for tab.compacting != nil && !tab.compacting.Fired() {
+		start := p.Now()
+		p.Wait(tab.compacting)
+		platform.AnnotateRemote(tr, start, p.Now())
+	}
+}
+
+// Get returns the current value of row `row` in tablet t.
+func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
+	if t < 0 || t >= len(db.tablets) {
+		return nil, fmt.Errorf("bigtable: tablet %d out of range", t)
+	}
+	tab := db.tablets[t]
+	db.waitIfCompacting(p, tr, tab)
+	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.getRecipe)
+	key := rowKey(t, row)
+	if v, ok := tab.mem[key]; ok {
+		db.Gets++
+		return v, nil
+	}
+	for _, s := range tab.imm {
+		if v, ok := s.data[key]; ok {
+			db.Gets++
+			return v, nil
+		}
+	}
+	// Probe SSTables newest-first; each probe reads one 16 KiB block. The
+	// per-table Bloom filter skips tables that cannot contain the key.
+	for _, s := range tab.ssts {
+		if s.filter != nil && !s.filter.MayContain(key) {
+			db.BloomSkips++
+			continue
+		}
+		v, ok := s.data[key]
+		ioStart := p.Now()
+		blockOff := int64(0)
+		if s.bytes > 16<<10 {
+			blockOff = int64(db.rng.Intn(int(s.bytes>>14))) << 14
+		}
+		blockLen := min64(16<<10, s.bytes)
+		d, _, err := db.dfs.Read(s.file, blockOff, blockLen)
+		if err != nil {
+			return nil, err
+		}
+		p.Sleep(d)
+		platform.AnnotateIO(tr, ioStart, p.Now())
+		if ok {
+			db.Gets++
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", storage.ErrNotFound, key)
+}
+
+// Put writes value to row `row` of tablet t: commit-log append to the DFS,
+// memtable insert, and compaction triggers.
+func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error {
+	if t < 0 || t >= len(db.tablets) {
+		return fmt.Errorf("bigtable: tablet %d out of range", t)
+	}
+	tab := db.tablets[t]
+	db.waitIfCompacting(p, tr, tab)
+	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.putRecipe)
+
+	// Commit-log append: replicated write into the shared storage layer.
+	ioStart := p.Now()
+	logBytes := int64(len(value)) + 64
+	p.Sleep(db.dfs.Servers()[tab.id%db.cfg.Chunkservers].RawAccess(storage.SSD, logBytes, true))
+	platform.AnnotateIO(tr, ioStart, p.Now())
+
+	key := rowKey(t, row)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	old := int64(len(tab.mem[key]))
+	tab.mem[key] = cp
+	tab.memSize += int64(len(cp)) - old
+	tab.memPuts++
+	db.Puts++
+	if tab.memPuts >= db.cfg.FlushEvery {
+		db.flush(tab)
+	}
+	return nil
+}
+
+// Scan merges rows [start, start+ScanRows) across memtable and SSTables and
+// returns the count matching a real predicate (first byte odd).
+func (db *DB) Scan(p *sim.Proc, tr *trace.Trace, t, start int) (int, error) {
+	if t < 0 || t >= len(db.tablets) {
+		return 0, fmt.Errorf("bigtable: tablet %d out of range", t)
+	}
+	tab := db.tablets[t]
+	db.waitIfCompacting(p, tr, tab)
+	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.scanRecipe)
+
+	// Stream the scanned range from the base sstable: the logical range is
+	// scaled down by the table's compression ratio to the on-DFS bytes.
+	ioStart := p.Now()
+	base := tab.ssts[len(tab.ssts)-1]
+	scanBytes := int64(db.cfg.ScanRows) * db.cfg.ValueBytes
+	if base.rawBytes > 0 {
+		scanBytes = scanBytes * base.bytes / base.rawBytes
+	}
+	off := int64(start%db.cfg.RowsPerTablet) * db.cfg.ValueBytes
+	if off+scanBytes > base.bytes {
+		off = 0
+	}
+	d, _, err := db.dfs.Read(base.file, off, min64(scanBytes, base.bytes))
+	if err != nil {
+		return 0, err
+	}
+	p.Sleep(d)
+	platform.AnnotateIO(tr, ioStart, p.Now())
+
+	matched := 0
+	for i := 0; i < db.cfg.ScanRows; i++ {
+		v := db.lookup(tab, rowKey(t, (start+i)%db.cfg.RowsPerTablet))
+		if len(v) > 0 && v[0]%2 == 1 {
+			matched++
+		}
+	}
+	db.Scans++
+	return matched, nil
+}
+
+// lookup resolves a key through the merge hierarchy without IO (used by
+// scans after the range has been streamed).
+func (db *DB) lookup(tab *tablet, key string) []byte {
+	if v, ok := tab.mem[key]; ok {
+		return v
+	}
+	for _, s := range tab.imm {
+		if v, ok := s.data[key]; ok {
+			return v
+		}
+	}
+	for _, s := range tab.ssts {
+		if v, ok := s.data[key]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// flush snapshots the memtable and writes it to the DFS as a new SSTable in
+// the background (minor compaction). Serving continues from the immutable
+// snapshot meanwhile.
+func (db *DB) flush(tab *tablet) {
+	snap := &sstable{
+		file: fmt.Sprintf("bt/tablet%d/sst%d", tab.id, tab.nextSST),
+		data: tab.mem,
+	}
+	tab.nextSST++
+	tab.mem = map[string][]byte{}
+	tab.memSize = 0
+	tab.memPuts = 0
+	tab.imm = append([]*sstable{snap}, tab.imm...)
+
+	db.env.K.Go("bt-minor-compaction", func(p *sim.Proc) {
+		db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, nil, db.minorRecipe)
+		snap.seal() // real block compression + Bloom filter
+		db.CompressedBytes += snap.bytes
+		db.RawBytes += snap.rawBytes
+		if _, err := db.dfs.Create(snap.file, snap.bytes); err != nil {
+			panic(fmt.Sprintf("bigtable: flush: %v", err))
+		}
+		// Promote snapshot to a real SSTable.
+		for i, s := range tab.imm {
+			if s == snap {
+				tab.imm = append(tab.imm[:i], tab.imm[i+1:]...)
+				break
+			}
+		}
+		tab.ssts = append([]*sstable{snap}, tab.ssts...)
+		tab.flushes++
+		db.MinorCompactions++
+		if tab.flushes%db.cfg.MajorEvery == 0 && tab.compacting == nil {
+			db.major(tab)
+		}
+	})
+}
+
+// major merges all SSTables of a tablet into one in remote storage, blocking
+// the tablet's operations until it completes.
+func (db *DB) major(tab *tablet) {
+	tab.compacting = sim.NewSignal(db.env.K)
+	db.env.K.Go("bt-major-compaction", func(p *sim.Proc) {
+		merged := &sstable{
+			file: fmt.Sprintf("bt/tablet%d/sst%d", tab.id, tab.nextSST),
+			data: map[string][]byte{},
+		}
+		tab.nextSST++
+		// Merge oldest-to-newest so newer values win.
+		var readTime time.Duration
+		for i := len(tab.ssts) - 1; i >= 0; i-- {
+			s := tab.ssts[i]
+			d, _, err := db.dfs.Read(s.file, 0, s.bytes)
+			if err != nil {
+				panic(fmt.Sprintf("bigtable: major read: %v", err))
+			}
+			readTime += d
+			for k, v := range s.data {
+				merged.data[k] = v
+			}
+		}
+		p.Sleep(readTime)
+		db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, nil, db.majorRecipe)
+		merged.seal()
+		if _, err := db.dfs.Create(merged.file, merged.bytes); err != nil {
+			panic(fmt.Sprintf("bigtable: major write: %v", err))
+		}
+		for _, s := range tab.ssts {
+			if err := db.dfs.Delete(s.file); err != nil {
+				panic(fmt.Sprintf("bigtable: major delete: %v", err))
+			}
+		}
+		tab.ssts = []*sstable{merged}
+		db.MajorCompactions++
+		tab.compacting.Fire()
+		tab.compacting = nil
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+// Package bloom implements a Bloom filter from first principles. BigTable
+// attaches a filter to every SSTable so point reads skip storage probes for
+// tables that cannot contain the key — the mechanism behind the read-path
+// behaviour the paper's BigTable characterization reflects (§2.2.2).
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classic k-hash Bloom filter over a bit array. The zero value
+// is not usable; create one with New.
+type Filter struct {
+	bits   []uint64
+	nBits  uint64
+	k      int
+	nAdded int
+}
+
+// New creates a filter sized for the expected number of elements at the
+// target false-positive rate (0 < fp < 1). Degenerate arguments are clamped
+// to a minimal usable filter.
+func New(expected int, fp float64) *Filter {
+	if expected < 1 {
+		expected = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	// Optimal sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(expected) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), nBits: m, k: k}
+}
+
+// hashes derives k bit positions via double hashing of two FNV variants.
+func (f *Filter) hashes(key string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(key))
+	b := h2.Sum64() | 1 // odd so the stride visits all positions
+	return a, b
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key string) {
+	a, b := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (a + uint64(i)*b) % f.nBits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.nAdded++
+}
+
+// MayContain reports whether the key might be in the set. False positives
+// are possible at roughly the configured rate; false negatives are not.
+func (f *Filter) MayContain(key string) bool {
+	a, b := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (a + uint64(i)*b) % f.nBits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of keys added.
+func (f *Filter) Len() int { return f.nAdded }
+
+// Bits returns the filter's size in bits (for storage accounting).
+func (f *Filter) Bits() uint64 { return f.nBits }
+
+// EstimatedFPRate returns the theoretical false-positive rate at the
+// current fill: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.nAdded == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.nAdded) / float64(f.nBits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

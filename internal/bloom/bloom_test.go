@@ -1,0 +1,91 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 5000
+	f := New(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("member-%d", i))
+	}
+	fps := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent-%d", i)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want ~0.01", rate)
+	}
+	if est := f.EstimatedFPRate(); est > 0.02 {
+		t.Fatalf("estimated rate %.4f", est)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(100, 0.01)
+	if f.MayContain("anything") {
+		t.Fatal("empty filter claimed membership")
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Fatal("empty filter fp rate nonzero")
+	}
+}
+
+func TestDegenerateArgsClamped(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(100, 0), New(100, 1), New(-5, -3)} {
+		f.Add("x")
+		if !f.MayContain("x") {
+			t.Fatal("clamped filter lost a key")
+		}
+		if f.Bits() < 64 {
+			t.Fatalf("bits = %d", f.Bits())
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := New(500, 0.05)
+	seen := map[string]bool{}
+	if err := quick.Check(func(key string) bool {
+		f.Add(key)
+		seen[key] = true
+		for k := range seen {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizingScalesWithTargets(t *testing.T) {
+	loose := New(1000, 0.1)
+	tight := New(1000, 0.001)
+	if tight.Bits() <= loose.Bits() {
+		t.Fatalf("tighter fp target should need more bits: %d <= %d", tight.Bits(), loose.Bits())
+	}
+}

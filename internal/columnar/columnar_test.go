@@ -1,0 +1,200 @@
+package columnar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperprof/internal/stats"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatal("fresh bitmap")
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Fatal("unset bits read as set")
+	}
+}
+
+func TestBitmapAnd(t *testing.T) {
+	a, b := NewBitmap(70), NewBitmap(70)
+	a.Set(1)
+	a.Set(69)
+	b.Set(69)
+	b.Set(3)
+	got, err := a.And(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 1 || !got.Get(69) {
+		t.Fatalf("and = %d bits", got.Count())
+	}
+	if _, err := a.And(NewBitmap(71)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	col := []int64{5, 10, 15, 20, 25}
+	ge := FilterGE(col, 15)
+	if ge.Count() != 3 || !ge.Get(2) || ge.Get(1) {
+		t.Fatalf("FilterGE: %d", ge.Count())
+	}
+	lt := FilterLT(col, 15)
+	if lt.Count() != 2 || !lt.Get(0) || lt.Get(2) {
+		t.Fatalf("FilterLT: %d", lt.Count())
+	}
+	// GE and LT partition the column.
+	both, _ := ge.And(lt)
+	if both.Count() != 0 {
+		t.Fatal("GE and LT overlap")
+	}
+	if ge.Count()+lt.Count() != len(col) {
+		t.Fatal("GE and LT do not partition")
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	keys := []int64{1, 2, 1, 3, 2, 1}
+	vals := []int64{10, 20, 30, 40, 50, 60}
+	got, err := HashAggregate(keys, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{1: 100, 2: 70, 3: 40}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("group %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// With selection.
+	sel := FilterGE(vals, 30)
+	got, err = HashAggregate(keys, vals, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 90 || got[2] != 50 || got[3] != 40 {
+		t.Fatalf("selected agg = %v", got)
+	}
+	// Length validation.
+	if _, err := HashAggregate(keys, vals[:2], nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := HashAggregate(keys, vals, NewBitmap(3)); err == nil {
+		t.Fatal("selection mismatch accepted")
+	}
+}
+
+func TestCountAggregate(t *testing.T) {
+	keys := []int64{7, 7, 8}
+	got, err := CountAggregate(keys, nil)
+	if err != nil || got[7] != 2 || got[8] != 1 {
+		t.Fatalf("count agg = %v err=%v", got, err)
+	}
+	if _, err := CountAggregate(keys, NewBitmap(2)); err == nil {
+		t.Fatal("selection mismatch accepted")
+	}
+}
+
+func TestMergeGroups(t *testing.T) {
+	dst := map[int64]int64{1: 5}
+	MergeGroups(dst, map[int64]int64{1: 10, 2: 3})
+	if dst[1] != 15 || dst[2] != 3 {
+		t.Fatalf("merged = %v", dst)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	groups := map[int64]int64{1: 10, 2: 20, 99: 5}
+	dim := map[int64]string{1: "a", 2: "b", 3: "c"}
+	got := HashJoin(groups, dim)
+	if got["a"] != 10 || got["b"] != 20 {
+		t.Fatalf("join = %v", got)
+	}
+	if _, ok := got["c"]; ok {
+		t.Fatal("unmatched dimension row joined")
+	}
+	if len(got) != 2 {
+		t.Fatalf("inner join kept %d rows", len(got))
+	}
+}
+
+func TestCompute(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	sel := NewBitmap(3)
+	sel.Set(1)
+	got := Compute(vals, sel, 10, 5)
+	if got[0] != 0 || got[1] != 25 || got[2] != 0 {
+		t.Fatalf("compute = %v", got)
+	}
+	all := Compute(vals, nil, 2, 0)
+	if all[2] != 6 {
+		t.Fatalf("compute all = %v", all)
+	}
+}
+
+func TestSortAndTopN(t *testing.T) {
+	m := map[int64]int64{1: 50, 2: 100, 3: 50, 4: 10}
+	order := SortKeysByValueDesc(m)
+	want := []int64{2, 1, 3, 4} // ties (1,3) break by ascending key
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	top := TopN(m, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Fatalf("top2 = %v", top)
+	}
+	if n := len(TopN(m, 99)); n != 4 {
+		t.Fatalf("topN overflow = %d", n)
+	}
+}
+
+func TestAggregateMatchesReferenceProperty(t *testing.T) {
+	// Property: vectorized filter+aggregate equals the naive row loop.
+	rng := stats.NewRNG(5)
+	if err := quick.Check(func(seed uint16) bool {
+		n := 1 + rng.Intn(500)
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(10))
+			vals[i] = int64(rng.Intn(1000))
+		}
+		threshold := int64(rng.Intn(1000))
+
+		sel := FilterGE(vals, threshold)
+		got, err := HashAggregate(keys, vals, sel)
+		if err != nil {
+			return false
+		}
+		want := map[int64]int64{}
+		for i := range keys {
+			if vals[i] >= threshold {
+				want[keys[i]] += vals[i]
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation, built on the platform simulations, the profiling and
+// tracing substrates, and the analytical model. DESIGN.md's per-experiment
+// index maps each paper artifact to the function here that regenerates it.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hyperprof/internal/bigquery"
+	"hyperprof/internal/bigtable"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/profile"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/storage"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+	"hyperprof/internal/workload"
+)
+
+// CharConfig sizes the characterization run (the stand-in for the paper's
+// "one representative day" of fleet profiles and traces).
+type CharConfig struct {
+	Seed uint64
+	// SpannerQueries, BigTableQueries and BigQueryQueries are per-platform
+	// operation budgets.
+	SpannerQueries  int
+	BigTableQueries int
+	BigQueryQueries int
+	// Clients is the closed-loop client count per platform.
+	Clients int
+	// TraceRate keeps 1/TraceRate of traces (the paper samples 1/1000 of a
+	// day's queries; our runs are smaller, so the default keeps all).
+	TraceRate int
+}
+
+// DefaultCharConfig returns a configuration that runs in a few seconds and
+// yields stable aggregates.
+func DefaultCharConfig() CharConfig {
+	return CharConfig{
+		Seed:            1,
+		SpannerQueries:  1500,
+		BigTableQueries: 1500,
+		BigQueryQueries: 250,
+		Clients:         8,
+		TraceRate:       1,
+	}
+}
+
+// Characterization holds everything the table/figure extractors consume.
+type Characterization struct {
+	Cfg       CharConfig
+	Envs      map[taxonomy.Platform]*platform.Env
+	Traces    map[taxonomy.Platform][]*trace.Trace
+	Inventory *storage.Inventory
+	// QueryBytes is the mean bytes of storage read per query, per platform
+	// (feeds Figure 13's off-chip B_i).
+	QueryBytes map[taxonomy.Platform]float64
+	// Elapsed is the wall-clock time of each platform's simulated day.
+	Elapsed map[taxonomy.Platform]time.Duration
+}
+
+// RunCharacterization builds all three platforms, drives their calibrated
+// workloads, and collects traces, profiles and inventory.
+func RunCharacterization(cfg CharConfig) (*Characterization, error) {
+	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
+		return nil, fmt.Errorf("experiments: invalid characterization config %+v", cfg)
+	}
+	ch := &Characterization{
+		Cfg:        cfg,
+		Envs:       map[taxonomy.Platform]*platform.Env{},
+		Traces:     map[taxonomy.Platform][]*trace.Trace{},
+		Inventory:  storage.NewInventory(),
+		QueryBytes: map[taxonomy.Platform]float64{},
+		Elapsed:    map[taxonomy.Platform]time.Duration{},
+	}
+	if err := ch.runSpanner(); err != nil {
+		return nil, err
+	}
+	if err := ch.runBigTable(); err != nil {
+		return nil, err
+	}
+	if err := ch.runBigQuery(); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (ch *Characterization) runSpanner() error {
+	env := platform.NewEnv(ch.Cfg.Seed, ch.Cfg.TraceRate)
+	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	db, err := spanner.New(env, spanner.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), ch.Cfg.Clients, ch.Cfg.SpannerQueries)
+	end := env.K.Run()
+	if err := run.Err(); err != nil {
+		return fmt.Errorf("spanner workload: %w", err)
+	}
+	ch.Envs[taxonomy.Spanner] = env
+	ch.Traces[taxonomy.Spanner] = env.Tracer.Sampled()
+	ch.Elapsed[taxonomy.Spanner] = end
+	var bytesRead int64
+	for _, m := range db.Machines() {
+		ch.Inventory.AddStore(taxonomy.Spanner, m.Store)
+		for _, t := range storage.Tiers() {
+			bytesRead += m.Store.Stats(t).BytesRead
+		}
+	}
+	ch.QueryBytes[taxonomy.Spanner] = float64(bytesRead) / float64(ch.Cfg.SpannerQueries)
+	return nil
+}
+
+func (ch *Characterization) runBigTable() error {
+	env := platform.NewEnv(ch.Cfg.Seed+1, ch.Cfg.TraceRate)
+	db, err := bigtable.New(env, bigtable.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), ch.Cfg.Clients, ch.Cfg.BigTableQueries)
+	end := env.K.Run()
+	if err := run.Err(); err != nil {
+		return fmt.Errorf("bigtable workload: %w", err)
+	}
+	ch.Envs[taxonomy.BigTable] = env
+	ch.Traces[taxonomy.BigTable] = env.Tracer.Sampled()
+	ch.Elapsed[taxonomy.BigTable] = end
+	var bytesRead int64
+	for _, m := range db.Machines() {
+		ch.Inventory.AddStore(taxonomy.BigTable, m.Store)
+	}
+	for _, s := range db.DFS().Servers() {
+		ch.Inventory.AddStore(taxonomy.BigTable, s)
+		for _, t := range storage.Tiers() {
+			bytesRead += s.Stats(t).BytesRead
+		}
+	}
+	ch.QueryBytes[taxonomy.BigTable] = float64(bytesRead) / float64(ch.Cfg.BigTableQueries)
+	return nil
+}
+
+func (ch *Characterization) runBigQuery() error {
+	env := platform.NewEnv(ch.Cfg.Seed+2, ch.Cfg.TraceRate)
+	e, err := bigquery.New(env, bigquery.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), ch.Cfg.Clients, ch.Cfg.BigQueryQueries)
+	end := env.K.Run()
+	if err := run.Err(); err != nil {
+		return fmt.Errorf("bigquery workload: %w", err)
+	}
+	ch.Envs[taxonomy.BigQuery] = env
+	ch.Traces[taxonomy.BigQuery] = env.Tracer.Sampled()
+	ch.Elapsed[taxonomy.BigQuery] = end
+	var bytesRead int64
+	for _, m := range e.Machines() {
+		ch.Inventory.AddStore(taxonomy.BigQuery, m.Store)
+	}
+	for _, s := range e.DFS().Servers() {
+		ch.Inventory.AddStore(taxonomy.BigQuery, s)
+		for _, t := range storage.Tiers() {
+			bytesRead += s.Stats(t).BytesRead
+		}
+	}
+	ch.QueryBytes[taxonomy.BigQuery] = float64(bytesRead) / float64(ch.Cfg.BigQueryQueries)
+	return nil
+}
+
+// Prof returns a platform's profiler.
+func (ch *Characterization) Prof(p taxonomy.Platform) *profile.Profiler {
+	return ch.Envs[p].Prof
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hyperprof/internal/model"
+	"hyperprof/internal/soc"
+	"hyperprof/internal/taxonomy"
+)
+
+// This file implements the extensions §6.4 lists as future work: partial
+// synchronization between accelerated components (beyond the fully
+// sync/async endpoints the paper sweeps), mixed accelerator placement (some
+// components on-chip, some off-chip), and a third chained accelerator
+// (block compression) inserted between serialization and hashing.
+
+// PartialSyncPoint is one point of the partial-synchronization sweep.
+type PartialSyncPoint struct {
+	// G is the uniform g_sub overlap factor (1 = fully synchronous,
+	// 0 = fully asynchronous, per Eq 5).
+	G float64
+	// Speedup is the end-to-end speedup at this synchronization level.
+	Speedup float64
+}
+
+// PartialSyncSweep evaluates a derived system at intermediate g_sub values,
+// interpolating between the paper's sync and async endpoints.
+func PartialSyncSweep(sys model.System, gs []float64) []PartialSyncPoint {
+	accel := sys.WithUniformSpeedup(Fig13Speedup).Configure(model.SyncOnChip, nil)
+	out := make([]PartialSyncPoint, 0, len(gs))
+	for _, g := range gs {
+		s := accel.Clone()
+		for i := range s.Components {
+			if s.Components[i].Accelerated {
+				s.Components[i].Sync = g
+			}
+		}
+		out = append(out, PartialSyncPoint{G: g, Speedup: s.Speedup()})
+	}
+	return out
+}
+
+// MixedPlacementRow reports the effect of moving one component off-chip
+// while the rest stay on-chip.
+type MixedPlacementRow struct {
+	Component string
+	// AllOnChip is the reference speedup with everything on-chip.
+	AllOnChip float64
+	// OneOffChip is the speedup with only this component off-chip.
+	OneOffChip float64
+	// Penalty is AllOnChip/OneOffChip - 1 (relative loss).
+	Penalty float64
+}
+
+// MixedPlacementStudy quantifies per-component placement sensitivity for a
+// platform: which accelerators must be on-chip, and which tolerate a PCIe
+// hop. Unlike Figure 13's uniform B_i, each component's off-chip payload is
+// the platform's mean query bytes scaled by the component's share of CPU
+// time (a component that burns 10% of the cycles touches roughly 10% of the
+// data), so the study ranks components.
+func (ch *Characterization) MixedPlacementStudy(p taxonomy.Platform) ([]MixedPlacementRow, error) {
+	sys, err := ch.DeriveSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	sys = sys.WithUniformSpeedup(Fig13Speedup).Configure(model.SyncOnChip, nil)
+	ref := sys.Speedup()
+	bytes := ch.QueryBytes[p]
+	rows := make([]MixedPlacementRow, 0, len(sys.Components))
+	for i, c := range sys.Components {
+		if !c.Accelerated {
+			continue
+		}
+		mixed := sys.Clone()
+		mixed.Components[i].Bytes = bytes * c.Time / sys.CPUTime
+		sp := mixed.Speedup()
+		row := MixedPlacementRow{Component: c.Name, AllOnChip: ref, OneOffChip: sp}
+		if sp > 0 {
+			row.Penalty = ref/sp - 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Chain3Experiment runs the extended three-accelerator validation
+// (protobuf -> compression -> SHA3).
+func Chain3Experiment(seed uint64, messages int) (*soc.Chain3Result, error) {
+	return soc.ValidateChain3(seed, messages, soc.DefaultChain3Config())
+}
+
+// RenderChain3 renders the extended validation result.
+func RenderChain3(r *soc.Chain3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extended validation: protobuf -> compression -> SHA3 chain (%d messages)\n", r.Messages)
+	fmt.Fprintf(&b, "  Serial phases: init %v, proto %v, compress %v, sha3 %v\n",
+		r.OtherCPU.Round(time.Microsecond), r.ProtoCPU.Round(time.Microsecond),
+		r.CompressCPU.Round(time.Microsecond), r.SHA3CPU.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  Real compression: %d -> %d bytes (%.2fx)\n", r.WireBytes, r.CompressedBytes, r.Ratio)
+	fmt.Fprintf(&b, "  Measured chained execution: %v\n", r.MeasuredChained.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  Modeled chained execution:  %v\n", r.ModeledChained.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  Difference: %.1f%%\n", r.DiffFrac*100)
+	return b.String()
+}
+
+// RenderMixedPlacement renders a mixed-placement study.
+func RenderMixedPlacement(p taxonomy.Platform, rows []MixedPlacementRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mixed placement sensitivity (%s, one component off-chip at a time):\n", p)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s on-chip %.3fx -> off-chip %.3fx (penalty %.1f%%)\n",
+			r.Component, r.AllOnChip, r.OneOffChip, r.Penalty*100)
+	}
+	return b.String()
+}
+
+// PriorityRow ranks one accelerator candidate by marginal benefit.
+type PriorityRow struct {
+	Component string
+	// Sensitivity is the relative e2e improvement from doubling this
+	// component's accelerator speedup (see model.System.Sensitivity).
+	Sensitivity float64
+	// CPUShare is the component's share of the platform's CPU time.
+	CPUShare float64
+}
+
+// AcceleratorPriority ranks a platform's accelerator candidates by the
+// marginal end-to-end benefit of accelerating each further, starting from a
+// uniform 8x sea of accelerators — the "which accelerator should be built
+// next" question behind the paper's pareto-benefit discussion (§5.4).
+func (ch *Characterization) AcceleratorPriority(p taxonomy.Platform) ([]PriorityRow, error) {
+	sys, err := ch.DeriveSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	sys = sys.WithUniformSpeedup(Fig13Speedup).Configure(model.SyncOnChip, nil)
+	sens := sys.Sensitivity()
+	rows := make([]PriorityRow, 0, len(sens))
+	for _, c := range sys.Components {
+		if !c.Accelerated {
+			continue
+		}
+		rows = append(rows, PriorityRow{
+			Component:   c.Name,
+			Sensitivity: sens[c.Name],
+			CPUShare:    c.Time / sys.CPUTime,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Sensitivity != rows[j].Sensitivity {
+			return rows[i].Sensitivity > rows[j].Sensitivity
+		}
+		return rows[i].Component < rows[j].Component
+	})
+	return rows, nil
+}
+
+// RenderPriority renders an accelerator-priority ranking.
+func RenderPriority(p taxonomy.Platform, rows []PriorityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Accelerator priority (%s, marginal benefit of doubling each 8x accelerator):\n", p)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s +%.2f%% e2e (%.1f%% of CPU)\n", r.Component, r.Sensitivity*100, r.CPUShare*100)
+	}
+	return b.String()
+}
+
+// ChainScalingRow reports the three invocation models at one chain length.
+type ChainScalingRow struct {
+	Stages  int
+	Sync    float64
+	Async   float64
+	Chained float64
+}
+
+// ChainScaling asks how the sea-of-accelerators invocation models scale
+// with the number of accelerators: CPU work is split evenly across n
+// accelerated stages (8x each, 50µs setup). Synchronous execution pays n
+// setups and n residuals; chaining pays one setup and one residual — the
+// structural argument for the paper's chained execution model.
+func ChainScaling(stages []int) []ChainScalingRow {
+	const (
+		totalCPU = 1.0
+		setup    = 50e-6
+	)
+	var out []ChainScalingRow
+	for _, n := range stages {
+		if n < 1 {
+			continue
+		}
+		sys := model.System{CPUTime: totalCPU}
+		for i := 0; i < n; i++ {
+			sys.Components = append(sys.Components, model.Component{
+				Name:        fmt.Sprintf("stage-%d", i),
+				Time:        totalCPU / float64(n),
+				Accelerated: true,
+				Speedup:     Fig13Speedup,
+				Setup:       setup,
+			})
+		}
+		out = append(out, ChainScalingRow{
+			Stages:  n,
+			Sync:    sys.Configure(model.SyncOnChip, nil).Speedup(),
+			Async:   sys.Configure(model.AsyncOnChip, nil).Speedup(),
+			Chained: sys.Configure(model.ChainedOnChip, nil).Speedup(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"hyperprof/internal/profile"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// This file extracts the characterization tables and figures (Table 1,
+// Figures 2–6, Tables 6–7) from a Characterization run.
+
+// Table1Row is one platform's storage-to-storage ratio.
+type Table1Row struct {
+	Platform taxonomy.Platform
+	// RAM:SSD:HDD ratio normalized to RAM = 1.
+	RAM, SSD, HDD float64
+	Rendered      string
+}
+
+// Table1 reproduces the storage-to-storage ratios.
+func Table1(ch *Characterization) []Table1Row {
+	rows := make([]Table1Row, 0, 3)
+	for _, p := range taxonomy.Platforms() {
+		ram, ssd, hdd := ch.Inventory.Ratios(p)
+		rows = append(rows, Table1Row{
+			Platform: p, RAM: ram, SSD: ssd, HDD: hdd,
+			Rendered: ch.Inventory.RatioString(p),
+		})
+	}
+	return rows
+}
+
+// Figure2 reproduces the end-to-end execution-time breakdown: per platform,
+// the per-group stats plus overall average.
+func Figure2(ch *Characterization) map[taxonomy.Platform][]trace.GroupStats {
+	out := map[taxonomy.Platform][]trace.GroupStats{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = trace.Aggregate(ch.Traces[p])
+	}
+	return out
+}
+
+// Figure2Overall returns the all-platform average time split (the paper's
+// "48%, 22%, 30%" CPU/remote/IO observation). Platforms are weighted
+// equally, since the absolute query counts of our synthetic runs are
+// arbitrary, unlike the paper's day of production traffic.
+func Figure2Overall(ch *Characterization) (cpu, remote, io float64) {
+	platforms := 0
+	for _, p := range taxonomy.Platforms() {
+		var c, r, i float64
+		n := 0
+		for _, t := range ch.Traces[p] {
+			b := t.ComputeBreakdown()
+			c += b.Frac(trace.CPU)
+			i += b.Frac(trace.IO)
+			r += b.Frac(trace.Remote)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		cpu += c / float64(n)
+		io += i / float64(n)
+		remote += r / float64(n)
+		platforms++
+	}
+	if platforms == 0 {
+		return 0, 0, 0
+	}
+	return cpu / float64(platforms), remote / float64(platforms), io / float64(platforms)
+}
+
+// Figure3 reproduces the high-level cycle breakdown (core compute,
+// datacenter taxes, system taxes) per platform.
+func Figure3(ch *Characterization) map[taxonomy.Platform]map[taxonomy.Broad]float64 {
+	out := map[taxonomy.Platform]map[taxonomy.Broad]float64{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).BroadBreakdown(p)
+	}
+	return out
+}
+
+// Figure4 reproduces the core-compute fine-grained breakdown per platform.
+func Figure4(ch *Characterization) map[taxonomy.Platform]map[taxonomy.Category]float64 {
+	out := map[taxonomy.Platform]map[taxonomy.Category]float64{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).CategoryBreakdown(p, taxonomy.CoreCompute)
+	}
+	return out
+}
+
+// Figure5 reproduces the datacenter-tax breakdown per platform.
+func Figure5(ch *Characterization) map[taxonomy.Platform]map[taxonomy.Category]float64 {
+	out := map[taxonomy.Platform]map[taxonomy.Category]float64{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).CategoryBreakdown(p, taxonomy.DatacenterTax)
+	}
+	return out
+}
+
+// Figure6 reproduces the system-tax breakdown per platform.
+func Figure6(ch *Characterization) map[taxonomy.Platform]map[taxonomy.Category]float64 {
+	out := map[taxonomy.Platform]map[taxonomy.Category]float64{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).CategoryBreakdown(p, taxonomy.SystemTax)
+	}
+	return out
+}
+
+// Table6 reproduces the per-platform IPC and MPKI statistics.
+func Table6(ch *Characterization) map[taxonomy.Platform]profile.Stats {
+	out := map[taxonomy.Platform]profile.Stats{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).PlatformStats(p)
+	}
+	return out
+}
+
+// Table7 reproduces the per-broad-class IPC and MPKI statistics.
+func Table7(ch *Characterization) map[taxonomy.Platform]map[taxonomy.Broad]profile.Stats {
+	out := map[taxonomy.Platform]map[taxonomy.Broad]profile.Stats{}
+	for _, p := range taxonomy.Platforms() {
+		out[p] = ch.Prof(p).BroadStats(p)
+	}
+	return out
+}

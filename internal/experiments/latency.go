@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/workload"
+)
+
+// This file implements the latency-under-load study: open-loop Poisson
+// arrivals against a fresh Spanner deployment per offered rate, yielding
+// the p50/p99 latency curve behind the databases' "stricter SLOs" (§5.6).
+
+// LatencyPoint is one offered-load level's latency outcome.
+type LatencyPoint struct {
+	RatePerSec float64
+	P50Seconds float64
+	P99Seconds float64
+}
+
+// LatencyStudy runs the Spanner open-loop workload at each offered rate
+// (operations per second of virtual time), building a fresh deployment per
+// point so the curve is not contaminated by carry-over queueing.
+func LatencyStudy(seed uint64, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
+	if opsPerPoint <= 0 {
+		return nil, fmt.Errorf("experiments: opsPerPoint must be positive")
+	}
+	var out []LatencyPoint
+	for _, rate := range rates {
+		env := platform.NewEnv(seed, 1)
+		env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+		db, err := spanner.New(env, spanner.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		res := workload.SpannerOpenLoop(env, db, workload.DefaultSpannerMix(), rate, opsPerPoint)
+		env.K.Run()
+		if err := res.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, LatencyPoint{
+			RatePerSec: rate,
+			P50Seconds: res.Latencies.Quantile(0.5),
+			P99Seconds: res.Latencies.Quantile(0.99),
+		})
+	}
+	return out, nil
+}
+
+// RenderLatency renders a latency-under-load curve.
+func RenderLatency(points []LatencyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency under load (Spanner, open-loop Poisson arrivals):\n")
+	fmt.Fprintf(&b, "  %12s %10s %10s\n", "rate (ops/s)", "p50 (ms)", "p99 (ms)")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "  %12.0f %10.2f %10.2f\n", pt.RatePerSec, pt.P50Seconds*1e3, pt.P99Seconds*1e3)
+	}
+	return b.String()
+}

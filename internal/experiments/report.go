@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// Report is the full characterization study in a machine-readable layout
+// (string-keyed for stable JSON), covering Table 1, Figures 2–6 and Tables
+// 6–7 plus run metadata. Build one with BuildReport; serialize with JSON.
+type Report struct {
+	// Ratios holds Table 1 per platform, e.g. "1:16:164".
+	Ratios map[string]string `json:"storageRatios"`
+	// EndToEnd holds Figure 2: per platform, per query group.
+	EndToEnd map[string][]GroupReport `json:"endToEnd"`
+	// Overall is the cross-platform average split (fractions).
+	Overall SplitReport `json:"overallAverage"`
+	// Cycles holds Figure 3: per platform, per broad class (fractions).
+	Cycles map[string]map[string]float64 `json:"cycleBreakdown"`
+	// CoreCompute, DatacenterTax and SystemTax hold Figures 4–6.
+	CoreCompute  map[string]map[string]float64 `json:"coreCompute"`
+	DatacenterTx map[string]map[string]float64 `json:"datacenterTaxes"`
+	SystemTx     map[string]map[string]float64 `json:"systemTaxes"`
+	// Microarch holds Table 6; MicroarchByClass holds Table 7.
+	Microarch        map[string]MicroReport            `json:"microarch"`
+	MicroarchByClass map[string]map[string]MicroReport `json:"microarchByClass"`
+	// Meta describes the run.
+	Meta MetaReport `json:"meta"`
+}
+
+// GroupReport is one Figure 2 row.
+type GroupReport struct {
+	Group      string  `json:"group"`
+	Queries    int     `json:"queries"`
+	QueryFrac  float64 `json:"queryFraction"`
+	CPUFrac    float64 `json:"cpuFraction"`
+	IOFrac     float64 `json:"ioFraction"`
+	RemoteFrac float64 `json:"remoteFraction"`
+}
+
+// SplitReport is a CPU/remote/IO fraction triple.
+type SplitReport struct {
+	CPU    float64 `json:"cpu"`
+	Remote float64 `json:"remoteWork"`
+	IO     float64 `json:"io"`
+}
+
+// MicroReport is one IPC/MPKI row.
+type MicroReport struct {
+	IPC    float64 `json:"ipc"`
+	BR     float64 `json:"brMPKI"`
+	L1I    float64 `json:"l1iMPKI"`
+	L2I    float64 `json:"l2iMPKI"`
+	LLC    float64 `json:"llcMPKI"`
+	ITLB   float64 `json:"itlbMPKI"`
+	DTLBLD float64 `json:"dtlbLdMPKI"`
+}
+
+// MetaReport describes the run that produced the report.
+type MetaReport struct {
+	Seed          uint64            `json:"seed"`
+	Queries       map[string]int    `json:"queries"`
+	SimulatedTime map[string]string `json:"simulatedTime"`
+}
+
+// BuildReport assembles the machine-readable report from a characterization.
+func BuildReport(ch *Characterization) *Report {
+	r := &Report{
+		Ratios:           map[string]string{},
+		EndToEnd:         map[string][]GroupReport{},
+		Cycles:           map[string]map[string]float64{},
+		CoreCompute:      map[string]map[string]float64{},
+		DatacenterTx:     map[string]map[string]float64{},
+		SystemTx:         map[string]map[string]float64{},
+		Microarch:        map[string]MicroReport{},
+		MicroarchByClass: map[string]map[string]MicroReport{},
+		Meta: MetaReport{
+			Seed:          ch.Cfg.Seed,
+			Queries:       map[string]int{},
+			SimulatedTime: map[string]string{},
+		},
+	}
+	cpu, remote, io := Figure2Overall(ch)
+	r.Overall = SplitReport{CPU: cpu, Remote: remote, IO: io}
+	fig2 := Figure2(ch)
+	fig3 := Figure3(ch)
+	fig4, fig5, fig6 := Figure4(ch), Figure5(ch), Figure6(ch)
+	t6, t7 := Table6(ch), Table7(ch)
+	for _, p := range taxonomy.Platforms() {
+		key := string(p)
+		r.Ratios[key] = ch.Inventory.RatioString(p)
+		for _, g := range fig2[p] {
+			r.EndToEnd[key] = append(r.EndToEnd[key], GroupReport{
+				Group: string(g.Group), Queries: g.Queries, QueryFrac: g.QueryFrac,
+				CPUFrac: g.CPUFrac, IOFrac: g.IOFrac, RemoteFrac: g.RemoteFrac,
+			})
+		}
+		r.Cycles[key] = map[string]float64{}
+		for b, f := range fig3[p] {
+			r.Cycles[key][b.String()] = f
+		}
+		r.CoreCompute[key] = catMap(fig4[p])
+		r.DatacenterTx[key] = catMap(fig5[p])
+		r.SystemTx[key] = catMap(fig6[p])
+		r.Microarch[key] = microReport(t6[p].IPC, t6[p].BR, t6[p].L1I, t6[p].L2I, t6[p].LLC, t6[p].ITLB, t6[p].DTLBLD)
+		r.MicroarchByClass[key] = map[string]MicroReport{}
+		for b, s := range t7[p] {
+			r.MicroarchByClass[key][b.String()] = microReport(s.IPC, s.BR, s.L1I, s.L2I, s.LLC, s.ITLB, s.DTLBLD)
+		}
+		r.Meta.Queries[key] = len(ch.Traces[p])
+		r.Meta.SimulatedTime[key] = ch.Elapsed[p].Round(time.Millisecond).String()
+	}
+	return r
+}
+
+func catMap(m map[taxonomy.Category]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for c, f := range m {
+		out[string(c)] = f
+	}
+	return out
+}
+
+func microReport(ipc, br, l1i, l2i, llc, itlb, dtlb float64) MicroReport {
+	return MicroReport{IPC: ipc, BR: br, L1I: l1i, L2I: l2i, LLC: llc, ITLB: itlb, DTLBLD: dtlb}
+}
+
+// JSON serializes the report with indentation.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"hyperprof/internal/soc"
+)
+
+// Table8Config sizes the model-validation experiment.
+type Table8Config struct {
+	Seed     uint64
+	Messages int
+	SoC      soc.Config
+}
+
+// DefaultTable8Config returns the paper-calibrated validation setup: a
+// corpus large enough that the accelerable CPU time exceeds the protobuf
+// accelerator's setup time, as in the paper's batch.
+func DefaultTable8Config() Table8Config {
+	return Table8Config{Seed: 1, Messages: 250, SoC: soc.DefaultConfig()}
+}
+
+// Table8 runs the §6.4 validation: measure the SoC benchmarks, feed the
+// measured parameters into the chained model, and compare.
+func Table8(cfg Table8Config) (*soc.Table8, error) {
+	return soc.Validate(cfg.Seed, cfg.Messages, cfg.SoC)
+}

@@ -1,0 +1,326 @@
+// Package model implements the paper's primary contribution: the analytical
+// performance model for a "sea of accelerators" complex (§6, Figures 7, 8,
+// 11 and 12, Equations 1–12). Given an end-to-end time decomposition (CPU
+// time, non-CPU dependency time, their overlap factor) and a set of CPU
+// subcomponents with per-accelerator speedups, placements and invocation
+// models, it estimates the accelerated end-to-end time and speedup.
+//
+// Time values are seconds throughout, matching the paper's parameter table.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is one CPU subcomponent t_sub_i: a slice of CPU time that may be
+// offloaded to an accelerator.
+type Component struct {
+	// Name identifies the component in sweeps and reports.
+	Name string
+	// Time is the original CPU time t_sub_i spent in this component.
+	Time float64
+	// Accelerated marks whether this component is offloaded at all; when
+	// false the component contributes to t_nacc (Eq 4).
+	Accelerated bool
+	// Speedup is the acceleration factor s_sub_i (>= 1 for real
+	// accelerators, but any positive value is accepted).
+	Speedup float64
+	// Sync is the paper's g_sub_i overlap factor from Eq 5: 1 models a
+	// fully synchronous invocation (this component's accelerated time
+	// serializes with everything else) and 0 a fully asynchronous one (it
+	// hides behind the largest accelerated component). Note §6.3.2's prose
+	// swaps the labels; the equations (and this field) use g=1 ⇒ sync.
+	Sync float64
+	// Bytes is B_i, the payload transferred to an off-chip accelerator per
+	// invocation; zero for on-chip shared-memory accelerators (Eq 8).
+	Bytes float64
+	// Setup is t_setup_i, the accelerator setup time per invocation.
+	Setup float64
+	// Chained marks the component as a member of the accelerator chain
+	// (Eqs 9–12). Chained components are pipelined: the chain costs its
+	// largest penalty plus its largest penalty-free accelerated time.
+	Chained bool
+}
+
+// penalty returns t_pen_i per Eq 8: setup plus a round trip of B_i bytes
+// over the CPU–accelerator link.
+func (c Component) penalty(bw float64) float64 {
+	p := c.Setup
+	if c.Bytes > 0 && bw > 0 {
+		p += 2 * c.Bytes / bw
+	}
+	return p
+}
+
+// acceleratedTime returns t'_sub_i per Eq 7.
+func (c Component) acceleratedTime(bw float64) float64 {
+	return c.Time/c.Speedup + c.penalty(bw)
+}
+
+// System is the full model input (Figure 7's parameter table).
+type System struct {
+	// CPUTime is t_cpu, the original CPU time. It must cover the sum of
+	// component times; any remainder is treated as unaccelerated CPU time.
+	CPUTime float64
+	// DepTime is t_dep, the non-CPU time (remote work and IO) the CPU time
+	// depends on.
+	DepTime float64
+	// F is the f sync factor between t_dep and t_cpu in [0, 1]: 0 means
+	// the CPU and non-CPU portions overlap fully (Eq 1 subtracts
+	// min(t_cpu, t_dep)); 1 means strictly serial.
+	F float64
+	// Bandwidth is BW_i, the CPU–accelerator link bandwidth in bytes/s
+	// used for off-chip transfers. It may be zero when every component has
+	// Bytes == 0.
+	Bandwidth float64
+	// Components are the CPU subcomponents.
+	Components []Component
+}
+
+// Validate checks the system is well-formed.
+func (s System) Validate() error {
+	if s.CPUTime < 0 || s.DepTime < 0 {
+		return errors.New("model: negative time")
+	}
+	if s.F < 0 || s.F > 1 {
+		return fmt.Errorf("model: f = %v outside [0,1]", s.F)
+	}
+	var sum float64
+	for _, c := range s.Components {
+		if c.Time < 0 {
+			return fmt.Errorf("model: component %q has negative time", c.Name)
+		}
+		if c.Accelerated && c.Speedup <= 0 {
+			return fmt.Errorf("model: component %q accelerated with speedup %v", c.Name, c.Speedup)
+		}
+		if c.Sync < 0 || c.Sync > 1 {
+			return fmt.Errorf("model: component %q sync factor %v outside [0,1]", c.Name, c.Sync)
+		}
+		if c.Bytes > 0 && s.Bandwidth <= 0 {
+			return fmt.Errorf("model: component %q offloads %v bytes with no bandwidth", c.Name, c.Bytes)
+		}
+		sum += c.Time
+	}
+	if sum > s.CPUTime*(1+1e-9)+1e-12 {
+		return fmt.Errorf("model: component times sum to %v > t_cpu %v", sum, s.CPUTime)
+	}
+	return nil
+}
+
+// e2e computes Eq 1/2 for a given CPU time against the system's
+// dependencies.
+func (s System) e2e(cpu float64) float64 {
+	m := cpu
+	if s.DepTime < m {
+		m = s.DepTime
+	}
+	return cpu + s.DepTime - (1-s.F)*m
+}
+
+// BaselineE2E returns t_e2e per Eq 1.
+func (s System) BaselineE2E() float64 { return s.e2e(s.CPUTime) }
+
+// AcceleratedCPU returns t'_cpu per Eqs 3–12: the unaccelerated remainder
+// plus the accelerated (possibly overlapped) components plus the chained
+// pipeline time.
+func (s System) AcceleratedCPU() float64 {
+	var nacc float64 // Eq 4 over unaccelerated components
+	var syncSum, largest float64
+	var chainPen, chainTime float64
+	var componentSum float64
+	for _, c := range s.Components {
+		componentSum += c.Time
+		switch {
+		case !c.Accelerated:
+			nacc += c.Time
+		case c.Chained:
+			// Eqs 10–12: the chain pays its largest penalty once and its
+			// largest penalty-free accelerated component.
+			if p := c.penalty(s.Bandwidth); p > chainPen {
+				chainPen = p
+			}
+			if t := c.Time / c.Speedup; t > chainTime {
+				chainTime = t
+			}
+		default:
+			t := c.acceleratedTime(s.Bandwidth)
+			syncSum += c.Sync * t
+			if t > largest {
+				largest = t
+			}
+		}
+	}
+	// CPU time not covered by any declared component stays unaccelerated.
+	if rem := s.CPUTime - componentSum; rem > 0 {
+		nacc += rem
+	}
+	acc := syncSum // Eq 5
+	if largest > acc {
+		acc = largest
+	}
+	chained := 0.0 // Eq 10
+	if chainPen > 0 || chainTime > 0 {
+		chained = chainPen + chainTime
+	}
+	return chained + acc + nacc // Eqs 3 and 9
+}
+
+// AcceleratedE2E returns t'_e2e per Eq 2.
+func (s System) AcceleratedE2E() float64 { return s.e2e(s.AcceleratedCPU()) }
+
+// Speedup returns the end-to-end speedup of the accelerated system over the
+// baseline. A zero accelerated time returns +Inf only when the baseline is
+// positive; a zero baseline returns 1.
+func (s System) Speedup() float64 {
+	base := s.BaselineE2E()
+	acc := s.AcceleratedE2E()
+	if base == 0 {
+		return 1
+	}
+	if acc == 0 {
+		return base / 1e-18
+	}
+	return base / acc
+}
+
+// Clone returns a deep copy of the system.
+func (s System) Clone() System {
+	out := s
+	out.Components = make([]Component, len(s.Components))
+	copy(out.Components, s.Components)
+	return out
+}
+
+// Invocation selects an accelerator execution model for TransformAll.
+type Invocation int
+
+// The four execution models evaluated in §6.3.2 (Figure 13).
+const (
+	// SyncOffChip: synchronous invocations with off-chip payload transfer.
+	SyncOffChip Invocation = iota
+	// SyncOnChip: synchronous invocations, shared-memory coherent (B_i=0).
+	SyncOnChip
+	// AsyncOnChip: all accelerator invocations fully parallelized.
+	AsyncOnChip
+	// ChainedOnChip: accelerators forward results directly to one another.
+	ChainedOnChip
+)
+
+// String implements fmt.Stringer.
+func (i Invocation) String() string {
+	switch i {
+	case SyncOffChip:
+		return "Sync + Off-Chip"
+	case SyncOnChip:
+		return "Sync + On-Chip"
+	case AsyncOnChip:
+		return "Async + On-Chip"
+	case ChainedOnChip:
+		return "Chained + On-Chip"
+	}
+	return "Unknown"
+}
+
+// Invocations lists the Figure 13 configurations in presentation order.
+func Invocations() []Invocation {
+	return []Invocation{SyncOffChip, SyncOnChip, AsyncOnChip, ChainedOnChip}
+}
+
+// Configure returns a copy of the system whose accelerated components all
+// use the given invocation model. offBytes supplies per-component off-chip
+// payload sizes for SyncOffChip (ignored otherwise); a nil map means "keep
+// each component's Bytes".
+func (s System) Configure(inv Invocation, offBytes map[string]float64) System {
+	out := s.Clone()
+	for i := range out.Components {
+		c := &out.Components[i]
+		if !c.Accelerated {
+			continue
+		}
+		switch inv {
+		case SyncOffChip:
+			c.Sync, c.Chained = 1, false
+			if offBytes != nil {
+				c.Bytes = offBytes[c.Name]
+			}
+		case SyncOnChip:
+			c.Sync, c.Chained, c.Bytes = 1, false, 0
+		case AsyncOnChip:
+			c.Sync, c.Chained, c.Bytes = 0, false, 0
+		case ChainedOnChip:
+			c.Sync, c.Chained, c.Bytes = 1, true, 0
+		}
+	}
+	return out
+}
+
+// WithUniformSpeedup returns a copy with every accelerated component's
+// speedup set to sp (the lockstep sweep of §6.2).
+func (s System) WithUniformSpeedup(sp float64) System {
+	out := s.Clone()
+	for i := range out.Components {
+		if out.Components[i].Accelerated {
+			out.Components[i].Speedup = sp
+		}
+	}
+	return out
+}
+
+// WithSetup returns a copy with every accelerated component's setup time set
+// to t (the §6.3.3 sweep).
+func (s System) WithSetup(t float64) System {
+	out := s.Clone()
+	for i := range out.Components {
+		if out.Components[i].Accelerated {
+			out.Components[i].Setup = t
+		}
+	}
+	return out
+}
+
+// WithoutDependencies returns a copy with remote work and IO removed
+// (t_dep = 0), the co-design scenario of §6.2.
+func (s System) WithoutDependencies() System {
+	out := s.Clone()
+	out.DepTime = 0
+	return out
+}
+
+// AccelerateOnly returns a copy in which exactly the named components are
+// accelerated (the additive sweep of Figure 13); all others become
+// unaccelerated.
+func (s System) AccelerateOnly(names ...string) System {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	out := s.Clone()
+	for i := range out.Components {
+		out.Components[i].Accelerated = set[out.Components[i].Name]
+	}
+	return out
+}
+
+// Sensitivity quantifies each accelerated component's marginal value: the
+// relative end-to-end improvement from doubling that component's speedup
+// while holding everything else fixed. It answers the sea-of-accelerators
+// planning question — which accelerator is worth building next — and
+// exposes the paper's Amdahl structure: sensitivities shrink as a
+// component's residual time shrinks.
+func (s System) Sensitivity() map[string]float64 {
+	base := s.AcceleratedE2E()
+	out := make(map[string]float64, len(s.Components))
+	for i, c := range s.Components {
+		if !c.Accelerated {
+			continue
+		}
+		tweaked := s.Clone()
+		tweaked.Components[i].Speedup = c.Speedup * 2
+		improved := tweaked.AcceleratedE2E()
+		if base > 0 {
+			out[c.Name] = base/improved - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const us = 1e-6 // one microsecond in seconds
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBaselineE2EOverlap(t *testing.T) {
+	cases := []struct {
+		cpu, dep, f, want float64
+	}{
+		{10, 4, 1, 14},   // strictly serial
+		{10, 4, 0, 10},   // fully overlapped: max(cpu, dep)
+		{4, 10, 0, 10},   // overlapped, dep larger
+		{10, 4, 0.5, 12}, /* half the min overlapped */
+		{10, 0, 0, 10},
+		{0, 0, 1, 0},
+	}
+	for i, c := range cases {
+		s := System{CPUTime: c.cpu, DepTime: c.dep, F: c.f}
+		if got := s.BaselineE2E(); !approx(got, c.want, 1e-12) {
+			t.Errorf("case %d: e2e = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := System{CPUTime: 10, DepTime: 5, F: 0.5, Components: []Component{
+		{Name: "a", Time: 4, Accelerated: true, Speedup: 8, Sync: 1},
+		{Name: "b", Time: 6},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []System{
+		{CPUTime: -1},
+		{CPUTime: 1, F: 2},
+		{CPUTime: 1, Components: []Component{{Name: "x", Time: -1}}},
+		{CPUTime: 1, Components: []Component{{Name: "x", Time: 1, Accelerated: true, Speedup: 0}}},
+		{CPUTime: 1, Components: []Component{{Name: "x", Time: 1, Sync: 2}}},
+		{CPUTime: 1, Components: []Component{{Name: "x", Time: 1, Bytes: 10}}},  // no bandwidth
+		{CPUTime: 1, Components: []Component{{Name: "x", Time: 2, Speedup: 1}}}, // sum > cpu
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad case %d validated", i)
+		}
+	}
+}
+
+func TestSyncAcceleration(t *testing.T) {
+	// Two accelerated components, synchronous: t_acc = sum of accelerated
+	// times; remainder unaccelerated.
+	s := System{CPUTime: 10, Components: []Component{
+		{Name: "a", Time: 4, Accelerated: true, Speedup: 4, Sync: 1},
+		{Name: "b", Time: 2, Accelerated: true, Speedup: 2, Sync: 1},
+	}}
+	// t'_cpu = (4/4 + 2/2) + (10-6) = 2 + 4 = 6.
+	if got := s.AcceleratedCPU(); !approx(got, 6, 1e-12) {
+		t.Fatalf("sync cpu = %v, want 6", got)
+	}
+}
+
+func TestAsyncAcceleration(t *testing.T) {
+	// Async (g=0): the largest accelerated component dominates (Eq 6).
+	s := System{CPUTime: 10, Components: []Component{
+		{Name: "a", Time: 4, Accelerated: true, Speedup: 2, Sync: 0}, // 2s
+		{Name: "b", Time: 2, Accelerated: true, Speedup: 4, Sync: 0}, // 0.5s
+	}}
+	// t'_cpu = max over accelerated (2) + remainder 4 = 6... remainder is
+	// 10-6=4; t_acc = max(0*..., largest=2) = 2. Total 6.
+	if got := s.AcceleratedCPU(); !approx(got, 6, 1e-12) {
+		t.Fatalf("async cpu = %v, want 6", got)
+	}
+	// Async is never slower than sync.
+	sync := s.Configure(SyncOnChip, nil)
+	if s.AcceleratedCPU() > sync.AcceleratedCPU()+1e-12 {
+		t.Fatal("async slower than sync")
+	}
+}
+
+func TestOffChipPenalty(t *testing.T) {
+	// Eq 8: penalty = setup + 2*B/BW.
+	s := System{CPUTime: 10, Bandwidth: 4e9, Components: []Component{
+		{Name: "a", Time: 4, Accelerated: true, Speedup: 4, Sync: 1, Bytes: 4e9, Setup: 0.5},
+	}}
+	// t'_sub = 4/4 + 0.5 + 2*1 = 3.5; plus remainder 6 = 9.5.
+	if got := s.AcceleratedCPU(); !approx(got, 9.5, 1e-12) {
+		t.Fatalf("offchip cpu = %v, want 9.5", got)
+	}
+}
+
+func TestOffChipCanSlowDown(t *testing.T) {
+	// Large payloads over a thin link make acceleration a net loss, the
+	// BigQuery observation of §6.3.2 (0.02x slowdown off-chip).
+	s := System{CPUTime: 1, DepTime: 0, F: 1, Bandwidth: 4e9, Components: []Component{
+		{Name: "a", Time: 1, Accelerated: true, Speedup: 8, Sync: 1, Bytes: 40e9},
+	}}
+	if sp := s.Speedup(); sp >= 1 {
+		t.Fatalf("speedup = %v, want < 1 (transfer-bound)", sp)
+	}
+}
+
+func TestChainedAcceleration(t *testing.T) {
+	// Eqs 10-12: chain = max penalty + max accelerated time (no penalty).
+	s := System{CPUTime: 10, Components: []Component{
+		{Name: "a", Time: 4, Accelerated: true, Speedup: 4, Chained: true, Setup: 0.7},
+		{Name: "b", Time: 2, Accelerated: true, Speedup: 2, Chained: true, Setup: 0.3},
+	}}
+	// chain = max(0.7, 0.3) + max(1, 1) = 1.7; remainder 4 → 5.7.
+	if got := s.AcceleratedCPU(); !approx(got, 5.7, 1e-12) {
+		t.Fatalf("chained cpu = %v, want 5.7", got)
+	}
+}
+
+func TestChainedBetween(t *testing.T) {
+	// Chained lies between fully async and fully sync (with setup times).
+	base := System{CPUTime: 10, Components: []Component{
+		{Name: "a", Time: 3, Accelerated: true, Speedup: 8, Setup: 0.2},
+		{Name: "b", Time: 3, Accelerated: true, Speedup: 8, Setup: 0.2},
+		{Name: "c", Time: 2, Accelerated: true, Speedup: 8, Setup: 0.2},
+	}}
+	sync := base.Configure(SyncOnChip, nil).AcceleratedCPU()
+	async := base.Configure(AsyncOnChip, nil).AcceleratedCPU()
+	chained := base.Configure(ChainedOnChip, nil).AcceleratedCPU()
+	if !(async <= chained+1e-12 && chained <= sync+1e-12) {
+		t.Fatalf("ordering violated: async=%v chained=%v sync=%v", async, chained, sync)
+	}
+}
+
+func TestTable8Validation(t *testing.T) {
+	// The paper's §6.4 validation: protobuf serialization chained with SHA3
+	// on the RISC-V SoC. Model-estimated chained execution must be
+	// 6,459.3µs from the measured parameters.
+	s := System{
+		CPUTime: (518.3 + 1112.5 + 4948.7) * us,
+		DepTime: 0,
+		F:       1,
+		Components: []Component{
+			{Name: "proto-ser", Time: 518.3 * us, Accelerated: true, Speedup: 31, Setup: 1488.9 * us, Chained: true},
+			{Name: "sha3", Time: 1112.5 * us, Accelerated: true, Speedup: 51.3, Setup: 4.1 * us, Chained: true},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.AcceleratedE2E() / us
+	if !approx(got, 6459.3, 0.2) {
+		t.Fatalf("modeled chained execution = %.1fµs, paper reports 6459.3µs", got)
+	}
+	// Against the paper's measured 6075.7µs the difference is ~6.1%.
+	diff := math.Abs(got-6075.7) / 6075.7
+	if diff > 0.07 || diff < 0.05 {
+		t.Fatalf("difference vs measured = %.1f%%, paper reports 6.1%%", diff*100)
+	}
+}
+
+func TestConfigureInvocations(t *testing.T) {
+	base := System{CPUTime: 10, Bandwidth: 4e9, Components: []Component{
+		{Name: "a", Time: 5, Accelerated: true, Speedup: 8},
+		{Name: "n", Time: 2},
+	}}
+	off := base.Configure(SyncOffChip, map[string]float64{"a": 1e9})
+	if off.Components[0].Bytes != 1e9 || off.Components[0].Sync != 1 {
+		t.Fatalf("offchip config: %+v", off.Components[0])
+	}
+	if off.Components[1].Bytes != 0 {
+		t.Fatal("unaccelerated component modified")
+	}
+	on := base.Configure(SyncOnChip, nil)
+	if on.Components[0].Bytes != 0 {
+		t.Fatal("onchip should clear bytes")
+	}
+	as := base.Configure(AsyncOnChip, nil)
+	if as.Components[0].Sync != 0 {
+		t.Fatal("async should zero sync factor")
+	}
+	ch := base.Configure(ChainedOnChip, nil)
+	if !ch.Components[0].Chained {
+		t.Fatal("chained flag not set")
+	}
+	// Original untouched.
+	if base.Components[0].Bytes != 0 || base.Components[0].Chained {
+		t.Fatal("Configure mutated receiver")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	base := System{CPUTime: 10, DepTime: 5, Components: []Component{
+		{Name: "a", Time: 5, Accelerated: true, Speedup: 1, Sync: 1},
+		{Name: "n", Time: 2},
+	}}
+	up := base.WithUniformSpeedup(16)
+	if up.Components[0].Speedup != 16 || up.Components[1].Speedup != 0 {
+		t.Fatalf("uniform speedup: %+v", up.Components)
+	}
+	st := base.WithSetup(0.25)
+	if st.Components[0].Setup != 0.25 || st.Components[1].Setup != 0 {
+		t.Fatalf("setup: %+v", st.Components)
+	}
+	nd := base.WithoutDependencies()
+	if nd.DepTime != 0 || base.DepTime != 5 {
+		t.Fatal("WithoutDependencies")
+	}
+	only := base.AccelerateOnly("n")
+	if only.Components[0].Accelerated || !only.Components[1].Accelerated {
+		t.Fatalf("AccelerateOnly: %+v", only.Components)
+	}
+}
+
+func TestSpeedupMonotoneInAcceleration(t *testing.T) {
+	// Property: with zero penalties, increasing the uniform speedup never
+	// decreases end-to-end speedup.
+	base := System{CPUTime: 1, DepTime: 0.5, F: 0.4, Components: []Component{
+		{Name: "a", Time: 0.4, Accelerated: true, Speedup: 1, Sync: 1},
+		{Name: "b", Time: 0.3, Accelerated: true, Speedup: 1, Sync: 1},
+	}}
+	if err := quick.Check(func(aRaw, bRaw uint8) bool {
+		a := 1 + float64(aRaw)
+		b := 1 + float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return base.WithUniformSpeedup(a).Speedup() <= base.WithUniformSpeedup(b).Speedup()+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmdahlCeiling(t *testing.T) {
+	// With dependencies kept, speedup is bounded by removing CPU entirely.
+	s := System{CPUTime: 1, DepTime: 1, F: 0, Components: []Component{
+		{Name: "a", Time: 1, Accelerated: true, Speedup: 1, Sync: 1},
+	}}
+	limitless := s.WithUniformSpeedup(1e12).Speedup()
+	// e2e baseline = max(1,1)=1; accelerated e2e → dep bound = 1 → speedup ≤ 1.
+	if limitless > 1.0001 {
+		t.Fatalf("speedup %v exceeds dependency bound", limitless)
+	}
+	nd := s.WithoutDependencies().WithUniformSpeedup(1e12)
+	if nd.Speedup() < 1e6 {
+		t.Fatalf("co-designed speedup = %v, want huge", nd.Speedup())
+	}
+}
+
+func TestSpeedupEdgeCases(t *testing.T) {
+	zero := System{}
+	if got := zero.Speedup(); got != 1 {
+		t.Fatalf("zero system speedup = %v", got)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: accelerated CPU never exceeds original CPU when speedups
+	// >= 1 and penalties are zero.
+	if err := quick.Check(func(t1, t2, t3 uint8, s1, s2 uint8) bool {
+		c1 := float64(t1) / 100
+		c2 := float64(t2) / 100
+		rest := float64(t3) / 100
+		sys := System{CPUTime: c1 + c2 + rest, Components: []Component{
+			{Name: "a", Time: c1, Accelerated: true, Speedup: 1 + float64(s1), Sync: 1},
+			{Name: "b", Time: c2, Accelerated: true, Speedup: 1 + float64(s2), Sync: 1},
+		}}
+		return sys.AcceleratedCPU() <= sys.CPUTime+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvocationStrings(t *testing.T) {
+	want := []string{"Sync + Off-Chip", "Sync + On-Chip", "Async + On-Chip", "Chained + On-Chip"}
+	for i, inv := range Invocations() {
+		if inv.String() != want[i] {
+			t.Errorf("inv %d = %q", i, inv.String())
+		}
+	}
+	if Invocation(9).String() != "Unknown" {
+		t.Error("unknown invocation string")
+	}
+}
+
+func TestSensitivityRanksByResidualTime(t *testing.T) {
+	sys := System{CPUTime: 1.0, Components: []Component{
+		{Name: "big", Time: 0.5, Accelerated: true, Speedup: 2, Sync: 1},
+		{Name: "small", Time: 0.1, Accelerated: true, Speedup: 2, Sync: 1},
+		{Name: "cold", Time: 0.2},
+	}}
+	sens := sys.Sensitivity()
+	if len(sens) != 2 {
+		t.Fatalf("sensitivities = %v", sens)
+	}
+	if sens["big"] <= sens["small"] {
+		t.Fatalf("big (%.4f) should dominate small (%.4f)", sens["big"], sens["small"])
+	}
+	if _, ok := sens["cold"]; ok {
+		t.Fatal("unaccelerated component has sensitivity")
+	}
+	// All sensitivities are positive improvements.
+	for name, v := range sens {
+		if v <= 0 {
+			t.Fatalf("%s sensitivity %v", name, v)
+		}
+	}
+}
+
+func TestSensitivityShrinksWithSpeedup(t *testing.T) {
+	// As a component is accelerated harder, doubling it again matters less.
+	mk := func(sp float64) float64 {
+		sys := System{CPUTime: 1.0, Components: []Component{
+			{Name: "x", Time: 0.5, Accelerated: true, Speedup: sp, Sync: 1},
+		}}
+		return sys.Sensitivity()["x"]
+	}
+	if !(mk(1) > mk(4) && mk(4) > mk(16)) {
+		t.Fatalf("sensitivity not diminishing: %v %v %v", mk(1), mk(4), mk(16))
+	}
+}
+
+func TestSensitivityDependencyBound(t *testing.T) {
+	// With overlapping dependencies dominating, sensitivities collapse.
+	sys := System{CPUTime: 0.2, DepTime: 1.0, F: 0, Components: []Component{
+		{Name: "x", Time: 0.2, Accelerated: true, Speedup: 1, Sync: 1},
+	}}
+	if v := sys.Sensitivity()["x"]; v > 1e-9 {
+		t.Fatalf("dependency-bound sensitivity = %v, want ~0", v)
+	}
+}

@@ -1,0 +1,224 @@
+// Package netsim models the datacenter network and RPC substrate the
+// platforms communicate over (§2.1): nodes with CPU resources placed in
+// racks and regions, latency/bandwidth transfer costs, and an RPC layer with
+// real server-side queueing on worker pools. Time classification of RPC
+// waits (remote work vs IO) is the caller's concern and is annotated at the
+// platform layer.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// Config sets the network's latency and bandwidth parameters. The defaults
+// approximate a Jupiter-class Clos fabric with cross-region WAN links.
+type Config struct {
+	SameRackRTT    time.Duration
+	CrossRackRTT   time.Duration
+	CrossRegionRTT time.Duration
+	BytesPerSec    float64
+}
+
+// DefaultConfig returns representative parameters: 10µs in-rack RTT, 50µs
+// cross-rack, 30ms cross-region, 5 GB/s per-flow bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		SameRackRTT:    10 * time.Microsecond,
+		CrossRackRTT:   50 * time.Microsecond,
+		CrossRegionRTT: 30 * time.Millisecond,
+		BytesPerSec:    5e9,
+	}
+}
+
+// Network is a set of nodes and the cost model between them.
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+}
+
+// New creates a network on the given kernel.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.BytesPerSec <= 0 {
+		cfg.BytesPerSec = DefaultConfig().BytesPerSec
+	}
+	return &Network{k: k, cfg: cfg}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Node is one server: a location plus a CPU core pool.
+type Node struct {
+	Name   string
+	Region int
+	Rack   int
+	CPU    *sim.Resource
+	net    *Network
+}
+
+// NewNode creates a node with the given core count.
+func (n *Network) NewNode(name string, region, rack, cores int) *Node {
+	return &Node{
+		Name:   name,
+		Region: region,
+		Rack:   rack,
+		CPU:    sim.NewResource(n.k, name+"/cpu", cores),
+		net:    n,
+	}
+}
+
+// RTT returns the round-trip latency between two nodes.
+func (n *Network) RTT(a, b *Node) time.Duration {
+	switch {
+	case a == b:
+		return 0
+	case a.Region != b.Region:
+		return n.cfg.CrossRegionRTT
+	case a.Rack != b.Rack:
+		return n.cfg.CrossRackRTT
+	default:
+		return n.cfg.SameRackRTT
+	}
+}
+
+// TransferTime returns the one-way time to move size bytes from a to b:
+// half the RTT plus serialization at per-flow bandwidth. Local transfers are
+// free.
+func (n *Network) TransferTime(a, b *Node, size int64) time.Duration {
+	if a == b {
+		return 0
+	}
+	if size < 0 {
+		size = 0
+	}
+	xfer := time.Duration(float64(size) / n.cfg.BytesPerSec * float64(time.Second))
+	return n.RTT(a, b)/2 + xfer
+}
+
+// Request is an RPC request.
+type Request struct {
+	Method  string
+	Bytes   int64
+	Payload interface{}
+}
+
+// Response is an RPC response.
+type Response struct {
+	Bytes   int64
+	Payload interface{}
+	Err     error
+}
+
+// Handler services one request on a server worker process.
+type Handler func(p *sim.Proc, req Request) Response
+
+// ErrNoMethod is returned for calls to unregistered methods.
+var ErrNoMethod = errors.New("netsim: no such method")
+
+// ErrServerDown is returned for calls to a stopped server (a crashed or
+// drained task); the caller observes it after one request transfer, like a
+// connection refused.
+var ErrServerDown = errors.New("netsim: server down")
+
+// Server is an RPC endpoint with a bounded worker pool: calls queue in FIFO
+// order and each worker services one call at a time, which is where
+// server-side queueing delay comes from.
+type Server struct {
+	Node     *Node
+	handlers map[string]Handler
+	queue    *sim.Queue[*inFlight]
+	workers  int
+	started  bool
+	stopped  bool
+}
+
+type inFlight struct {
+	req  Request
+	resp Response
+	done *sim.Signal
+}
+
+// NewServer creates a server on a node with the given worker pool size.
+func NewServer(node *Node, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Server{
+		Node:     node,
+		handlers: map[string]Handler{},
+		queue:    sim.NewQueue[*inFlight](node.net.k),
+		workers:  workers,
+	}
+}
+
+// Handle registers a handler for a method name.
+func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+// Start launches the worker pool. It must be called once before any Call.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.workers; i++ {
+		name := fmt.Sprintf("%s/rpc-worker-%d", s.Node.Name, i)
+		s.Node.net.k.Go(name, func(p *sim.Proc) {
+			for {
+				c := sim.GetQueue(p, s.queue)
+				if c == nil {
+					return // shutdown sentinel
+				}
+				h, ok := s.handlers[c.req.Method]
+				if !ok {
+					c.resp = Response{Err: fmt.Errorf("%w: %q", ErrNoMethod, c.req.Method)}
+				} else {
+					c.resp = h(p, c.req)
+				}
+				c.done.Fire()
+			}
+		})
+	}
+}
+
+// Stop shuts down the worker pool by sending one sentinel per worker.
+// In-flight and queued calls complete first (FIFO order); calls arriving
+// after Stop fail fast with ErrServerDown.
+func (s *Server) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for i := 0; i < s.workers; i++ {
+		s.queue.Put(nil)
+	}
+}
+
+// Stopped reports whether the server has been stopped.
+func (s *Server) Stopped() bool { return s.stopped }
+
+// QueueDepth returns the number of requests waiting (excluding in service).
+func (s *Server) QueueDepth() int { return s.queue.Len() }
+
+// Call performs a blocking RPC from the calling process located at `from`:
+// request transfer, server queueing and handler execution, response
+// transfer. It returns the response and the total elapsed virtual time.
+func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Duration) {
+	if !s.started {
+		panic("netsim: Call before Server.Start")
+	}
+	start := p.Now()
+	net := s.Node.net
+	p.Sleep(net.TransferTime(from, s.Node, req.Bytes))
+	if s.stopped {
+		return Response{Err: fmt.Errorf("%w: %s", ErrServerDown, s.Node.Name)}, p.Now() - start
+	}
+	c := &inFlight{req: req, done: sim.NewSignal(net.k)}
+	s.queue.Put(c)
+	p.Wait(c.done)
+	p.Sleep(net.TransferTime(s.Node, from, c.resp.Bytes))
+	return c.resp, p.Now() - start
+}

@@ -1,0 +1,229 @@
+package platform
+
+import (
+	"hyperprof/internal/profile"
+	"hyperprof/internal/taxonomy"
+)
+
+// This file holds every number taken from the paper's published aggregates.
+// The platform simulations are calibrated against these tables, and the
+// characterization experiments re-derive them from observed execution — so
+// agreement is a pipeline test, not a tautology: work is scheduled, queued,
+// jittered, sampled and classified between these inputs and the reported
+// outputs.
+
+// CategoryFunction names the canonical leaf function used to represent each
+// tax category in the simulations. Each name classifies into its category
+// under the fleet classifier rules.
+var CategoryFunction = map[taxonomy.Category]string{
+	taxonomy.Compression:      "snappy.RawCompress",
+	taxonomy.Cryptography:     "crypto.RecordHash",
+	taxonomy.DataMovement:     "memcpy_avx_unaligned",
+	taxonomy.MemAllocation:    "tcmalloc.CentralFreeList",
+	taxonomy.Protobuf:         "proto.WireFormat",
+	taxonomy.RPC:              "stubby.ServerTransport",
+	taxonomy.EDAC:             "crc32c.Extend",
+	taxonomy.FileSystems:      "colossus.ClientRead",
+	taxonomy.OtherMemoryOps:   "memset_erms",
+	taxonomy.Multithreading:   "futex_wait_queue",
+	taxonomy.Networking:       "tcp.tcp_sendmsg",
+	taxonomy.OperatingSystems: "syscall.epoll_pwait",
+	taxonomy.STL:              "std.raw_hash_set",
+	taxonomy.MiscSystem:       "sys.misc.longtail",
+}
+
+// BroadSplit is a platform's Figure 3 decomposition.
+type BroadSplit struct {
+	CoreCompute, DatacenterTax, SystemTax float64
+}
+
+// PaperBroadSplit returns the Figure 3 fractions per platform.
+func PaperBroadSplit(p taxonomy.Platform) BroadSplit {
+	switch p {
+	case taxonomy.Spanner:
+		return BroadSplit{CoreCompute: 0.36, DatacenterTax: 0.32, SystemTax: 0.32}
+	case taxonomy.BigTable:
+		return BroadSplit{CoreCompute: 0.26, DatacenterTax: 0.40, SystemTax: 0.34}
+	default: // BigQuery
+		return BroadSplit{CoreCompute: 0.18, DatacenterTax: 0.40, SystemTax: 0.42}
+	}
+}
+
+// PaperDCTSplit returns the Figure 5 datacenter-tax fractions per platform.
+func PaperDCTSplit(p taxonomy.Platform) map[taxonomy.Category]float64 {
+	switch p {
+	case taxonomy.Spanner:
+		return map[taxonomy.Category]float64{
+			taxonomy.Protobuf:      0.20,
+			taxonomy.Compression:   0.14,
+			taxonomy.RPC:           0.23,
+			taxonomy.DataMovement:  0.16,
+			taxonomy.MemAllocation: 0.15,
+			taxonomy.Cryptography:  0.12,
+		}
+	case taxonomy.BigTable:
+		return map[taxonomy.Category]float64{
+			taxonomy.Protobuf:      0.20,
+			taxonomy.Compression:   0.31,
+			taxonomy.RPC:           0.37,
+			taxonomy.DataMovement:  0.05,
+			taxonomy.MemAllocation: 0.04,
+			taxonomy.Cryptography:  0.03,
+		}
+	default: // BigQuery
+		return map[taxonomy.Category]float64{
+			taxonomy.Protobuf:      0.25,
+			taxonomy.Compression:   0.31,
+			taxonomy.RPC:           0.11,
+			taxonomy.DataMovement:  0.14,
+			taxonomy.MemAllocation: 0.12,
+			taxonomy.Cryptography:  0.07,
+		}
+	}
+}
+
+// PaperSTSplit returns the Figure 6 system-tax fractions per platform.
+func PaperSTSplit(p taxonomy.Platform) map[taxonomy.Category]float64 {
+	switch p {
+	case taxonomy.Spanner:
+		return map[taxonomy.Category]float64{
+			taxonomy.STL:              0.30,
+			taxonomy.OperatingSystems: 0.28,
+			taxonomy.FileSystems:      0.12,
+			taxonomy.Networking:       0.10,
+			taxonomy.Multithreading:   0.08,
+			taxonomy.OtherMemoryOps:   0.06,
+			taxonomy.EDAC:             0.03,
+			taxonomy.MiscSystem:       0.03,
+		}
+	case taxonomy.BigTable:
+		return map[taxonomy.Category]float64{
+			taxonomy.STL:              0.25,
+			taxonomy.OperatingSystems: 0.25,
+			taxonomy.FileSystems:      0.15,
+			taxonomy.Networking:       0.12,
+			taxonomy.Multithreading:   0.10,
+			taxonomy.OtherMemoryOps:   0.06,
+			taxonomy.EDAC:             0.04,
+			taxonomy.MiscSystem:       0.03,
+		}
+	default: // BigQuery
+		return map[taxonomy.Category]float64{
+			taxonomy.STL:              0.53,
+			taxonomy.OperatingSystems: 0.18,
+			taxonomy.FileSystems:      0.10,
+			taxonomy.Networking:       0.06,
+			taxonomy.Multithreading:   0.05,
+			taxonomy.OtherMemoryOps:   0.04,
+			taxonomy.EDAC:             0.02,
+			taxonomy.MiscSystem:       0.02,
+		}
+	}
+}
+
+// PaperCoreSplit returns the Figure 4 core-compute fractions per platform
+// (within shown categories).
+func PaperCoreSplit(p taxonomy.Platform) map[taxonomy.Category]float64 {
+	switch p {
+	case taxonomy.Spanner:
+		return map[taxonomy.Category]float64{
+			taxonomy.Read:          0.30,
+			taxonomy.Write:         0.17,
+			taxonomy.Consensus:     0.13,
+			taxonomy.Query:         0.12,
+			taxonomy.Compaction:    0.08,
+			taxonomy.MiscCore:      0.10,
+			taxonomy.Uncategorized: 0.10,
+		}
+	case taxonomy.BigTable:
+		return map[taxonomy.Category]float64{
+			taxonomy.Read:          0.22,
+			taxonomy.Write:         0.18,
+			taxonomy.Compaction:    0.15,
+			taxonomy.Consensus:     0.10,
+			taxonomy.Query:         0.05,
+			taxonomy.MiscCore:      0.16,
+			taxonomy.Uncategorized: 0.14,
+		}
+	default: // BigQuery
+		return map[taxonomy.Category]float64{
+			taxonomy.Filter:        0.20,
+			taxonomy.Aggregate:     0.17,
+			taxonomy.Compute:       0.14,
+			taxonomy.Join:          0.09,
+			taxonomy.Destructure:   0.08,
+			taxonomy.Sort:          0.07,
+			taxonomy.Project:       0.05,
+			taxonomy.Materialize:   0.04,
+			taxonomy.MiscCore:      0.08,
+			taxonomy.Uncategorized: 0.08,
+		}
+	}
+}
+
+// PaperMicro returns the Table 7 microarchitecture profile for a platform's
+// broad class. Field order: IPC, BR, L1I, L2I, LLC, ITLB, DTLBLD.
+func PaperMicro(p taxonomy.Platform, b taxonomy.Broad) profile.Micro {
+	type pk struct {
+		p taxonomy.Platform
+		b taxonomy.Broad
+	}
+	table := map[pk]profile.Micro{
+		{taxonomy.Spanner, taxonomy.CoreCompute}:    {IPC: 0.9, BR: 5.4, L1I: 12.4, L2I: 4.2, LLC: 0.6, ITLB: 0.2, DTLBLD: 0.8},
+		{taxonomy.Spanner, taxonomy.DatacenterTax}:  {IPC: 0.6, BR: 5.5, L1I: 16.7, L2I: 8.0, LLC: 1.0, ITLB: 0.6, DTLBLD: 2.0},
+		{taxonomy.Spanner, taxonomy.SystemTax}:      {IPC: 0.7, BR: 5.5, L1I: 21.6, L2I: 11.8, LLC: 1.4, ITLB: 0.4, DTLBLD: 2.7},
+		{taxonomy.BigTable, taxonomy.CoreCompute}:   {IPC: 0.6, BR: 5.2, L1I: 9.6, L2I: 4.2, LLC: 1.0, ITLB: 0.2, DTLBLD: 1.3},
+		{taxonomy.BigTable, taxonomy.DatacenterTax}: {IPC: 0.6, BR: 5.3, L1I: 14.7, L2I: 8.4, LLC: 1.2, ITLB: 0.5, DTLBLD: 2.1},
+		{taxonomy.BigTable, taxonomy.SystemTax}:     {IPC: 0.7, BR: 6.9, L1I: 21.9, L2I: 14.7, LLC: 1.4, ITLB: 0.5, DTLBLD: 3.6},
+		{taxonomy.BigQuery, taxonomy.CoreCompute}:   {IPC: 1.4, BR: 2.0, L1I: 1.1, L2I: 0.4, LLC: 0.3, ITLB: 0.1, DTLBLD: 0.6},
+		{taxonomy.BigQuery, taxonomy.DatacenterTax}: {IPC: 1.0, BR: 3.8, L1I: 13.6, L2I: 3.4, LLC: 1.1, ITLB: 0.6, DTLBLD: 2.2},
+		{taxonomy.BigQuery, taxonomy.SystemTax}:     {IPC: 1.0, BR: 3.5, L1I: 10.8, L2I: 6.0, LLC: 1.1, ITLB: 0.2, DTLBLD: 1.7},
+	}
+	return table[pk{p, b}]
+}
+
+// PaperStorageRatio returns Table 1's RAM:SSD:HDD provisioning ratio, used
+// to provision each platform's fleet.
+func PaperStorageRatio(p taxonomy.Platform) (ram, ssd, hdd int64) {
+	switch p {
+	case taxonomy.Spanner:
+		return 1, 16, 164
+	case taxonomy.BigTable:
+		return 1, 7, 777
+	default: // BigQuery
+		return 1, 8, 90
+	}
+}
+
+// SplitFromCategories converts category fractions into a function-level
+// Split using the canonical representative functions.
+func SplitFromCategories(fr map[taxonomy.Category]float64) Split {
+	out := Split{}
+	for cat, f := range fr {
+		out[CategoryFunction[cat]] = f
+	}
+	return out
+}
+
+// TaxTablesFor builds the calibrated tax tables for a platform: Figure 5 and
+// Figure 6 splits with Table 7 micro profiles attached.
+func TaxTablesFor(p taxonomy.Platform) TaxTables {
+	dct := SplitFromCategories(PaperDCTSplit(p))
+	st := SplitFromCategories(PaperSTSplit(p))
+	micros := MergeMicros(
+		MicroFor(PaperMicro(p, taxonomy.DatacenterTax), dct.Keys()...),
+		MicroFor(PaperMicro(p, taxonomy.SystemTax), st.Keys()...),
+	)
+	return TaxTables{DCT: dct, ST: st, Micros: micros}
+}
+
+// TaxBudgets converts a core-compute CPU budget into the matching tax
+// budgets so the operation's broad split lands on the platform's Figure 3
+// fractions.
+func TaxBudgets(p taxonomy.Platform, core float64) (dct, st float64) {
+	bs := PaperBroadSplit(p)
+	if bs.CoreCompute <= 0 {
+		return 0, 0
+	}
+	return core * bs.DatacenterTax / bs.CoreCompute, core * bs.SystemTax / bs.CoreCompute
+}

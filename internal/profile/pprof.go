@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"time"
+
+	"hyperprof/internal/protowire"
+	"hyperprof/internal/taxonomy"
+)
+
+// This file exports a platform's profile in the pprof protobuf format
+// (github.com/google/pprof/proto/profile.proto), encoded with this
+// repository's own protowire implementation, so a simulated GWP profile can
+// be inspected with the standard `go tool pprof` workflow:
+//
+//	go run ./cmd/hyperprof -pprof spanner.pb.gz
+//	go tool pprof -top spanner.pb.gz
+
+// pprof message descriptors (field numbers from profile.proto).
+var (
+	pprofValueType = protowire.MustDescriptor("ValueType", []protowire.Field{
+		{Num: 1, Name: "type", Kind: protowire.Int64Kind},
+		{Num: 2, Name: "unit", Kind: protowire.Int64Kind},
+	})
+	pprofLine = protowire.MustDescriptor("Line", []protowire.Field{
+		{Num: 1, Name: "function_id", Kind: protowire.Int64Kind},
+		{Num: 2, Name: "line", Kind: protowire.Int64Kind},
+	})
+	pprofLocation = protowire.MustDescriptor("Location", []protowire.Field{
+		{Num: 1, Name: "id", Kind: protowire.Int64Kind},
+		{Num: 4, Name: "line", Kind: protowire.MessageKind, Repeated: true, Msg: pprofLine},
+	})
+	pprofFunction = protowire.MustDescriptor("Function", []protowire.Field{
+		{Num: 1, Name: "id", Kind: protowire.Int64Kind},
+		{Num: 2, Name: "name", Kind: protowire.Int64Kind},
+		{Num: 3, Name: "system_name", Kind: protowire.Int64Kind},
+		{Num: 4, Name: "filename", Kind: protowire.Int64Kind},
+	})
+	pprofLabel = protowire.MustDescriptor("Label", []protowire.Field{
+		{Num: 1, Name: "key", Kind: protowire.Int64Kind},
+		{Num: 2, Name: "str", Kind: protowire.Int64Kind},
+	})
+	pprofSample = protowire.MustDescriptor("Sample", []protowire.Field{
+		{Num: 1, Name: "location_id", Kind: protowire.Int64Kind, Repeated: true},
+		{Num: 2, Name: "value", Kind: protowire.Int64Kind, Repeated: true},
+		{Num: 3, Name: "label", Kind: protowire.MessageKind, Repeated: true, Msg: pprofLabel},
+	})
+	pprofProfile = protowire.MustDescriptor("Profile", []protowire.Field{
+		{Num: 1, Name: "sample_type", Kind: protowire.MessageKind, Repeated: true, Msg: pprofValueType},
+		{Num: 2, Name: "sample", Kind: protowire.MessageKind, Repeated: true, Msg: pprofSample},
+		{Num: 4, Name: "location", Kind: protowire.MessageKind, Repeated: true, Msg: pprofLocation},
+		{Num: 5, Name: "function", Kind: protowire.MessageKind, Repeated: true, Msg: pprofFunction},
+		{Num: 6, Name: "string_table", Kind: protowire.StringKind, Repeated: true},
+		{Num: 10, Name: "duration_nanos", Kind: protowire.Int64Kind},
+		{Num: 11, Name: "period_type", Kind: protowire.MessageKind, Msg: pprofValueType},
+		{Num: 12, Name: "period", Kind: protowire.Int64Kind},
+	})
+)
+
+// ExportPprof serializes one platform's flat profile as a gzip-compressed
+// pprof protobuf. Each leaf function becomes a one-frame sample carrying its
+// total CPU nanoseconds, labeled with its taxonomy category.
+func (p *Profiler) ExportPprof(platform taxonomy.Platform) ([]byte, error) {
+	rows := p.TopFunctions(platform, 0)
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("profile: no samples for %s", platform)
+	}
+
+	msg := protowire.NewMessage(pprofProfile)
+	strs := []string{""} // index 0 must be the empty string
+	intern := map[string]uint64{"": 0}
+	s := func(v string) uint64 {
+		if i, ok := intern[v]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, v)
+		intern[v] = i
+		return i
+	}
+
+	msg.SetMsg(1, protowire.NewMessage(pprofValueType).
+		SetInt(1, s("cpu")).SetInt(2, s("nanoseconds")))
+	msg.SetMsg(11, protowire.NewMessage(pprofValueType).
+		SetInt(1, s("cpu")).SetInt(2, s("nanoseconds")))
+	msg.SetInt(12, 1)
+
+	var total time.Duration
+	catKey := s("category")
+	for i, row := range rows {
+		id := uint64(i + 1)
+		fn := protowire.NewMessage(pprofFunction).
+			SetInt(1, id).
+			SetInt(2, s(row.Function)).
+			SetInt(3, s(row.Function)).
+			SetInt(4, s(string(platform)+"/"+string(row.Category)))
+		msg.SetMsg(5, fn)
+		loc := protowire.NewMessage(pprofLocation).
+			SetInt(1, id).
+			SetMsg(4, protowire.NewMessage(pprofLine).SetInt(1, id).SetInt(2, 1))
+		msg.SetMsg(4, loc)
+		sample := protowire.NewMessage(pprofSample).
+			SetInt(1, id).
+			SetInt(2, uint64(row.CPU.Nanoseconds())).
+			SetMsg(3, protowire.NewMessage(pprofLabel).
+				SetInt(1, catKey).SetInt(2, s(string(row.Category))))
+		msg.SetMsg(2, sample)
+		total += row.CPU
+	}
+	msg.SetInt(10, uint64(total.Nanoseconds()))
+	for _, v := range strs {
+		msg.SetBytes(6, []byte(v))
+	}
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(msg.Marshal(nil)); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

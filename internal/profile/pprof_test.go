@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+	"time"
+
+	"hyperprof/internal/protowire"
+	"hyperprof/internal/taxonomy"
+)
+
+func TestExportPprofRoundTrip(t *testing.T) {
+	p := New(nil, 1)
+	p.Record(Work{Platform: taxonomy.Spanner, Function: "snappy.Compress", Duration: 30 * time.Millisecond, Micro: testMicro})
+	p.Record(Work{Platform: taxonomy.Spanner, Function: "stubby.Call", Duration: 70 * time.Millisecond, Micro: testMicro})
+
+	gz, err := p.ExportPprof(taxonomy.Spanner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := protowire.Unmarshal(pprofProfile, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// String table: index 0 empty, functions present.
+	strs := msg.Get(6)
+	if len(strs) < 5 || len(strs[0].S) != 0 {
+		t.Fatalf("string table = %d entries", len(strs))
+	}
+	lookup := func(idx uint64) string { return string(strs[idx].S) }
+
+	// Two samples whose values sum to the recorded CPU time.
+	samples := msg.Get(2)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	var sum int64
+	for _, sv := range samples {
+		sum += int64(sv.M.Get(2)[0].I)
+	}
+	if sum != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("sample values sum to %d", sum)
+	}
+
+	// Functions resolve through the string table; hottest first.
+	fns := msg.Get(5)
+	if len(fns) != 2 {
+		t.Fatalf("functions = %d", len(fns))
+	}
+	if got := lookup(fns[0].M.Get(2)[0].I); got != "stubby.Call" {
+		t.Fatalf("first function = %q", got)
+	}
+
+	// Sample type is cpu/nanoseconds.
+	st := msg.Get(1)[0].M
+	if lookup(st.Get(1)[0].I) != "cpu" || lookup(st.Get(2)[0].I) != "nanoseconds" {
+		t.Fatal("sample type wrong")
+	}
+
+	// Category labels attached.
+	label := samples[0].M.Get(3)[0].M
+	if lookup(label.Get(1)[0].I) != "category" {
+		t.Fatal("label key wrong")
+	}
+	if lookup(label.Get(2)[0].I) != string(taxonomy.RPC) {
+		t.Fatalf("label value = %q", lookup(label.Get(2)[0].I))
+	}
+
+	// Duration covers the total.
+	if got := int64(msg.Get(10)[0].I); got != sum {
+		t.Fatalf("duration_nanos = %d", got)
+	}
+}
+
+func TestExportPprofEmptyPlatform(t *testing.T) {
+	p := New(nil, 1)
+	if _, err := p.ExportPprof(taxonomy.BigQuery); err == nil {
+		t.Fatal("empty profile exported")
+	}
+}

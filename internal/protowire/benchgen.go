@@ -1,0 +1,187 @@
+package protowire
+
+import (
+	"fmt"
+
+	"hyperprof/internal/stats"
+)
+
+// This file generates fleet-representative protobuf corpora in the spirit of
+// HyperProtoBench (Karandikar et al., MICRO '21), the benchmark the paper's
+// Table 8 validation serializes. The paper's corpus is derived from
+// proprietary fleet profiling; we substitute schemas drawn from published
+// aggregate shape statistics: messages dominated by strings and integers,
+// shallow nesting (most messages under depth 3), short strings with a heavy
+// tail, and occasional repeated fields.
+
+// GenConfig controls the shape distribution of generated schemas and
+// instances.
+type GenConfig struct {
+	// MaxDepth bounds nested-message depth; 3 matches fleet medians.
+	MaxDepth int
+	// FieldsMin/FieldsMax bound the number of fields per message type.
+	FieldsMin, FieldsMax int
+	// NestProb is the probability a field is a nested message (decays with
+	// depth).
+	NestProb float64
+	// RepeatProb is the probability a field is repeated.
+	RepeatProb float64
+	// MaxRepeat bounds elements per repeated field instance.
+	MaxRepeat int
+	// StringMu/StringSigma parameterize the lognormal string-length
+	// distribution (bytes).
+	StringMu, StringSigma float64
+	// PresenceProb is the probability a declared field is populated in an
+	// instance.
+	PresenceProb float64
+}
+
+// DefaultGenConfig returns the fleet-shaped defaults used by the Table 8
+// validation workload.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxDepth:     3,
+		FieldsMin:    4,
+		FieldsMax:    12,
+		NestProb:     0.25,
+		RepeatProb:   0.15,
+		MaxRepeat:    4,
+		StringMu:     3.0, // median e^3 ≈ 20 bytes
+		StringSigma:  1.0,
+		PresenceProb: 0.85,
+	}
+}
+
+// Generator produces random schemas and message instances deterministically
+// from a seed.
+type Generator struct {
+	rng   *stats.RNG
+	cfg   GenConfig
+	vocab [][]byte
+}
+
+// NewGenerator creates a generator with the given seed and configuration.
+func NewGenerator(seed uint64, cfg GenConfig) *Generator {
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.FieldsMin < 1 {
+		cfg.FieldsMin = 1
+	}
+	if cfg.FieldsMax < cfg.FieldsMin {
+		cfg.FieldsMax = cfg.FieldsMin
+	}
+	if cfg.MaxRepeat < 1 {
+		cfg.MaxRepeat = 1
+	}
+	g := &Generator{rng: stats.NewRNG(seed), cfg: cfg}
+	// String fields draw from a small vocabulary rather than uniform
+	// random bytes: fleet protobuf payloads (URLs, identifiers, labels)
+	// are low-entropy and compress several-fold, which matters to the
+	// compression-tax experiments.
+	g.vocab = make([][]byte, 48)
+	for i := range g.vocab {
+		w := make([]byte, 3+g.rng.Intn(9))
+		for j := range w {
+			w[j] = byte('a' + g.rng.Intn(26))
+		}
+		g.vocab[i] = w
+	}
+	return g
+}
+
+// scalar kinds weighted toward strings and varint integers, matching the
+// field-type mix HyperProtoBench reports for fleet messages.
+var scalarKinds = []Kind{StringKind, Int64Kind, SInt64Kind, BoolKind, DoubleKind, Fixed64Kind, Fixed32Kind, BytesKind}
+var scalarWeights = []float64{0.35, 0.25, 0.08, 0.08, 0.08, 0.06, 0.04, 0.06}
+
+// Schema generates a new random message type.
+func (g *Generator) Schema(name string) *Descriptor {
+	return g.schemaAt(name, 1)
+}
+
+func (g *Generator) schemaAt(name string, depth int) *Descriptor {
+	nFields := g.cfg.FieldsMin + g.rng.Intn(g.cfg.FieldsMax-g.cfg.FieldsMin+1)
+	fields := make([]Field, 0, nFields)
+	w := stats.NewWeighted(g.rng, scalarWeights)
+	for i := 0; i < nFields; i++ {
+		f := Field{Num: i + 1, Name: fmt.Sprintf("%s_f%d", name, i+1)}
+		nestP := g.cfg.NestProb / float64(depth)
+		if depth < g.cfg.MaxDepth && g.rng.Bool(nestP) {
+			f.Kind = MessageKind
+			f.Msg = g.schemaAt(fmt.Sprintf("%s_m%d", name, i+1), depth+1)
+		} else {
+			f.Kind = scalarKinds[w.Next()]
+		}
+		if f.Kind != MessageKind && g.rng.Bool(g.cfg.RepeatProb) {
+			f.Repeated = true
+		}
+		fields = append(fields, f)
+	}
+	return MustDescriptor(name, fields)
+}
+
+// Instance generates a random message instance of type d.
+func (g *Generator) Instance(d *Descriptor) *Message {
+	m := NewMessage(d)
+	for _, f := range d.Fields {
+		if !g.rng.Bool(g.cfg.PresenceProb) {
+			continue
+		}
+		count := 1
+		if f.Repeated {
+			count = 1 + g.rng.Intn(g.cfg.MaxRepeat)
+		}
+		for i := 0; i < count; i++ {
+			switch f.Kind {
+			case StringKind, BytesKind:
+				m.add(f.Num, Value{S: g.randBytes()})
+			case MessageKind:
+				m.add(f.Num, Value{M: g.Instance(f.Msg)})
+			case BoolKind:
+				m.add(f.Num, Value{I: uint64(g.rng.Intn(2))})
+			case SInt64Kind:
+				m.add(f.Num, Value{I: uint64(int64(g.rng.Uint64()) >> 32)})
+			case Fixed32Kind:
+				m.add(f.Num, Value{I: uint64(uint32(g.rng.Uint64()))})
+			default:
+				m.add(f.Num, Value{I: g.rng.Uint64() >> uint(g.rng.Intn(48))})
+			}
+		}
+	}
+	return m
+}
+
+func (g *Generator) randBytes() []byte {
+	n := int(g.rng.LogNormal(g.cfg.StringMu, g.cfg.StringSigma))
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	b := make([]byte, 0, n+12)
+	for len(b) < n {
+		b = append(b, g.vocab[g.rng.Intn(len(g.vocab))]...)
+		b = append(b, '/')
+	}
+	return b[:n]
+}
+
+// Corpus generates count instances spread across nSchemas generated schemas,
+// returning the messages. The same (seed, cfg, nSchemas, count) always yields
+// an identical corpus.
+func (g *Generator) Corpus(nSchemas, count int) []*Message {
+	if nSchemas < 1 {
+		nSchemas = 1
+	}
+	schemas := make([]*Descriptor, nSchemas)
+	for i := range schemas {
+		schemas[i] = g.Schema(fmt.Sprintf("bench%d", i))
+	}
+	msgs := make([]*Message, count)
+	for i := range msgs {
+		msgs[i] = g.Instance(schemas[g.rng.Intn(nSchemas)])
+	}
+	return msgs
+}

@@ -1,0 +1,279 @@
+package protowire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testDescriptor(t *testing.T) *Descriptor {
+	t.Helper()
+	inner := MustDescriptor("Inner", []Field{
+		{Num: 1, Name: "id", Kind: Int64Kind},
+		{Num: 2, Name: "tag", Kind: StringKind},
+	})
+	return MustDescriptor("Outer", []Field{
+		{Num: 1, Name: "key", Kind: Int64Kind},
+		{Num: 2, Name: "name", Kind: StringKind},
+		{Num: 3, Name: "score", Kind: DoubleKind},
+		{Num: 4, Name: "delta", Kind: SInt64Kind},
+		{Num: 5, Name: "flags", Kind: BoolKind, Repeated: true},
+		{Num: 6, Name: "inner", Kind: MessageKind, Msg: inner},
+		{Num: 7, Name: "blob", Kind: BytesKind},
+		{Num: 8, Name: "f32", Kind: Fixed32Kind},
+		{Num: 9, Name: "f64", Kind: Fixed64Kind},
+		{Num: 10, Name: "items", Kind: MessageKind, Msg: inner, Repeated: true},
+	})
+}
+
+func negAsUint(v int64) uint64 { return uint64(v) }
+
+func TestDescriptorValidation(t *testing.T) {
+	if _, err := NewDescriptor("bad", []Field{{Num: 0, Name: "x", Kind: Int64Kind}}); err == nil {
+		t.Error("field number 0 should fail")
+	}
+	if _, err := NewDescriptor("bad", []Field{
+		{Num: 1, Name: "a", Kind: Int64Kind},
+		{Num: 1, Name: "b", Kind: Int64Kind},
+	}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate numbers: err = %v", err)
+	}
+	if _, err := NewDescriptor("bad", []Field{{Num: 1, Name: "m", Kind: MessageKind}}); err == nil {
+		t.Error("message kind without descriptor should fail")
+	}
+	if _, err := NewDescriptor("bad", []Field{{Num: 1, Name: "i", Kind: Int64Kind, Msg: &Descriptor{}}}); err == nil {
+		t.Error("scalar kind with descriptor should fail")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	d := testDescriptor(t)
+	inner := NewMessage(d.FieldByNum(6).Msg).SetInt(1, 42).SetBytes(2, []byte("abc"))
+	m := NewMessage(d).
+		SetInt(1, 12345).
+		SetBytes(2, []byte("hello world")).
+		SetInt(3, math.Float64bits(3.25)).
+		SetInt(4, negAsUint(-77)).
+		SetInt(5, 1).SetInt(5, 0).SetInt(5, 1).
+		SetMsg(6, inner).
+		SetBytes(7, []byte{0, 1, 2, 255}).
+		SetInt(8, 0xcafe).
+		SetInt(9, 0xdeadbeefcafe)
+
+	wire := m.Marshal(nil)
+	if len(wire) != m.Size() {
+		t.Fatalf("Size() = %d but encoded %d bytes", m.Size(), len(wire))
+	}
+	back, err := Unmarshal(d, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, back) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Spot-check individual decoded values.
+	if got := back.Get(4)[0].I; int64(got) != -77 {
+		t.Errorf("sint64 = %d, want -77", int64(got))
+	}
+	if got := math.Float64frombits(back.Get(3)[0].I); got != 3.25 {
+		t.Errorf("double = %v", got)
+	}
+	if flags := back.Get(5); len(flags) != 3 || flags[0].I != 1 || flags[1].I != 0 {
+		t.Errorf("repeated bools = %v", flags)
+	}
+	if in := back.Get(6)[0].M; in.Get(1)[0].I != 42 || string(in.Get(2)[0].S) != "abc" {
+		t.Error("nested message mismatch")
+	}
+}
+
+func TestNonRepeatedSetOverwrites(t *testing.T) {
+	d := testDescriptor(t)
+	m := NewMessage(d).SetInt(1, 1).SetInt(1, 2)
+	if vals := m.Get(1); len(vals) != 1 || vals[0].I != 2 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestRepeatedSetAppends(t *testing.T) {
+	d := testDescriptor(t)
+	m := NewMessage(d)
+	in := d.FieldByNum(10).Msg
+	m.SetMsg(10, NewMessage(in).SetInt(1, 1))
+	m.SetMsg(10, NewMessage(in).SetInt(1, 2))
+	if len(m.Get(10)) != 2 {
+		t.Fatalf("repeated messages = %d", len(m.Get(10)))
+	}
+}
+
+func TestSetUnknownFieldPanics(t *testing.T) {
+	d := testDescriptor(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMessage(d).SetInt(99, 1)
+}
+
+func TestUnmarshalSkipsUnknownFields(t *testing.T) {
+	full := testDescriptor(t)
+	partial := MustDescriptor("Partial", []Field{{Num: 2, Name: "name", Kind: StringKind}})
+	m := NewMessage(full).SetInt(1, 7).SetBytes(2, []byte("keepme")).SetInt(8, 9).SetInt(9, 10)
+	wire := m.Marshal(nil)
+	got, err := Unmarshal(partial, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || string(got.Get(2)[0].S) != "keepme" {
+		t.Fatalf("partial decode = %v fields", got.Len())
+	}
+}
+
+func TestUnmarshalWireTypeMismatch(t *testing.T) {
+	d := MustDescriptor("X", []Field{{Num: 1, Name: "s", Kind: StringKind}})
+	wire := AppendTag(nil, 1, VarintType)
+	wire = AppendVarint(wire, 5)
+	if _, err := Unmarshal(d, wire); err == nil || !strings.Contains(err.Error(), "wire type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	d := testDescriptor(t)
+	m := NewMessage(d).SetBytes(2, []byte("some string data"))
+	wire := m.Marshal(nil)
+	for i := 1; i < len(wire); i++ {
+		if _, err := Unmarshal(d, wire[:i]); err == nil {
+			t.Fatalf("prefix %d decoded without error", i)
+		}
+	}
+}
+
+func TestEqualDifferences(t *testing.T) {
+	d := testDescriptor(t)
+	a := NewMessage(d).SetInt(1, 1)
+	b := NewMessage(d).SetInt(1, 2)
+	if Equal(a, b) {
+		t.Error("different ints compare equal")
+	}
+	c := NewMessage(d).SetBytes(2, []byte("x"))
+	if Equal(a, c) {
+		t.Error("different fields compare equal")
+	}
+	if !Equal(a, NewMessage(d).SetInt(1, 1)) {
+		t.Error("identical messages compare unequal")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	d := testDescriptor(t)
+	build := func() *Message {
+		return NewMessage(d).SetInt(9, 1).SetBytes(2, []byte("z")).SetInt(1, 5)
+	}
+	w1 := build().Marshal(nil)
+	w2 := build().Marshal(nil)
+	if string(w1) != string(w2) {
+		t.Fatal("marshal not deterministic")
+	}
+	// Ascending field order on the wire: field 1's tag must come first.
+	num, _, _, err := ConsumeTag(w1)
+	if err != nil || num != 1 {
+		t.Fatalf("first field on wire = %d, want 1", num)
+	}
+}
+
+func TestGeneratorDeterministicCorpus(t *testing.T) {
+	g1 := NewGenerator(99, DefaultGenConfig())
+	g2 := NewGenerator(99, DefaultGenConfig())
+	c1 := g1.Corpus(3, 50)
+	c2 := g2.Corpus(3, 50)
+	if len(c1) != 50 || len(c2) != 50 {
+		t.Fatal("corpus size")
+	}
+	for i := range c1 {
+		if string(c1[i].Marshal(nil)) != string(c2[i].Marshal(nil)) {
+			t.Fatalf("corpus diverged at %d", i)
+		}
+	}
+}
+
+func TestGeneratorInstancesRoundTrip(t *testing.T) {
+	g := NewGenerator(7, DefaultGenConfig())
+	msgs := g.Corpus(4, 100)
+	var total int
+	for i, m := range msgs {
+		wire := m.Marshal(nil)
+		total += len(wire)
+		if len(wire) != m.Size() {
+			t.Fatalf("msg %d: size mismatch", i)
+		}
+		back, err := Unmarshal(m.Desc, wire)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !Equal(m, back) {
+			t.Fatalf("msg %d: roundtrip mismatch", i)
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty corpus")
+	}
+	mean := total / len(msgs)
+	if mean < 20 || mean > 1<<20 {
+		t.Fatalf("implausible mean message size %d bytes", mean)
+	}
+}
+
+func TestGeneratorDepthBound(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.MaxDepth = 2
+	cfg.NestProb = 1.0
+	g := NewGenerator(3, cfg)
+	d := g.Schema("root")
+	var depth func(*Descriptor) int
+	depth = func(d *Descriptor) int {
+		max := 1
+		for _, f := range d.Fields {
+			if f.Kind == MessageKind {
+				if dd := 1 + depth(f.Msg); dd > max {
+					max = dd
+				}
+			}
+		}
+		return max
+	}
+	if got := depth(d); got > 2 {
+		t.Fatalf("depth %d exceeds bound 2", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int64Kind.String() != "int64" || MessageKind.String() != "message" {
+		t.Fatal("kind names")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	d := testDescriptor(t)
+	inner := NewMessage(d.FieldByNum(6).Msg).SetInt(1, 9)
+	m := NewMessage(d).
+		SetInt(1, 42).
+		SetBytes(2, []byte("short")).
+		SetBytes(7, bytes.Repeat([]byte("x"), 100)).
+		SetInt(4, negAsUint(-3)).
+		SetMsg(6, inner)
+	s := m.String()
+	for _, want := range []string{"Outer{", "key:42", `name:"short"`, "delta:-3", "inner:Inner{id:9}", "…(100B)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// Deterministic field ordering (ascending numbers).
+	if strings.Index(s, "key:") > strings.Index(s, "name:") {
+		t.Error("fields out of order")
+	}
+}

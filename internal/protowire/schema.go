@@ -1,0 +1,214 @@
+package protowire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a parser for a practical subset of the .proto
+// schema language, so tools and tests can declare message types as text
+// instead of hand-building descriptors:
+//
+//	msgs, err := protowire.ParseSchema(`
+//	    message Point { int64 x = 1; int64 y = 2; }
+//	    message Path  { string name = 1; repeated Point points = 2; }
+//	`)
+//
+// Supported: message blocks, the scalar types this package implements
+// (int64, sint64, bool, fixed64, double, fixed32, string, bytes), repeated
+// fields, nested references to other messages declared in the same schema
+// (in any order), and // line comments. Unsupported proto constructs
+// (imports, enums, maps, oneof, options) are rejected with errors.
+
+// ParseSchema parses schema text and returns the declared message types by
+// name.
+func ParseSchema(src string) (map[string]*Descriptor, error) {
+	toks, err := tokenizeSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &schemaParser{toks: toks}
+	type rawField struct {
+		typ, name string
+		num       int
+		repeated  bool
+	}
+	type rawMessage struct {
+		name   string
+		fields []rawField
+	}
+	var msgs []rawMessage
+	for !p.done() {
+		if err := p.expect("message"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		m := rawMessage{name: name}
+		for p.peek() != "}" {
+			if p.done() {
+				return nil, fmt.Errorf("protowire: unterminated message %q", name)
+			}
+			var f rawField
+			if p.peek() == "repeated" {
+				f.repeated = true
+				p.next()
+			}
+			f.typ, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.name, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			numTok := p.next()
+			f.num, err = strconv.Atoi(numTok)
+			if err != nil {
+				return nil, fmt.Errorf("protowire: bad field number %q in %s.%s", numTok, name, f.name)
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			m.fields = append(m.fields, f)
+		}
+		p.next() // consume "}"
+		msgs = append(msgs, m)
+	}
+
+	// Two passes so messages can reference each other regardless of order.
+	out := make(map[string]*Descriptor, len(msgs))
+	for _, m := range msgs {
+		if _, dup := out[m.name]; dup {
+			return nil, fmt.Errorf("protowire: duplicate message %q", m.name)
+		}
+		out[m.name] = &Descriptor{Name: m.name}
+	}
+	scalarByName := map[string]Kind{
+		"int64": Int64Kind, "int32": Int64Kind, "uint64": Int64Kind, "uint32": Int64Kind,
+		"sint64": SInt64Kind, "sint32": SInt64Kind,
+		"bool":    BoolKind,
+		"fixed64": Fixed64Kind, "sfixed64": Fixed64Kind, "double": DoubleKind,
+		"fixed32": Fixed32Kind, "sfixed32": Fixed32Kind,
+		"string": StringKind, "bytes": BytesKind,
+	}
+	for _, m := range msgs {
+		fields := make([]Field, 0, len(m.fields))
+		for _, rf := range m.fields {
+			f := Field{Num: rf.num, Name: rf.name, Repeated: rf.repeated}
+			if k, ok := scalarByName[rf.typ]; ok {
+				f.Kind = k
+			} else if ref, ok := out[rf.typ]; ok {
+				f.Kind = MessageKind
+				f.Msg = ref
+			} else {
+				return nil, fmt.Errorf("protowire: unknown type %q for %s.%s", rf.typ, m.name, rf.name)
+			}
+			fields = append(fields, f)
+		}
+		d, err := NewDescriptor(m.name, fields)
+		if err != nil {
+			return nil, err
+		}
+		// Preserve the identity other messages already reference.
+		*out[m.name] = *d
+	}
+	return out, nil
+}
+
+// MustParseSchema is ParseSchema that panics on error, for static schemas.
+func MustParseSchema(src string) map[string]*Descriptor {
+	out, err := ParseSchema(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+type schemaParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *schemaParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *schemaParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *schemaParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *schemaParser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("protowire: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *schemaParser) ident() (string, error) {
+	t := p.next()
+	if t == "" || strings.ContainsAny(t, "{}=;") {
+		return "", fmt.Errorf("protowire: expected identifier, got %q", t)
+	}
+	for _, r := range t {
+		if !(r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", fmt.Errorf("protowire: bad identifier %q", t)
+		}
+	}
+	return t, nil
+}
+
+// tokenizeSchema splits the source on whitespace and punctuation, dropping
+// // comments, and rejects constructs outside the supported subset early.
+func tokenizeSchema(src string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	lines := strings.Split(src, "\n")
+	for _, line := range lines {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for _, r := range line {
+			switch {
+			case r == ' ' || r == '\t' || r == '\r':
+				flush()
+			case r == '{' || r == '}' || r == '=' || r == ';':
+				flush()
+				toks = append(toks, string(r))
+			default:
+				cur.WriteRune(r)
+			}
+		}
+		flush()
+	}
+	for _, t := range toks {
+		switch t {
+		case "import", "enum", "map", "oneof", "option", "syntax", "package", "service":
+			return nil, fmt.Errorf("protowire: %q is outside the supported schema subset", t)
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,128 @@
+package protowire
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSchema = `
+// A point in the plane.
+message Point {
+	int64 x = 1;
+	sint64 y = 2;
+}
+
+message Path {
+	string name = 1;
+	repeated Point points = 2;
+	bool closed = 3;
+	double length = 4;
+	bytes checksum = 5;
+}
+`
+
+func TestParseSchemaBasics(t *testing.T) {
+	msgs, err := ParseSchema(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	path := msgs["Path"]
+	if path == nil || len(path.Fields) != 5 {
+		t.Fatalf("Path = %+v", path)
+	}
+	pts := path.FieldByNum(2)
+	if pts == nil || pts.Kind != MessageKind || !pts.Repeated || pts.Msg != msgs["Point"] {
+		t.Fatalf("points field = %+v", pts)
+	}
+	if got := path.FieldByNum(4).Kind; got != DoubleKind {
+		t.Fatalf("length kind = %v", got)
+	}
+	if got := msgs["Point"].FieldByNum(2).Kind; got != SInt64Kind {
+		t.Fatalf("y kind = %v", got)
+	}
+}
+
+func TestParseSchemaForwardReference(t *testing.T) {
+	msgs, err := ParseSchema(`
+		message Outer { Inner child = 1; }
+		message Inner { int64 v = 1; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs["Outer"].FieldByNum(1).Msg != msgs["Inner"] {
+		t.Fatal("forward reference not resolved")
+	}
+}
+
+func TestParseSchemaRoundTripThroughWire(t *testing.T) {
+	msgs := MustParseSchema(testSchema)
+	point := func(x uint64, y int64) *Message {
+		return NewMessage(msgs["Point"]).SetInt(1, x).SetInt(2, uint64(y))
+	}
+	m := NewMessage(msgs["Path"]).
+		SetBytes(1, []byte("perimeter")).
+		SetMsg(2, point(1, -2)).
+		SetMsg(2, point(3, 4)).
+		SetInt(3, 1)
+	wire := m.Marshal(nil)
+	back, err := Unmarshal(msgs["Path"], wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, back) {
+		t.Fatal("roundtrip mismatch")
+	}
+	if got := int64(back.Get(2)[0].M.Get(2)[0].I); got != -2 {
+		t.Fatalf("sint64 y = %d", got)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []string{
+		`message Dup { int64 a = 1; int64 b = 1; }`,                // duplicate numbers
+		`message A {} message A {}`,                                // duplicate message
+		`message X { Unknown u = 1; }`,                             // unknown type
+		`message X { int64 a = zero; }`,                            // bad number
+		`message X { int64 a = 1 }`,                                // missing semicolon
+		`message X { int64 a = 1;`,                                 // unterminated
+		`enum E { A = 0; }`,                                        // unsupported construct
+		`syntax = "proto3"; message X { int64 a = 1; }`,            // unsupported header
+		`message X { map<int64,string> m = 1; }`,                   // unsupported map
+		`banana Y { int64 a = 1; }`,                                // not a message
+		`message X { repeated = 1; }`,                              // missing type
+		`message 9bad { int64 a = 1; }; message B { 9bad x = 1; }`, // bad ident use
+	}
+	for i, src := range cases {
+		if _, err := ParseSchema(src); err == nil {
+			t.Errorf("case %d parsed without error:\n%s", i, src)
+		}
+	}
+}
+
+func TestMustParseSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseSchema(`message Broken {`)
+}
+
+func TestParseSchemaCommentsAndWhitespace(t *testing.T) {
+	msgs, err := ParseSchema("message   A{int64 v=1;}// trailing comment\n// whole-line comment\nmessage B{A a=1;}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs["B"].FieldByNum(1).Msg != msgs["A"] {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// Generated instances still stringify with field names from the schema.
+	s := NewMessage(msgs["A"]).SetInt(1, 7).String()
+	if !strings.Contains(s, "v:7") {
+		t.Fatalf("String() = %s", s)
+	}
+}

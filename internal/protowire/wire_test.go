@@ -1,0 +1,162 @@
+package protowire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1<<14 - 1, 1 << 14, 1<<21 - 1, 1 << 32, math.MaxUint64}
+	for _, v := range cases {
+		b := AppendVarint(nil, v)
+		if len(b) != SizeVarint(v) {
+			t.Errorf("SizeVarint(%d) = %d, encoded %d bytes", v, SizeVarint(v), len(b))
+		}
+		got, n, err := ConsumeVarint(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("roundtrip %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		b := AppendVarint(nil, v)
+		got, n, err := ConsumeVarint(b)
+		return err == nil && got == v && n == len(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintTruncated(t *testing.T) {
+	b := AppendVarint(nil, math.MaxUint64)
+	for i := 0; i < len(b); i++ {
+		if _, _, err := ConsumeVarint(b[:i]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("prefix len %d: err = %v, want truncated", i, err)
+		}
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	b := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := ConsumeVarint(b); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+	// 10 bytes where the last contributes more than 1 bit also overflows.
+	b = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	if _, _, err := ConsumeVarint(b); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want overflow for 65-bit value", err)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, math.MaxInt64: math.MaxUint64 - 1, math.MinInt64: math.MaxUint64}
+	for in, want := range cases {
+		if got := EncodeZigZag(in); got != want {
+			t.Errorf("EncodeZigZag(%d) = %d, want %d", in, got, want)
+		}
+		if back := DecodeZigZag(want); back != in {
+			t.Errorf("DecodeZigZag(%d) = %d, want %d", want, back, in)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		return DecodeZigZag(EncodeZigZag(v)) == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, num := range []int{1, 15, 16, 2047, MaxFieldNumber} {
+		for _, wt := range []Type{VarintType, Fixed64Type, BytesType, Fixed32Type} {
+			b := AppendTag(nil, num, wt)
+			gotNum, gotType, n, err := ConsumeTag(b)
+			if err != nil || gotNum != num || gotType != wt || n != len(b) {
+				t.Errorf("tag(%d,%d): got (%d,%d,%d,%v)", num, wt, gotNum, gotType, n, err)
+			}
+		}
+	}
+}
+
+func TestTagInvalid(t *testing.T) {
+	// Field number 0.
+	b := AppendVarint(nil, 0<<3|uint64(VarintType))
+	if _, _, _, err := ConsumeTag(b); !errors.Is(err, ErrField) {
+		t.Errorf("field 0: err = %v", err)
+	}
+	// Wire type 3 (deprecated group).
+	b = AppendVarint(nil, 1<<3|3)
+	if _, _, _, err := ConsumeTag(b); !errors.Is(err, ErrWireType) {
+		t.Errorf("wiretype 3: err = %v", err)
+	}
+}
+
+func TestFixedRoundTrip(t *testing.T) {
+	b := AppendFixed32(nil, 0xdeadbeef)
+	v32, n, err := ConsumeFixed32(b)
+	if err != nil || v32 != 0xdeadbeef || n != 4 {
+		t.Fatalf("fixed32: %x %d %v", v32, n, err)
+	}
+	b = AppendFixed64(nil, 0x0123456789abcdef)
+	v64, n, err := ConsumeFixed64(b)
+	if err != nil || v64 != 0x0123456789abcdef || n != 8 {
+		t.Fatalf("fixed64: %x %d %v", v64, n, err)
+	}
+	if _, _, err := ConsumeFixed32([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short fixed32 should be truncated")
+	}
+	if _, _, err := ConsumeFixed64([]byte{1, 2, 3, 4, 5, 6, 7}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short fixed64 should be truncated")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for _, v := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 200)} {
+		b := AppendBytes(nil, v)
+		got, n, err := ConsumeBytes(b)
+		if err != nil || !bytes.Equal(got, v) || n != len(b) {
+			t.Errorf("bytes roundtrip len %d failed: %v", len(v), err)
+		}
+	}
+	// Declared length exceeds data.
+	b := AppendVarint(nil, 100)
+	b = append(b, 1, 2, 3)
+	if _, _, err := ConsumeBytes(b); !errors.Is(err, ErrTruncated) {
+		t.Fatal("over-long bytes should be truncated")
+	}
+}
+
+func TestSkipValue(t *testing.T) {
+	cases := []struct {
+		b  []byte
+		t  Type
+		n  int
+		ok bool
+	}{
+		{AppendVarint(nil, 300), VarintType, 2, true},
+		{make([]byte, 8), Fixed64Type, 8, true},
+		{make([]byte, 4), Fixed32Type, 4, true},
+		{AppendBytes(nil, []byte("hello")), BytesType, 6, true},
+		{make([]byte, 3), Fixed64Type, 0, false},
+		{nil, VarintType, 0, false},
+	}
+	for i, c := range cases {
+		n, err := SkipValue(c.b, c.t)
+		if c.ok && (err != nil || n != c.n) {
+			t.Errorf("case %d: n=%d err=%v", i, n, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := SkipValue([]byte{0}, Type(7)); err == nil {
+		t.Fatal("wire type 7 should error")
+	}
+}

@@ -1,0 +1,193 @@
+package sha3
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Reference digests generated with an independent implementation
+// (CPython hashlib, which wraps the XKCP reference code).
+var sha3_256Vectors = []struct {
+	in  string
+	out string
+}{
+	{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+	{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	{"The quick brown fox jumps over the lazy dog", "69070dda01975c8c120c3aada1b282394e7f032fa9cf32f4cb2259a0897dfc04"},
+	// rate-1 bytes, exactly rate bytes, rate+1 bytes: padding edge cases.
+	{strings.Repeat("a", 135), "8094bb53c44cfb1e67b7c30447f9a1c33696d2463ecc1d9c92538913392843c9"},
+	{strings.Repeat("a", 136), "3fc5559f14db8e453a0a3091edbd2bc25e11528d81c66fa570a4efdcc2695ee1"},
+	{strings.Repeat("a", 137), "f8d6846cedd2ccfadf15c5879ef95af724d799eed7391fb1c91f95344e738614"},
+}
+
+func TestSum256Vectors(t *testing.T) {
+	for _, v := range sha3_256Vectors {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.out {
+			t.Errorf("Sum256(%.20q... len %d) = %x, want %s", v.in, len(v.in), got, v.out)
+		}
+	}
+}
+
+func TestSum256ByteRange(t *testing.T) {
+	in := make([]byte, 256)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	got := Sum256(in)
+	want := "9b04c091da96b997afb8f2585d608aebe9c4a904f7d52c8f28c7e4d2dd9fba5f"
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("Sum256(0..255) = %x", got)
+	}
+}
+
+func TestSum256Million(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	got := Sum256(bytes.Repeat([]byte("a"), 1000000))
+	want := "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("million-a digest = %x", got)
+	}
+}
+
+func TestOtherWidths(t *testing.T) {
+	abc := []byte("abc")
+	if got := Sum224(abc); hex.EncodeToString(got[:]) != "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf" {
+		t.Errorf("Sum224 = %x", got)
+	}
+	if got := Sum384(abc); hex.EncodeToString(got[:]) != "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b298d88cea927ac7f539f1edf228376d25" {
+		t.Errorf("Sum384 = %x", got)
+	}
+	if got := Sum512(abc); hex.EncodeToString(got[:]) != "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0" {
+		t.Errorf("Sum512 = %x", got)
+	}
+}
+
+func TestShake(t *testing.T) {
+	s := NewShake128()
+	s.Write([]byte("abc"))
+	out := make([]byte, 32)
+	s.Read(out)
+	if hex.EncodeToString(out) != "5881092dd818bf5cf8a3ddb793fbcba74097d5c526a6d35f97b83351940f2cc8" {
+		t.Errorf("shake128 = %x", out)
+	}
+	s2 := NewShake256()
+	s2.Write([]byte("abc"))
+	out2 := make([]byte, 64)
+	s2.Read(out2)
+	if hex.EncodeToString(out2) != "483366601360a8771c6863080cc4114d8db44530f8f1e1ee4f94ea37e78b5739d5a15bef186a5386c75744c0527e1faa9f8726e462a12a4feb06bd8801e751e4" {
+		t.Errorf("shake256 = %x", out2)
+	}
+}
+
+func TestShakeIncrementalRead(t *testing.T) {
+	// Reading 500 bytes one byte at a time must match one large read (spans
+	// multiple squeeze permutations).
+	a := NewShake128()
+	a.Write([]byte("incremental"))
+	big := make([]byte, 500)
+	a.Read(big)
+
+	b := NewShake128()
+	b.Write([]byte("incremental"))
+	small := make([]byte, 500)
+	for i := range small {
+		b.Read(small[i : i+1])
+	}
+	if !bytes.Equal(big, small) {
+		t.Fatal("incremental squeeze differs from bulk squeeze")
+	}
+}
+
+func TestIncrementalWrite(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789"), 100)
+	whole := Sum256(data)
+	h := New256()
+	for i := 0; i < len(data); i += 7 {
+		end := i + 7
+		if end > len(data) {
+			end = len(data)
+		}
+		h.Write(data[i:end])
+	}
+	if !bytes.Equal(h.Sum(nil), whole[:]) {
+		t.Fatal("chunked write digest differs")
+	}
+}
+
+func TestSumDoesNotFinalize(t *testing.T) {
+	h := New256()
+	h.Write([]byte("ab"))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatal("Sum not idempotent")
+	}
+	h.Write([]byte("c"))
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Fatal("Write after Sum gave wrong digest")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestSizeAndBlockSize(t *testing.T) {
+	cases := []struct {
+		h interface {
+			Size() int
+			BlockSize() int
+		}
+		size, rate int
+	}{
+		{New224(), 28, 144}, {New256(), 32, 136}, {New384(), 48, 104}, {New512(), 64, 72},
+	}
+	for _, c := range cases {
+		if c.h.Size() != c.size || c.h.BlockSize() != c.rate {
+			t.Errorf("size=%d rate=%d, want %d/%d", c.h.Size(), c.h.BlockSize(), c.size, c.rate)
+		}
+	}
+}
+
+func TestChunkingInvariance(t *testing.T) {
+	// Property: digest is independent of how input is split across writes.
+	if err := quick.Check(func(data []byte, split uint8) bool {
+		h1 := New256()
+		h1.Write(data)
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % (len(data) + 1)
+		}
+		h2 := New256()
+		h2.Write(data[:cut])
+		h2.Write(data[cut:])
+		return bytes.Equal(h1.Sum(nil), h2.Sum(nil))
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctInputsDistinctDigests(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, v := range sha3_256Vectors {
+		d := Sum256([]byte(v.in))
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("collision between %q and %q", prev, v.in)
+		}
+		seen[d] = v.in
+	}
+}

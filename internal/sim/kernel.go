@@ -1,0 +1,164 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every platform simulation in this repository (Spanner, BigTable, BigQuery,
+// the accelerated SoC) runs on this kernel. Virtual time is a time.Duration
+// measured from simulation start. Processes are ordinary goroutines that run
+// in strict alternation with the kernel: at any instant exactly one goroutine
+// (either the kernel or a single process) is executing, so simulations are
+// reproducible bit-for-bit and need no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Kernel struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+	yield  chan struct{}
+	live   int // processes started and not yet terminated
+	parked int // processes currently blocked on a primitive
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Live reports the number of processes that have been started and have not
+// yet terminated. After Run returns, a nonzero Live count means processes are
+// deadlocked waiting on primitives nobody will fire.
+func (k *Kernel) Live() int { return k.live }
+
+// Schedule runs fn in kernel context after delay d. A negative delay is
+// treated as zero. Events scheduled for the same instant run in the order
+// they were scheduled.
+func (k *Kernel) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.push(k.now+d, fn)
+}
+
+func (k *Kernel) push(at time.Duration, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// Go starts a new process executing fn. The process begins at the current
+// virtual time, after already-scheduled events for this instant. Go may be
+// called before Run, from kernel context, or from another process.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	k.Schedule(0, func() { k.step(p) })
+	return p
+}
+
+// step transfers control to process p until it parks or terminates.
+func (k *Kernel) step(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Run executes events until the event queue is empty. It returns the virtual
+// time of the last event executed.
+func (k *Kernel) Run() time.Duration {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled after t remain queued.
+func (k *Kernel) RunUntil(t time.Duration) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Proc is a simulated process. All Proc methods must be called from within
+// the process's own goroutine (i.e. from the fn passed to Kernel.Go).
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// park blocks the process until some event resumes it.
+func (p *Proc) park() {
+	p.k.parked++
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.k.parked--
+}
+
+// Sleep blocks the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	k := p.k
+	k.push(k.now+d, func() { k.step(p) })
+	p.park()
+}
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

@@ -1,0 +1,212 @@
+package sim
+
+import "time"
+
+// This file provides the blocking coordination primitives processes use:
+// counting resources with FIFO admission, one-shot signals, countdown
+// barriers, and typed FIFO queues.
+
+// Resource is a counting resource (CPU cores, disk spindles, link slots) with
+// strict FIFO admission: waiters acquire in the order they asked, and a large
+// request at the head of the line blocks smaller ones behind it, which models
+// non-starving hardware arbitration.
+type Resource struct {
+	k       *Kernel
+	name    string
+	cap     int
+	inUse   int
+	waiters []resWaiter
+
+	// Busy accumulates inUse-weighted time for utilization reporting.
+	busy     time.Duration
+	lastTick time.Duration
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (must be > 0).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// BusyTime returns the accumulated unit-weighted busy time: holding 2 units
+// for 3ms adds 6ms.
+func (r *Resource) BusyTime() time.Duration {
+	r.account()
+	return r.busy
+}
+
+func (r *Resource) account() {
+	now := r.k.now
+	r.busy += time.Duration(r.inUse) * (now - r.lastTick)
+	r.lastTick = now
+}
+
+// Acquire blocks the calling process until n units are available and held.
+// n must be between 1 and the resource capacity.
+func (p *Proc) Acquire(r *Resource, n int) {
+	if n <= 0 || n > r.cap {
+		panic("sim: acquire count out of range")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.account()
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.park()
+}
+
+// Release returns n units to the resource and admits queued waiters in FIFO
+// order. Release may be called from kernel context or any process.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic("sim: release count out of range")
+	}
+	r.account()
+	r.inUse -= n
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.cap {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		k := r.k
+		k.Schedule(0, func() { k.step(w.p) })
+	}
+}
+
+// Use acquires n units of r, sleeps for d, and releases them.
+func (p *Proc) Use(r *Resource, n int, d time.Duration) {
+	p.Acquire(r, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Signal is a one-shot broadcast event. Processes that Wait before Fire block
+// until it fires; waits after Fire return immediately.
+type Signal struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		w := w
+		s.k.Schedule(0, func() { s.k.step(w) })
+	}
+	s.waiters = nil
+}
+
+// Wait blocks the calling process until the signal fires.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Barrier fires its signal after Done has been called n times. It is the
+// join primitive for fan-out/fan-in patterns (e.g. waiting for replica acks).
+type Barrier struct {
+	sig     *Signal
+	pending int
+}
+
+// NewBarrier creates a barrier expecting n completions. A barrier with n <= 0
+// is already fired.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	b := &Barrier{sig: NewSignal(k), pending: n}
+	if n <= 0 {
+		b.sig.Fire()
+	}
+	return b
+}
+
+// Done records one completion. Calls beyond the expected count are no-ops.
+func (b *Barrier) Done() {
+	if b.pending <= 0 {
+		return
+	}
+	b.pending--
+	if b.pending == 0 {
+		b.sig.Fire()
+	}
+}
+
+// Pending returns the number of completions still awaited.
+func (b *Barrier) Pending() int { return b.pending }
+
+// WaitBarrier blocks the calling process until the barrier completes.
+func (p *Proc) WaitBarrier(b *Barrier) { p.Wait(b.sig) }
+
+// Queue is an unbounded FIFO queue of T with blocking Get, the mailbox
+// primitive for worker loops.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*queueWaiter[T]
+}
+
+type queueWaiter[T any] struct {
+	p    *Proc
+	item T
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len returns the number of queued items (not counting blocked getters).
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends an item, waking the oldest blocked getter if any. It may be
+// called from kernel context or any process.
+func (q *Queue[T]) Put(v T) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.item = v
+		q.k.Schedule(0, func() { q.k.step(w.p) })
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// GetQueue blocks p until an item is available in q and returns it.
+func GetQueue[T any](p *Proc, q *Queue[T]) T {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	w := &queueWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park()
+	return w.item
+}

@@ -1,0 +1,81 @@
+package soc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateChain3(t *testing.T) {
+	res, err := ValidateChain3(5, 300, DefaultChain3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 300 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	// All four phases consumed time.
+	for name, d := range map[string]time.Duration{
+		"other": res.OtherCPU, "proto": res.ProtoCPU,
+		"compress": res.CompressCPU, "sha3": res.SHA3CPU,
+	} {
+		if d <= 0 {
+			t.Errorf("%s phase has no time", name)
+		}
+	}
+	// Real compression happened and helped.
+	if res.Ratio <= 1.0 {
+		t.Errorf("compression ratio = %.2f", res.Ratio)
+	}
+	if res.CompressedBytes >= res.WireBytes {
+		t.Errorf("compressed %d >= wire %d", res.CompressedBytes, res.WireBytes)
+	}
+	// SHA3 hashed the compressed blocks: its time is below the 2-stage
+	// version's proportionally to the ratio.
+	if res.SHA3CPU >= time.Duration(float64(res.WireBytes)*DefaultChain3Config().SoC.SHA3CPUNsPerByte) {
+		t.Error("sha3 phase did not shrink with compression")
+	}
+	// Model tracks measurement.
+	if res.DiffFrac > 0.15 {
+		t.Errorf("model vs measured = %.1f%%", res.DiffFrac*100)
+	}
+	if res.ModeledChained <= 0 || res.MeasuredChained <= 0 {
+		t.Fatalf("times: %+v", res)
+	}
+}
+
+func TestValidateChain3Deterministic(t *testing.T) {
+	a, err := ValidateChain3(9, 100, DefaultChain3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValidateChain3(9, 100, DefaultChain3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeasuredChained != b.MeasuredChained || a.CompressedBytes != b.CompressedBytes {
+		t.Fatal("nondeterministic chain3")
+	}
+}
+
+func TestValidateChain3RejectsEmpty(t *testing.T) {
+	if _, err := ValidateChain3(1, 0, DefaultChain3Config()); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestChain3FasterThanSerialAccelerated(t *testing.T) {
+	// The three-stage chain pays one (largest) setup instead of three and
+	// pipelines the stages.
+	cfg := DefaultChain3Config()
+	res, err := ValidateChain3(7, 400, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialAccel := res.OtherCPU +
+		cfg.SoC.ProtoAccelSetup + time.Duration(float64(res.ProtoCPU)/cfg.SoC.ProtoAccelSpeedup) +
+		cfg.CompressAccelSetup + time.Duration(float64(res.CompressCPU)/cfg.CompressAccelSpeedup) +
+		cfg.SoC.SHA3AccelSetup + time.Duration(float64(res.SHA3CPU)/cfg.SoC.SHA3AccelSpeedup)
+	if res.MeasuredChained >= serialAccel {
+		t.Fatalf("chained %v >= serialized accelerated %v", res.MeasuredChained, serialAccel)
+	}
+}

@@ -1,0 +1,168 @@
+package soc
+
+import (
+	"testing"
+	"time"
+
+	"hyperprof/internal/sha3"
+	"hyperprof/internal/sim"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(5, 50)
+	b := Corpus(5, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("corpus size")
+	}
+	for i := range a {
+		if string(a[i].Marshal(nil)) != string(b[i].Marshal(nil)) {
+			t.Fatalf("corpus diverged at %d", i)
+		}
+	}
+}
+
+func TestUnacceleratedPhases(t *testing.T) {
+	corpus := Corpus(1, 60)
+	s := New(sim.New(), DefaultConfig())
+	base := s.MeasureUnaccelerated(corpus)
+	if base.OtherCPU <= 0 || base.ProtoCPU <= 0 || base.SHA3CPU <= 0 {
+		t.Fatalf("phases: %+v", base)
+	}
+	// Calibration shape: SHA3 > proto (9.3 vs 4.3 ns/B) and other dominates.
+	if base.SHA3CPU <= base.ProtoCPU {
+		t.Errorf("sha3 %v <= proto %v", base.SHA3CPU, base.ProtoCPU)
+	}
+	if base.OtherCPU <= base.SHA3CPU+base.ProtoCPU {
+		t.Errorf("other %v should dominate accelerable phases", base.OtherCPU)
+	}
+	if len(base.Digests) != 60 || len(base.Wire) != 60 {
+		t.Fatal("missing outputs")
+	}
+	// Digests are real.
+	for i, w := range base.Wire {
+		if sha3.Sum256(w) != base.Digests[i] {
+			t.Fatalf("digest %d not a real SHA3", i)
+		}
+	}
+}
+
+func TestAcceleratedSpeedupsMatchConfig(t *testing.T) {
+	corpus := Corpus(2, 60)
+	k := sim.New()
+	s := New(k, DefaultConfig())
+	base := s.MeasureUnaccelerated(corpus)
+	acc := s.MeasureAccelerated(base)
+	if acc.ProtoSpeedup < 30 || acc.ProtoSpeedup > 32 {
+		t.Errorf("proto speedup = %.1f, want ~31", acc.ProtoSpeedup)
+	}
+	if acc.SHA3Speedup < 50 || acc.SHA3Speedup > 53 {
+		t.Errorf("sha3 speedup = %.1f, want ~51.3", acc.SHA3Speedup)
+	}
+	if acc.ProtoSetup <= acc.SHA3Setup {
+		t.Error("proto setup should dominate sha3 setup")
+	}
+}
+
+func TestChainedDigestsMatchUnaccelerated(t *testing.T) {
+	corpus := Corpus(3, 40)
+	k := sim.New()
+	s := New(k, DefaultConfig())
+	base := s.MeasureUnaccelerated(corpus)
+	ch := s.MeasureChained(corpus)
+	if len(ch.Digests) != len(base.Digests) {
+		t.Fatalf("digests = %d", len(ch.Digests))
+	}
+	for i := range base.Digests {
+		if ch.Digests[i] != base.Digests[i] {
+			t.Fatalf("digest %d mismatch", i)
+		}
+	}
+	if ch.E2E <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestChainedBeatsFullySerializedAcceleration(t *testing.T) {
+	// The chain pays the largest setup once and pipelines the two
+	// accelerators; it must beat paying both setups and both accelerated
+	// phases back to back.
+	// Sized so the accelerable time exceeds the proto accelerator's setup,
+	// as in the paper's corpus (1.63ms of accelerable CPU vs 1.49ms setup).
+	corpus := Corpus(4, 400)
+	k := sim.New()
+	s := New(k, DefaultConfig())
+	base := s.MeasureUnaccelerated(corpus)
+	acc := s.MeasureAccelerated(base)
+	ch := s.MeasureChained(corpus)
+	serialAccel := base.OtherCPU + acc.ProtoTime + acc.SHA3Time
+	if ch.E2E >= serialAccel {
+		t.Fatalf("chained %v >= serialized accelerated %v", ch.E2E, serialAccel)
+	}
+	// And it beats the pure-CPU serial run, as in Table 8 (6,075.7µs
+	// chained vs 6,579.5µs serial).
+	serialCPU := base.OtherCPU + base.ProtoCPU + base.SHA3CPU
+	if ch.E2E >= serialCPU {
+		t.Fatalf("chained %v >= serial CPU %v", ch.E2E, serialCPU)
+	}
+}
+
+func TestValidateTable8(t *testing.T) {
+	t8, err := Validate(7, 400, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions mirroring Table 8.
+	if t8.SHA3SubTime <= t8.ProtoSubTime {
+		t.Error("SHA3 compute should exceed serialization compute")
+	}
+	if t8.NonAccelCPU <= 2*(t8.ProtoSubTime+t8.SHA3SubTime) {
+		t.Errorf("non-accel CPU %v should be several times the accelerable time", t8.NonAccelCPU)
+	}
+	if t8.ProtoSpeedup < 25 || t8.SHA3Speedup < 45 {
+		t.Errorf("speedups %.1f / %.1f", t8.ProtoSpeedup, t8.SHA3Speedup)
+	}
+	// The paper reports a 6.1% model-vs-measured difference; we accept the
+	// same order (under 15%).
+	if t8.DiffFrac > 0.15 {
+		t.Errorf("model vs measured difference %.1f%%, want < 15%%", t8.DiffFrac*100)
+	}
+	if t8.ModeledChained <= 0 || t8.MeasuredChained <= 0 {
+		t.Fatalf("times: %+v", t8)
+	}
+}
+
+func TestValidateDeterministic(t *testing.T) {
+	a, err := Validate(9, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Validate(9, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeasuredChained != b.MeasuredChained || a.ModeledChained != b.ModeledChained {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", a.MeasuredChained, a.ModeledChained, b.MeasuredChained, b.ModeledChained)
+	}
+}
+
+func TestValidateRejectsEmptyCorpus(t *testing.T) {
+	if _, err := Validate(1, 0, DefaultConfig()); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestChainedSetupOverlap(t *testing.T) {
+	// The proto accelerator's large setup overlaps stage-0 initialization;
+	// e2e should be far less than setup + serial time.
+	cfg := DefaultConfig()
+	cfg.ProtoAccelSetup = 10 * time.Millisecond
+	corpus := Corpus(11, 40)
+	k := sim.New()
+	s := New(k, cfg)
+	base := s.MeasureUnaccelerated(corpus)
+	ch := s.MeasureChained(corpus)
+	serialPlusSetup := base.OtherCPU + base.ProtoCPU + base.SHA3CPU + cfg.ProtoAccelSetup
+	if ch.E2E >= serialPlusSetup {
+		t.Fatalf("no pipeline overlap: %v >= %v", ch.E2E, serialPlusSetup)
+	}
+}

@@ -1,0 +1,109 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hyperprof/internal/model"
+	"hyperprof/internal/sim"
+)
+
+// Table8 holds the model-validation results in the paper's Table 8 layout:
+// the measured SoC parameters, the measured chained execution, and the
+// model's estimate.
+type Table8 struct {
+	// Measured SoC results (the table's upper half).
+	ProtoSubTime time.Duration // t_sub for protobuf serialization
+	ProtoSpeedup float64       // s_sub
+	ProtoSetup   time.Duration // t_setup
+	SHA3SubTime  time.Duration
+	SHA3Speedup  float64
+	SHA3Setup    time.Duration
+	NonAccelCPU  time.Duration // t_sub of the unaccelerated component
+	// B_i and t_dep are zero: everything fits on-chip (§6.4).
+	MeasuredChained time.Duration
+
+	// Model-estimated result (the table's lower half).
+	ModeledChained time.Duration
+
+	// DiffFrac is |modeled-measured|/measured (the paper reports 6.1%).
+	DiffFrac float64
+
+	// Corpus facts for the report.
+	Messages  int
+	WireBytes int64
+}
+
+// Validate reproduces the §6.4 experiment: generate a fleet-representative
+// corpus, run the three SoC benchmarks, feed the measured parameters into
+// the analytical chained model (Eqs 9–12), and compare against the measured
+// chained execution. It also cross-checks that the chained pipeline's SHA3
+// digests are identical to the unaccelerated run's (the software is real).
+func Validate(seed uint64, n int, cfg Config) (*Table8, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("soc: corpus size must be positive")
+	}
+	corpus := Corpus(seed, n)
+
+	k := sim.New()
+	s := New(k, cfg)
+	base := s.MeasureUnaccelerated(corpus)
+	accel := s.MeasureAccelerated(base)
+	chained := s.MeasureChained(corpus)
+
+	if len(chained.Digests) != len(base.Digests) {
+		return nil, fmt.Errorf("soc: chained produced %d digests, want %d", len(chained.Digests), len(base.Digests))
+	}
+	for i := range base.Digests {
+		if chained.Digests[i] != base.Digests[i] {
+			return nil, fmt.Errorf("soc: digest %d differs between chained and unaccelerated runs", i)
+		}
+	}
+
+	sys := model.System{
+		CPUTime: (base.OtherCPU + base.ProtoCPU + base.SHA3CPU).Seconds(),
+		DepTime: 0, // everything fits on-chip; no IO
+		F:       1,
+		Components: []model.Component{
+			{
+				Name:        "proto-ser",
+				Time:        base.ProtoCPU.Seconds(),
+				Accelerated: true,
+				Speedup:     accel.ProtoSpeedup,
+				Setup:       accel.ProtoSetup.Seconds(),
+				Chained:     true,
+			},
+			{
+				Name:        "sha3",
+				Time:        base.SHA3CPU.Seconds(),
+				Accelerated: true,
+				Speedup:     accel.SHA3Speedup,
+				Setup:       accel.SHA3Setup.Seconds(),
+				Chained:     true,
+			},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	modeled := time.Duration(sys.AcceleratedE2E() * float64(time.Second))
+
+	t8 := &Table8{
+		ProtoSubTime:    base.ProtoCPU,
+		ProtoSpeedup:    accel.ProtoSpeedup,
+		ProtoSetup:      accel.ProtoSetup,
+		SHA3SubTime:     base.SHA3CPU,
+		SHA3Speedup:     accel.SHA3Speedup,
+		SHA3Setup:       accel.SHA3Setup,
+		NonAccelCPU:     base.OtherCPU,
+		MeasuredChained: chained.E2E,
+		ModeledChained:  modeled,
+		Messages:        n,
+		WireBytes:       base.Bytes,
+	}
+	if chained.E2E > 0 {
+		t8.DiffFrac = math.Abs(float64(modeled-chained.E2E)) / float64(chained.E2E)
+	}
+	return t8, nil
+}

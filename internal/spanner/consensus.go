@@ -1,0 +1,184 @@
+package spanner
+
+import (
+	"fmt"
+
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/storage"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// This file implements the group replication protocol: a leader-driven
+// replicated log with follower catch-up (Raft-flavored log matching), and
+// leader election by longest log among live replicas. The paper's §4.1
+// remote-work category for Spanner is precisely the time spent waiting on
+// these rounds.
+
+// appendArgs is the payload of a consensus.append RPC: entries starting at
+// FromIndex of the leader's log.
+type appendArgs struct {
+	FromIndex int
+	Entries   []logEntry
+	Term      int
+}
+
+// appendReply is returned via Response.Payload.
+type appendReply struct {
+	// OK reports whether the entries were appended.
+	OK bool
+	// NeedFrom is the follower's log length when a gap was detected; the
+	// leader retries from that index.
+	NeedFrom int
+}
+
+// startServer (re)creates and starts a replica's RPC server, registering
+// the consensus handlers. It is used at placement time and by
+// RestartReplica.
+func (db *DB) startServer(grp *group, rep *replica) {
+	rep.srv = netsim.NewServer(rep.machine.Node, 16)
+	rep.srv.Handle("consensus.append", db.handleAppend(grp, rep))
+	rep.srv.Handle("consensus.lease", db.handleLease(rep))
+	rep.srv.Start()
+}
+
+// handleAppend is the follower side of replication: verify log continuity,
+// truncate-and-append (the leader's log is authoritative), apply to the
+// replica's row state, and persist to the local log device.
+func (db *DB) handleAppend(grp *group, rep *replica) netsim.Handler {
+	return func(p *sim.Proc, req netsim.Request) netsim.Response {
+		args := req.Payload.(appendArgs)
+		db.env.ExecRecipe(p, taxonomy.Spanner, rep.machine.Node, nil, db.followerRecipe)
+		if args.FromIndex > len(rep.log) {
+			// Gap: this follower missed earlier entries (it was down).
+			return netsim.Response{Bytes: 64, Payload: appendReply{OK: false, NeedFrom: len(rep.log)}}
+		}
+		// Log matching: drop any divergent suffix, then append.
+		rep.log = rep.log[:args.FromIndex]
+		var bytes int64
+		for _, e := range args.Entries {
+			rep.log = append(rep.log, e)
+			rep.rows[e.key] = e.value
+			rep.machine.Store.Write(e.key, int64(len(e.value)))
+			bytes += int64(len(e.value)) + 64
+		}
+		p.Sleep(rep.machine.Store.RawAccess(storage.SSD, bytes, true))
+		return netsim.Response{Bytes: 64, Payload: appendReply{OK: true}}
+	}
+}
+
+// replicateEntry ships the leader's log entry at index to every follower in
+// parallel and waits for a majority, retrying once with a catch-up batch
+// for followers that report a gap.
+func (db *DB) replicateEntry(p *sim.Proc, tr *trace.Trace, grp *group, leader *replica, index int) error {
+	return db.quorum(p, tr, grp, func(rep *replica, cp *sim.Proc) error {
+		send := func(from int) (netsim.Response, bool) {
+			entries := make([]logEntry, len(leader.log[from:index+1]))
+			copy(entries, leader.log[from:index+1])
+			var bytes int64
+			for _, e := range entries {
+				bytes += int64(len(e.value)) + 64
+			}
+			resp, _ := rep.srv.Call(cp, leader.machine.Node, netsim.Request{
+				Method:  "consensus.append",
+				Bytes:   bytes,
+				Payload: appendArgs{FromIndex: from, Entries: entries, Term: grp.term},
+			})
+			if resp.Err != nil {
+				return resp, false
+			}
+			return resp, resp.Payload.(appendReply).OK
+		}
+		resp, ok := send(index)
+		if resp.Err != nil {
+			return resp.Err
+		}
+		if !ok {
+			// Catch the follower up from its reported log length.
+			resp, ok = send(resp.Payload.(appendReply).NeedFrom)
+			if resp.Err != nil {
+				return resp.Err
+			}
+			if !ok {
+				return fmt.Errorf("spanner: follower rejected catch-up for group %d", grp.id)
+			}
+		}
+		return nil
+	})
+}
+
+// Leader returns the region index of group g's current leader.
+func (db *DB) Leader(g int) (int, error) {
+	if g < 0 || g >= len(db.groups) {
+		return 0, fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	return grp.leaderRep().region, nil
+}
+
+// LogLen returns the replicated-log length of group g's replica in the
+// given region (tests and monitoring).
+func (db *DB) LogLen(g, region int) (int, error) {
+	if g < 0 || g >= len(db.groups) {
+		return 0, fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	if region < 0 || region >= len(grp.replicas) {
+		return 0, fmt.Errorf("spanner: region %d out of range", region)
+	}
+	return len(grp.replicas[region].log), nil
+}
+
+// FailLeader injects a leader failure for group g: the leader's server is
+// stopped and a new leader is elected among the live replicas — the one
+// with the longest log (ties break toward the lowest region), which
+// preserves every majority-acknowledged write. It returns the new leader's
+// region.
+func (db *DB) FailLeader(g int) (int, error) {
+	if g < 0 || g >= len(db.groups) {
+		return 0, fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	grp.leaderRep().srv.Stop()
+	return db.elect(grp)
+}
+
+// elect picks the live replica with the longest log as the new leader.
+func (db *DB) elect(grp *group) (int, error) {
+	best := -1
+	for i, rep := range grp.replicas {
+		if rep.srv.Stopped() {
+			continue
+		}
+		if best == -1 || len(rep.log) > len(grp.replicas[best].log) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: group %d has no live replicas", ErrNoQuorum, grp.id)
+	}
+	grp.leader = best
+	grp.term++
+	db.Elections++
+	return grp.replicas[best].region, nil
+}
+
+// RestartReplica brings a previously stopped replica back: a fresh server
+// is started on the same machine with the replica's log intact, so it
+// catches up through the normal append path.
+func (db *DB) RestartReplica(g, region int) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	if region < 0 || region >= len(grp.replicas) {
+		return fmt.Errorf("spanner: region %d out of range", region)
+	}
+	rep := grp.replicas[region]
+	if !rep.srv.Stopped() {
+		return fmt.Errorf("spanner: group %d region %d is already running", g, region)
+	}
+	db.startServer(grp, rep)
+	return nil
+}

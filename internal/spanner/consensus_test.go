@@ -1,0 +1,208 @@
+package spanner
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+func TestLeaderFailoverPreservesCommittedData(t *testing.T) {
+	env := testEnv(30)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("committed before failover")
+	var got []byte
+	var newLeader int
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = db.Commit(p, nil, 0, 7, want); err != nil {
+			return
+		}
+		// Commit waited for a majority; give the straggling replication
+		// proc a beat so every replica holds the entry.
+		p.Sleep(50 * time.Millisecond)
+		newLeader, err = db.FailLeader(0)
+		if err != nil {
+			return
+		}
+		got, err = db.Read(p, nil, 0, 7, false)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLeader == 0 {
+		t.Fatalf("new leader region = %d, want != 0", newLeader)
+	}
+	if lr, _ := db.Leader(0); lr != newLeader {
+		t.Fatalf("Leader() = %d, want %d", lr, newLeader)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read after failover = %q", got)
+	}
+	if db.Elections != 1 {
+		t.Fatalf("elections = %d", db.Elections)
+	}
+}
+
+func TestCommitsContinueAfterFailover(t *testing.T) {
+	env := testEnv(31)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	env.K.Go("client", func(p *sim.Proc) {
+		if _, err = db.FailLeader(1); err != nil {
+			return
+		}
+		if err = db.Commit(p, nil, 1, 3, []byte("post-failover write")); err != nil {
+			return
+		}
+		got, err = db.Read(p, nil, 1, 3, false)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "post-failover write" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestElectionTieBreaksToLowestRegion(t *testing.T) {
+	env := testEnv(32)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newLeader int
+	env.K.Go("client", func(p *sim.Proc) {
+		// Both followers have identical (empty) logs: tie -> region 1.
+		newLeader, err = db.FailLeader(2)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLeader != 1 {
+		t.Fatalf("new leader = %d, want 1", newLeader)
+	}
+}
+
+func TestFailoverWithNoLiveReplicas(t *testing.T) {
+	env := testEnv(33)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failErr error
+	env.K.Go("client", func(p *sim.Proc) {
+		db.StopReplica(0, 1)
+		db.StopReplica(0, 2)
+		_, failErr = db.FailLeader(0)
+		db.Stop()
+	})
+	env.K.Run()
+	if failErr == nil {
+		t.Fatal("election with no live replicas succeeded")
+	}
+}
+
+func TestFollowerCatchUpAfterRestart(t *testing.T) {
+	env := testEnv(34)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const downCommits = 5
+	env.K.Go("client", func(p *sim.Proc) {
+		// Take region 2 down and commit while it is missing entries.
+		if err = db.StopReplica(0, 2); err != nil {
+			return
+		}
+		for i := 0; i < downCommits; i++ {
+			if err = db.Commit(p, nil, 0, i, []byte("while-down")); err != nil {
+				return
+			}
+		}
+		// Bring it back; the next commit triggers the gap -> catch-up path.
+		if err = db.RestartReplica(0, 2); err != nil {
+			return
+		}
+		if err = db.Commit(p, nil, 0, 90, []byte("after-restart")); err != nil {
+			return
+		}
+		// The commit returns at majority; let the catch-up RPC to the
+		// restarted follower complete before shutting servers down.
+		p.Sleep(100 * time.Millisecond)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderLen, _ := db.LogLen(0, 0)
+	lagLen, _ := db.LogLen(0, 2)
+	if leaderLen != downCommits+1 {
+		t.Fatalf("leader log = %d", leaderLen)
+	}
+	if lagLen != leaderLen {
+		t.Fatalf("restarted follower log = %d, want %d (catch-up)", lagLen, leaderLen)
+	}
+}
+
+func TestRestartValidation(t *testing.T) {
+	env := testEnv(35)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RestartReplica(0, 1); err == nil {
+		t.Error("restart of running replica accepted")
+	}
+	if err := db.RestartReplica(99, 0); err == nil {
+		t.Error("bad group accepted")
+	}
+	if _, err := db.Leader(99); err == nil {
+		t.Error("bad group accepted by Leader")
+	}
+	if _, err := db.LogLen(0, 99); err == nil {
+		t.Error("bad region accepted by LogLen")
+	}
+	db.Stop()
+	env.K.Run()
+}
+
+func TestLogsConvergeAcrossReplicas(t *testing.T) {
+	env := testEnv(36)
+	db, err := New(env, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.K.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err = db.Commit(p, nil, 0, i%5, []byte("converge")); err != nil {
+				return
+			}
+		}
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All replication procs ran to completion: every replica has all 10
+	// entries even though commits only waited for a majority.
+	for r := 0; r < 3; r++ {
+		if n, _ := db.LogLen(0, r); n != 10 {
+			t.Fatalf("region %d log = %d, want 10", r, n)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+// Package spanner simulates a Spanner-like globally distributed,
+// synchronously replicated SQL database (§2.2.1): tablet groups replicated
+// across regions, a Paxos-style commit protocol (leader log append, parallel
+// follower replication, majority acknowledgment), strong reads that confirm
+// leadership with a quorum round, SQL-ish scans, and background compaction.
+// Row data is real — reads return the bytes writes stored — while CPU costs
+// come from the calibrated recipes in internal/platform.
+package spanner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hyperprof/internal/cluster"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/storage"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// Config sizes a Spanner deployment.
+type Config struct {
+	// Groups is the number of Paxos tablet groups.
+	Groups int
+	// Regions is the replication span; each group has one replica per
+	// region and commits wait for a majority.
+	Regions int
+	// RowsPerGroup and RowBytes size the dataset.
+	RowsPerGroup int
+	RowBytes     int64
+	// StrongReadFrac is the fraction of reads that confirm a quorum lease.
+	StrongReadFrac float64
+	// CompactionEvery triggers a group compaction after this many commits.
+	CompactionEvery int
+	// QueryScanRows is the number of rows a SQL query scans.
+	QueryScanRows int
+	// Seed drives all randomness in the deployment.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale deployment that preserves the
+// paper-relevant behaviour: caches smaller than the working set, majority
+// commit across regions, Zipf-skewed access.
+func DefaultConfig() Config {
+	return Config{
+		Groups:          9,
+		Regions:         3,
+		RowsPerGroup:    4000,
+		RowBytes:        1024,
+		StrongReadFrac:  0.15,
+		CompactionEvery: 10,
+		QueryScanRows:   200,
+		Seed:            1,
+	}
+}
+
+// Core-compute CPU budgets per operation (pre-tax), solved so the aggregate
+// core split under the default workload mix lands on Figure 4's Spanner bar.
+const (
+	readCoreBudget       = 605 * time.Microsecond
+	writeCoreBudget      = 1170 * time.Microsecond
+	queryCoreBudget      = 1400 * time.Microsecond
+	compactionCoreBudget = 3700 * time.Microsecond
+	followerConsensus    = 117 * time.Microsecond
+	leaseCheckBudget     = 50 * time.Microsecond
+)
+
+// DB is a running Spanner deployment.
+type DB struct {
+	env    *platform.Env
+	cfg    Config
+	mgr    *cluster.Manager
+	taxes  platform.TaxTables
+	groups []*group
+	rng    *stats.RNG
+	zipf   *stats.Zipf
+
+	readRecipe     platform.Recipe
+	writeRecipe    platform.Recipe
+	queryRecipe    platform.Recipe
+	compactRecipe  platform.Recipe
+	followerRecipe platform.Recipe
+	leaseRecipe    platform.Recipe
+
+	// Counters for tests and reports.
+	Reads, Writes, Queries, Compactions, Elections int
+}
+
+type group struct {
+	id       int
+	replicas []*replica // one per region
+	leader   int        // index of the current leader replica
+	term     int        // bumped on every election
+	commits  int
+}
+
+func (g *group) leaderRep() *replica { return g.replicas[g.leader] }
+
+// logEntry is one replicated write.
+type logEntry struct {
+	key   string
+	value []byte
+}
+
+type replica struct {
+	machine *cluster.Machine
+	srv     *netsim.Server
+	region  int
+	// log is the replica's replicated write log; rows is its applied state
+	// (bootstrap rows are virtual: see bootstrapValue).
+	log  []logEntry
+	rows map[string][]byte
+}
+
+// New builds and starts a deployment on the environment. The environment's
+// network should use metro-scale cross-region RTTs (see RecommendedNetConfig)
+// for paper-shaped commit latencies.
+func New(env *platform.Env, cfg Config) (*DB, error) {
+	if cfg.Groups <= 0 || cfg.Regions < 3 || cfg.RowsPerGroup <= 0 {
+		return nil, fmt.Errorf("spanner: invalid config %+v", cfg)
+	}
+	ramR, ssdR, hddR := platform.PaperStorageRatio(taxonomy.Spanner)
+	// Provision RAM so roughly 3% of a machine's resident rows fit, keeping
+	// the Table 1 ratio for the other tiers.
+	perMachineGroups := (cfg.Groups + machinesPerRegion(cfg) - 1) / machinesPerRegion(cfg)
+	ram := int64(perMachineGroups)*int64(cfg.RowsPerGroup)*cfg.RowBytes/32 + 1<<20
+	spec := cluster.Spec{
+		Regions:         cfg.Regions,
+		RacksPerRegion:  1,
+		MachinesPerRack: machinesPerRegion(cfg),
+		CoresPerMachine: 16,
+		Storage: storage.Capacities{
+			storage.RAM: ram,
+			storage.SSD: ram * ssdR / ramR,
+			storage.HDD: ram * hddR / ramR,
+		},
+	}
+	mgr, err := cluster.NewManager(env.Net, spec)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		env:   env,
+		cfg:   cfg,
+		mgr:   mgr,
+		taxes: platform.TaxTablesFor(taxonomy.Spanner),
+		rng:   stats.NewRNG(cfg.Seed),
+	}
+	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerGroup, 1.1)
+	db.registerClassifier()
+	db.buildRecipes()
+	if err := db.place(); err != nil {
+		return nil, err
+	}
+	db.load()
+	return db, nil
+}
+
+func machinesPerRegion(cfg Config) int {
+	m := cfg.Groups / 3
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// RecommendedNetConfig returns network parameters for a metro-replicated
+// Spanner deployment (quorums within a continent, not across oceans).
+func RecommendedNetConfig() netsim.Config {
+	c := netsim.DefaultConfig()
+	c.CrossRegionRTT = 3 * time.Millisecond
+	return c
+}
+
+func (db *DB) registerClassifier() {
+	c := db.env.Prof.Classifier()
+	c.Register("spanner.read.", taxonomy.Read)
+	c.Register("spanner.write.", taxonomy.Write)
+	c.Register("spanner.consensus.", taxonomy.Consensus)
+	c.Register("spanner.query.", taxonomy.Query)
+	c.Register("spanner.compaction.", taxonomy.Compaction)
+	c.Register("spanner.misc.", taxonomy.MiscCore)
+	// spanner.runtime.* is intentionally unregistered: it lands in
+	// Uncategorized, modeling unlabeled compute.
+}
+
+func (db *DB) buildRecipes() {
+	cc := platform.PaperMicro(taxonomy.Spanner, taxonomy.CoreCompute)
+	mk := func(budget time.Duration, split platform.Split) platform.Recipe {
+		micros := platform.MicroFor(cc, split.Keys()...)
+		r := platform.BuildRecipe(budget, split, micros)
+		dct, st := platform.TaxBudgets(taxonomy.Spanner, float64(budget))
+		return append(r, db.taxes.TaxRecipe(time.Duration(dct), time.Duration(st))...)
+	}
+	db.readRecipe = mk(readCoreBudget, platform.Split{
+		"spanner.read.RowLookup": 0.78, "spanner.misc.Validate": 0.11, "spanner.runtime.Glue": 0.11,
+	})
+	db.writeRecipe = mk(writeCoreBudget, platform.Split{
+		"spanner.write.Apply": 0.52, "spanner.consensus.Propose": 0.40,
+		"spanner.misc.Validate": 0.04, "spanner.runtime.Glue": 0.04,
+	})
+	db.queryRecipe = mk(queryCoreBudget, platform.Split{
+		"spanner.query.Eval": 0.72, "spanner.read.Scan": 0.10,
+		"spanner.misc.Validate": 0.09, "spanner.runtime.Glue": 0.09,
+	})
+	db.compactRecipe = mk(compactionCoreBudget, platform.Split{
+		"spanner.compaction.Merge": 0.72, "spanner.misc.Validate": 0.14, "spanner.runtime.Glue": 0.14,
+	})
+	db.followerRecipe = mk(followerConsensus, platform.Split{"spanner.consensus.Append": 1})
+	db.leaseRecipe = mk(leaseCheckBudget, platform.Split{"spanner.consensus.LeaseCheck": 1})
+}
+
+// place assigns each group one replica per region and starts RPC servers.
+func (db *DB) place() error {
+	byRegion := map[int][]*cluster.Machine{}
+	for _, m := range db.mgr.Machines() {
+		byRegion[m.Node.Region] = append(byRegion[m.Node.Region], m)
+	}
+	for g := 0; g < db.cfg.Groups; g++ {
+		grp := &group{id: g}
+		for r := 0; r < db.cfg.Regions; r++ {
+			ms := byRegion[r]
+			if len(ms) == 0 {
+				return fmt.Errorf("spanner: no machines in region %d", r)
+			}
+			m := ms[g%len(ms)]
+			rep := &replica{machine: m, region: r, rows: map[string][]byte{}}
+			db.startServer(grp, rep)
+			grp.replicas = append(grp.replicas, rep)
+		}
+		db.groups = append(db.groups, grp)
+	}
+	return nil
+}
+
+// load bootstraps the replica stores with the initial row objects (outside
+// simulated time). Bootstrap row *contents* are virtual — bootstrapValue
+// computes them on demand — so memory scales with written rows only.
+func (db *DB) load() {
+	for _, g := range db.groups {
+		for i := 0; i < db.cfg.RowsPerGroup; i++ {
+			key := rowKey(g.id, i)
+			for _, rep := range g.replicas {
+				if _, err := rep.machine.Store.Write(key, db.cfg.RowBytes); err != nil {
+					panic(fmt.Sprintf("spanner: bootstrap overflow: %v", err))
+				}
+			}
+		}
+	}
+}
+
+// bootstrapValue returns the deterministic initial content of a row.
+func (db *DB) bootstrapValue(g, row int) []byte {
+	val := make([]byte, db.cfg.RowBytes)
+	for j := range val {
+		val[j] = byte(uint64(g)*7 + uint64(row)*13 + uint64(j))
+	}
+	return val
+}
+
+// lookupRow resolves a row through a replica's applied state, falling back
+// to the virtual bootstrap content.
+func (db *DB) lookupRow(rep *replica, g, row int) ([]byte, error) {
+	if row < 0 || row >= db.cfg.RowsPerGroup {
+		return nil, fmt.Errorf("spanner: row %d out of range", row)
+	}
+	if v, ok := rep.rows[rowKey(g, row)]; ok {
+		return v, nil
+	}
+	return db.bootstrapValue(g, row), nil
+}
+
+func rowKey(group, row int) string { return fmt.Sprintf("g%d/r%d", group, row) }
+
+// NumGroups returns the number of tablet groups.
+func (db *DB) NumGroups() int { return db.cfg.Groups }
+
+// RowsPerGroup returns the rows per group.
+func (db *DB) RowsPerGroup() int { return db.cfg.RowsPerGroup }
+
+// PickRow draws a Zipf-popular row index.
+func (db *DB) PickRow() int { return db.zipf.Next() }
+
+// Machines exposes the fleet for inventory accounting.
+func (db *DB) Machines() []*cluster.Machine { return db.mgr.Machines() }
+
+// Stop shuts down all replica RPC servers.
+func (db *DB) Stop() {
+	for _, g := range db.groups {
+		for _, rep := range g.replicas {
+			rep.srv.Stop()
+		}
+	}
+}
+
+func (db *DB) handleLease(rep *replica) netsim.Handler {
+	return func(p *sim.Proc, req netsim.Request) netsim.Response {
+		db.env.ExecRecipe(p, taxonomy.Spanner, rep.machine.Node, nil, db.leaseRecipe)
+		return netsim.Response{Bytes: 32}
+	}
+}
+
+// Read performs a point read of row `row` in group g, returning the value.
+// A StrongReadFrac fraction of reads (decided by the strong argument)
+// confirms the leader's lease with a quorum round first.
+func (db *DB) Read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byte, error) {
+	if g < 0 || g >= len(db.groups) {
+		return nil, fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	leader := grp.leaderRep()
+	if strong {
+		if err := db.quorumRound(p, tr, grp, "consensus.lease", 32); err != nil {
+			return nil, err
+		}
+	}
+	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.readRecipe)
+	key := rowKey(g, row)
+	ioStart := p.Now()
+	d, _, err := leader.machine.Store.Read(key)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(d)
+	platform.AnnotateIO(tr, ioStart, p.Now())
+	val, err := db.lookupRow(leader, g, row)
+	if err != nil {
+		return nil, err
+	}
+	db.Reads++
+	return val, nil
+}
+
+// Commit writes value to row `row` of group g through the replication
+// protocol: the leader appends to its replicated log, ships the entry to
+// every follower in parallel, waits for a majority of acknowledgments, and
+// then applies the write.
+func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if row < 0 || row >= db.cfg.RowsPerGroup {
+		return fmt.Errorf("spanner: row %d out of range", row)
+	}
+	grp := db.groups[g]
+	leader := grp.leaderRep()
+	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.writeRecipe)
+
+	// Leader durable log append.
+	key := rowKey(g, row)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	entry := logEntry{key: key, value: cp}
+	leader.log = append(leader.log, entry)
+	prevIndex := len(leader.log) - 1
+	ioStart := p.Now()
+	p.Sleep(leader.machine.Store.RawAccess(storage.SSD, int64(len(value))+64, true))
+	platform.AnnotateIO(tr, ioStart, p.Now())
+
+	// Parallel replication; majority = leader + 1 follower ack.
+	if err := db.replicateEntry(p, tr, grp, leader, prevIndex); err != nil {
+		return err
+	}
+
+	// Apply on the leader (followers applied in their append handlers).
+	applyStart := p.Now()
+	d, err := leader.machine.Store.Write(key, int64(len(value)))
+	if err != nil {
+		return err
+	}
+	p.Sleep(d)
+	platform.AnnotateIO(tr, applyStart, p.Now())
+	leader.rows[key] = cp
+	db.Writes++
+
+	grp.commits++
+	if db.cfg.CompactionEvery > 0 && grp.commits%db.cfg.CompactionEvery == 0 {
+		db.startCompaction(grp)
+	}
+	return nil
+}
+
+// ErrNoQuorum is returned when too many replicas are down to reach a
+// majority.
+var ErrNoQuorum = errors.New("spanner: quorum unavailable")
+
+// quorumRound sends an RPC to every follower in parallel and waits for
+// enough acknowledgments to form a majority with the leader, annotating the
+// wait as remote work. Followers whose servers are down count as failures;
+// the round errors out as soon as a majority becomes impossible.
+func (db *DB) quorumRound(p *sim.Proc, tr *trace.Trace, grp *group, method string, bytes int64) error {
+	return db.quorum(p, tr, grp, func(rep *replica, cp *sim.Proc) error {
+		resp, _ := rep.srv.Call(cp, grp.leaderRep().machine.Node, netsim.Request{Method: method, Bytes: bytes})
+		return resp.Err
+	})
+}
+
+// quorum runs fn against every follower in parallel and waits until a
+// majority (with the leader) has succeeded, annotating the wait as remote
+// work. It errors out as soon as a majority becomes impossible.
+func (db *DB) quorum(p *sim.Proc, tr *trace.Trace, grp *group, fn func(rep *replica, cp *sim.Proc) error) error {
+	start := p.Now()
+	followers := make([]*replica, 0, len(grp.replicas)-1)
+	for i, rep := range grp.replicas {
+		if i != grp.leader {
+			followers = append(followers, rep)
+		}
+	}
+	need := len(grp.replicas) / 2 // follower acks for majority incl. leader
+	acks, nacks := 0, 0
+	decided := sim.NewSignal(db.env.K)
+	for _, rep := range followers {
+		rep := rep
+		db.env.K.Go("spanner-replicate", func(cp *sim.Proc) {
+			if err := fn(rep, cp); err != nil {
+				nacks++
+			} else {
+				acks++
+			}
+			if acks >= need || nacks > len(followers)-need {
+				decided.Fire()
+			}
+		})
+	}
+	if need > 0 {
+		p.Wait(decided)
+	}
+	platform.AnnotateRemote(tr, start, p.Now())
+	if acks < need {
+		return fmt.Errorf("%w: group %d got %d/%d follower acks", ErrNoQuorum, grp.id, acks, need)
+	}
+	return nil
+}
+
+// StopReplica injects a failure: it stops the RPC server of group g's
+// replica in the given region (region 0 is the leader). Reads and commits
+// keep succeeding while a majority of replicas remains up.
+func (db *DB) StopReplica(g, region int) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if region < 0 || region >= len(db.groups[g].replicas) {
+		return fmt.Errorf("spanner: region %d out of range", region)
+	}
+	db.groups[g].replicas[region].srv.Stop()
+	return nil
+}
+
+// Query runs a SQL-ish scan over QueryScanRows consecutive rows of group g
+// starting at row start, returning how many rows satisfy a real predicate
+// (first byte odd).
+func (db *DB) Query(p *sim.Proc, tr *trace.Trace, g, start int) (int, error) {
+	if g < 0 || g >= len(db.groups) {
+		return 0, fmt.Errorf("spanner: group %d out of range", g)
+	}
+	grp := db.groups[g]
+	leader := grp.leaderRep()
+	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.queryRecipe)
+
+	matched := 0
+	ioStart := p.Now()
+	var ioTime time.Duration
+	for i := 0; i < db.cfg.QueryScanRows; i++ {
+		row := (start + i) % db.cfg.RowsPerGroup
+		key := rowKey(g, row)
+		d, _, err := leader.machine.Store.Read(key)
+		if err != nil {
+			return 0, err
+		}
+		ioTime += d
+		v, err := db.lookupRow(leader, g, row)
+		if err != nil {
+			return 0, err
+		}
+		if len(v) > 0 && v[0]%2 == 1 {
+			matched++
+		}
+	}
+	p.Sleep(ioTime)
+	platform.AnnotateIO(tr, ioStart, p.Now())
+	db.Queries++
+	return matched, nil
+}
+
+// startCompaction launches a background compaction of the group on the
+// leader machine: it reads and rewrites the group's resident bytes and burns
+// the compaction CPU recipe. Queries are not blocked (unlike BigTable).
+func (db *DB) startCompaction(grp *group) {
+	leader := grp.leaderRep()
+	size := int64(db.cfg.RowsPerGroup) * db.cfg.RowBytes
+	db.env.K.Go("spanner-compaction", func(p *sim.Proc) {
+		p.Sleep(leader.machine.Store.RawAccess(storage.HDD, size, false))
+		db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, nil, db.compactRecipe)
+		p.Sleep(leader.machine.Store.RawAccess(storage.HDD, size, true))
+		db.Compactions++
+	})
+}

@@ -1,0 +1,136 @@
+package stats
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(k+1)^s, using Hörmann's rejection-inversion method, which stays O(1)
+// per sample for arbitrarily large n. It matches the access skew big-data
+// key-value workloads exhibit (a few hot rows, a long cold tail).
+type Zipf struct {
+	r                *RNG
+	n                float64
+	s                float64
+	oneMinusS        float64
+	oneOverOneMinusS float64
+	hImaxQ           float64
+	hX0              float64
+	sVal             float64
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with skew s > 0, s != 1 handled
+// via the generalized harmonic; s == 1 is nudged slightly for stability.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf n must be positive")
+	}
+	if s <= 0 {
+		panic("stats: Zipf s must be positive")
+	}
+	if s == 1 {
+		s = 1.0000001
+	}
+	z := &Zipf{r: r, n: float64(n), s: s}
+	z.oneMinusS = 1 - s
+	z.oneOverOneMinusS = 1 / z.oneMinusS
+	z.hX0 = z.h(0.5) - 1
+	z.hImaxQ = z.h(z.n + 0.5)
+	z.sVal = 1 - z.hInv(z.h(1.5)-math.Pow(2, -s))
+	return z
+}
+
+// h is the integral of the density: H(x) = (x^(1-s)) / (1-s).
+func (z *Zipf) h(x float64) float64 {
+	return math.Pow(x, z.oneMinusS) * z.oneOverOneMinusS
+}
+
+func (z *Zipf) hInv(x float64) float64 {
+	return math.Pow(x*z.oneMinusS, z.oneOverOneMinusS)
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() int {
+	for {
+		u := z.hX0 + z.r.Float64()*(z.hImaxQ-z.hX0)
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.sVal || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+			return int(k) - 1
+		}
+	}
+}
+
+// Weighted picks indices with probability proportional to fixed weights,
+// using the alias method for O(1) sampling.
+type Weighted struct {
+	r     *RNG
+	prob  []float64
+	alias []int
+}
+
+// NewWeighted builds an alias table over the given non-negative weights. At
+// least one weight must be positive.
+func NewWeighted(r *RNG, weights []float64) *Weighted {
+	n := len(weights)
+	if n == 0 {
+		panic("stats: empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: all weights zero")
+	}
+	w := &Weighted{r: r, prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, wt := range weights {
+		scaled[i] = wt / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		w.prob[s] = scaled[s]
+		w.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		w.prob[i] = 1
+		w.alias[i] = i
+	}
+	for _, i := range small {
+		w.prob[i] = 1
+		w.alias[i] = i
+	}
+	return w
+}
+
+// Next returns an index drawn according to the weights.
+func (w *Weighted) Next() int {
+	i := w.r.Intn(len(w.prob))
+	if w.r.Float64() < w.prob[i] {
+		return i
+	}
+	return w.alias[i]
+}

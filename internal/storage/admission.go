@@ -1,0 +1,122 @@
+package storage
+
+import "hash/fnv"
+
+// This file implements a frequency-aware cache admission policy in the
+// TinyLFU family, the practical form of §3's suggestion to place data
+// between storage tiers with learned/frequency signals instead of pure
+// recency. A compact count-min sketch estimates each key's access
+// frequency; on insertion pressure, a new key is admitted only if it is
+// estimated hotter than the eviction victim. Under the Zipf access skew of
+// big-data workloads this protects the hot head from scan pollution.
+
+// freqSketch is a 4-row count-min sketch with halving decay.
+type freqSketch struct {
+	rows    [4][]uint8
+	mask    uint64
+	adds    int
+	decayAt int
+}
+
+// newFreqSketch sizes the sketch for roughly the given key population.
+func newFreqSketch(keys int) *freqSketch {
+	size := uint64(1)
+	for size < uint64(keys)*2 {
+		size <<= 1
+	}
+	if size < 64 {
+		size = 64
+	}
+	s := &freqSketch{mask: size - 1, decayAt: int(size) * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, size)
+	}
+	return s
+}
+
+func (s *freqSketch) hashes(key string) [4]uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	a := h.Sum64()
+	b := a>>32 | a<<32
+	return [4]uint64{a, a + b, a + 2*b, a + 3*b}
+}
+
+// Touch records one access.
+func (s *freqSketch) Touch(key string) {
+	hs := s.hashes(key)
+	for i := range s.rows {
+		idx := hs[i] & s.mask
+		if s.rows[i][idx] < 255 {
+			s.rows[i][idx]++
+		}
+	}
+	s.adds++
+	if s.adds >= s.decayAt {
+		s.decay()
+	}
+}
+
+// Estimate returns the minimum-counter frequency estimate.
+func (s *freqSketch) Estimate(key string) uint8 {
+	hs := s.hashes(key)
+	est := uint8(255)
+	for i := range s.rows {
+		if v := s.rows[i][hs[i]&s.mask]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// decay halves all counters, aging out stale popularity.
+func (s *freqSketch) decay() {
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] >>= 1
+		}
+	}
+	s.adds = 0
+}
+
+// admissionCache wraps an LRU with TinyLFU-style admission: every access
+// feeds the sketch, and a candidate only displaces the LRU victim when the
+// sketch says it is at least as hot.
+type admissionCache struct {
+	lru    *lruCache
+	sketch *freqSketch
+}
+
+func newAdmissionCache(capacity int64, expectedKeys int) *admissionCache {
+	return &admissionCache{lru: newLRU(capacity), sketch: newFreqSketch(expectedKeys)}
+}
+
+// Contains reports and records an access.
+func (c *admissionCache) Contains(key string) bool {
+	c.sketch.Touch(key)
+	return c.lru.Contains(key)
+}
+
+// Add inserts the key if it deserves the space: when the cache has room it
+// always enters; when full, it must beat the current LRU victim's estimated
+// frequency. Returns whether the key is resident afterwards.
+func (c *admissionCache) Add(key string, size int64) bool {
+	c.sketch.Touch(key)
+	if c.lru.Peek(key) {
+		c.lru.Add(key, size)
+		return true
+	}
+	if c.lru.Used()+size <= c.lru.capacity || size > c.lru.capacity {
+		c.lru.Add(key, size)
+		return c.lru.Peek(key)
+	}
+	victim := c.lru.tail
+	if victim != nil && c.sketch.Estimate(key) < c.sketch.Estimate(victim.key) {
+		return false // candidate is colder than what it would displace
+	}
+	c.lru.Add(key, size)
+	return c.lru.Peek(key)
+}
+
+// Used returns resident bytes.
+func (c *admissionCache) Used() int64 { return c.lru.Used() }

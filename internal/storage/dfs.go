@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// DFS is a chunked, replicated distributed file system in the mold of
+// Colossus: files are split into fixed-size chunks, each chunk is replicated
+// onto R chunkservers chosen deterministically, and every chunkserver is a
+// TieredStore so hot chunks are served from RAM or SSD.
+type DFS struct {
+	servers     []*TieredStore
+	down        []bool // failure-injection flags per chunkserver
+	replication int
+	chunkSize   int64
+	files       map[string]int64 // file sizes
+}
+
+// ErrAllReplicasDown is returned when every replica of a chunk sits on a
+// failed chunkserver.
+var ErrAllReplicasDown = errors.New("storage: all replicas down")
+
+// DFSConfig configures a DFS.
+type DFSConfig struct {
+	// Chunkservers is the number of storage servers (must be >= Replication).
+	Chunkservers int
+	// Replication is the number of replicas per chunk (default 3).
+	Replication int
+	// ChunkSize is the chunk granularity in bytes (default 64 MiB).
+	ChunkSize int64
+	// ServerCapacities provisions each chunkserver's tiers.
+	ServerCapacities Capacities
+	// TierParams overrides media parameters (nil = defaults).
+	TierParams map[Tier]TierParams
+}
+
+// NewDFS creates a distributed file system.
+func NewDFS(cfg DFSConfig) (*DFS, error) {
+	if cfg.Replication == 0 {
+		cfg.Replication = 3
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = 64 << 20
+	}
+	if cfg.Chunkservers < cfg.Replication {
+		return nil, fmt.Errorf("storage: %d chunkservers < replication %d", cfg.Chunkservers, cfg.Replication)
+	}
+	d := &DFS{
+		replication: cfg.Replication,
+		chunkSize:   cfg.ChunkSize,
+		files:       map[string]int64{},
+		down:        make([]bool, cfg.Chunkservers),
+	}
+	for i := 0; i < cfg.Chunkservers; i++ {
+		s, err := NewTieredStore(cfg.ServerCapacities, cfg.TierParams)
+		if err != nil {
+			return nil, err
+		}
+		d.servers = append(d.servers, s)
+	}
+	return d, nil
+}
+
+// FailServer marks a chunkserver as down: reads fail over to surviving
+// replicas; writes skip it (its replicas go stale until RecoverServer).
+func (d *DFS) FailServer(i int) error {
+	if i < 0 || i >= len(d.servers) {
+		return fmt.Errorf("storage: chunkserver %d out of range", i)
+	}
+	d.down[i] = true
+	return nil
+}
+
+// RecoverServer brings a failed chunkserver back.
+func (d *DFS) RecoverServer(i int) error {
+	if i < 0 || i >= len(d.servers) {
+		return fmt.Errorf("storage: chunkserver %d out of range", i)
+	}
+	d.down[i] = false
+	return nil
+}
+
+// DownServers returns the indices of failed chunkservers.
+func (d *DFS) DownServers() []int {
+	var out []int
+	for i, dn := range d.down {
+		if dn {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Servers returns the chunkserver stores (for inventory and stats).
+func (d *DFS) Servers() []*TieredStore { return d.servers }
+
+// ChunkSize returns the chunk granularity.
+func (d *DFS) ChunkSize() int64 { return d.chunkSize }
+
+// chunkKey names a chunk replica object.
+func chunkKey(file string, idx int64) string { return fmt.Sprintf("%s#%d", file, idx) }
+
+// replicaServers returns the deterministic replica placement for a chunk.
+func (d *DFS) replicaServers(file string, idx int64) []int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", file, idx)
+	start := int(h.Sum64() % uint64(len(d.servers)))
+	out := make([]int, d.replication)
+	for i := range out {
+		out[i] = (start + i) % len(d.servers)
+	}
+	return out
+}
+
+// Exists reports whether the file exists.
+func (d *DFS) Exists(name string) bool {
+	_, ok := d.files[name]
+	return ok
+}
+
+// FileSize returns a file's size or an error.
+func (d *DFS) FileSize(name string) (int64, error) {
+	sz, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: file %q", ErrNotFound, name)
+	}
+	return sz, nil
+}
+
+// Create allocates a file of the given size, writing all chunk replicas. The
+// returned duration models the client-visible write: chunks stream
+// sequentially, replicas write in parallel (max across replicas per chunk).
+func (d *DFS) Create(name string, size int64) (time.Duration, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("storage: negative file size")
+	}
+	if d.Exists(name) {
+		return 0, fmt.Errorf("storage: file %q exists", name)
+	}
+	d.files[name] = size
+	var total time.Duration
+	for idx, remaining := int64(0), size; remaining > 0 || idx == 0; idx++ {
+		sz := min64(remaining, d.chunkSize)
+		if size == 0 {
+			sz = 0
+		}
+		var worst time.Duration
+		placed := 0
+		for _, si := range d.replicaServers(name, idx) {
+			if d.down[si] {
+				continue // re-replication after recovery is out of scope
+			}
+			dur, err := d.servers[si].Write(chunkKey(name, idx), sz)
+			if err != nil {
+				return 0, err
+			}
+			placed++
+			if dur > worst {
+				worst = dur
+			}
+		}
+		if placed == 0 {
+			return 0, fmt.Errorf("%w: %s chunk %d", ErrAllReplicasDown, name, idx)
+		}
+		total += worst
+		remaining -= sz
+		if remaining <= 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Read reads [offset, offset+length) of a file, returning the modeled time:
+// the affected chunks are fetched sequentially, each from its first replica.
+// It also returns the slowest tier touched, which callers use to decide
+// whether an access counted as a cache hit.
+func (d *DFS) Read(name string, offset, length int64) (time.Duration, Tier, error) {
+	size, ok := d.files[name]
+	if !ok {
+		return 0, HDD, fmt.Errorf("%w: file %q", ErrNotFound, name)
+	}
+	if offset < 0 || length < 0 || offset+length > size {
+		return 0, HDD, fmt.Errorf("storage: read [%d,%d) out of bounds for %q (size %d)", offset, offset+length, name, size)
+	}
+	if length == 0 {
+		return 0, RAM, nil
+	}
+	var total time.Duration
+	worstTier := RAM
+	for idx := offset / d.chunkSize; idx <= (offset+length-1)/d.chunkSize; idx++ {
+		// Serve from the first live replica.
+		si := -1
+		for _, cand := range d.replicaServers(name, idx) {
+			if !d.down[cand] {
+				si = cand
+				break
+			}
+		}
+		if si < 0 {
+			return 0, HDD, fmt.Errorf("%w: %s chunk %d", ErrAllReplicasDown, name, idx)
+		}
+		dur, tier, err := d.servers[si].Read(chunkKey(name, idx))
+		if err != nil {
+			return 0, HDD, err
+		}
+		total += dur
+		if tier > worstTier {
+			worstTier = tier
+		}
+	}
+	return total, worstTier, nil
+}
+
+// Delete removes a file and all chunk replicas.
+func (d *DFS) Delete(name string) error {
+	size, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: file %q", ErrNotFound, name)
+	}
+	nChunks := (size + d.chunkSize - 1) / d.chunkSize
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	for idx := int64(0); idx < nChunks; idx++ {
+		for _, si := range d.replicaServers(name, idx) {
+			d.servers[si].Delete(chunkKey(name, idx))
+		}
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// TierHits sums read counts per tier across all chunkservers.
+func (d *DFS) TierHits() map[Tier]int64 {
+	out := map[Tier]int64{}
+	for _, s := range d.servers {
+		for _, t := range Tiers() {
+			out[t] += s.Stats(t).Reads
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+// Package storage models the disaggregated storage substrate the paper's
+// platforms sit on (§2.1, §3): per-server tiered stores (RAM read
+// caches/write buffers over SSD caches over HDD), a chunked replicated
+// distributed file system, and the fleet inventory accounting behind the
+// storage-to-storage ratios of Table 1.
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tier identifies a storage medium.
+type Tier int
+
+// The three media of Table 1.
+const (
+	RAM Tier = iota
+	SSD
+	HDD
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case RAM:
+		return "RAM"
+	case SSD:
+		return "SSD"
+	case HDD:
+		return "HDD"
+	}
+	return "Unknown"
+}
+
+// Tiers lists the tiers fastest-first.
+func Tiers() []Tier { return []Tier{RAM, SSD, HDD} }
+
+// TierParams models a medium's access cost: a fixed per-access latency plus
+// a size-proportional transfer time.
+type TierParams struct {
+	Latency     time.Duration
+	BytesPerSec float64
+}
+
+// AccessTime returns the modeled time to read or write size bytes.
+func (p TierParams) AccessTime(size int64) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	xfer := time.Duration(float64(size) / p.BytesPerSec * float64(time.Second))
+	return p.Latency + xfer
+}
+
+// DefaultTierParams returns representative 2022 datacenter media parameters:
+// DRAM at ~1µs effective access and 10 GB/s, NVMe SSD at ~80µs and 1.5 GB/s,
+// and HDD at ~8ms seek and 180 MB/s.
+func DefaultTierParams() map[Tier]TierParams {
+	return map[Tier]TierParams{
+		RAM: {Latency: time.Microsecond, BytesPerSec: 10e9},
+		SSD: {Latency: 80 * time.Microsecond, BytesPerSec: 1.5e9},
+		HDD: {Latency: 8 * time.Millisecond, BytesPerSec: 180e6},
+	}
+}
+
+// Capacities is a per-tier byte budget.
+type Capacities map[Tier]int64
+
+// Validate checks all capacities are positive.
+func (c Capacities) Validate() error {
+	for _, t := range Tiers() {
+		if c[t] <= 0 {
+			return fmt.Errorf("storage: %v capacity must be positive, got %d", t, c[t])
+		}
+	}
+	return nil
+}

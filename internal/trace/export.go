@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file exports sampled traces in the Chrome trace-event format so a
+// simulated run can be inspected visually in chrome://tracing or Perfetto:
+// one row per query, with its CPU, IO and remote-work intervals as complete
+// events.
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format.
+type chromeEvent struct {
+	Name     string            `json:"name"`
+	Phase    string            `json:"ph"`
+	TsMicros float64           `json:"ts"`
+	DurUs    float64           `json:"dur,omitempty"`
+	PID      int               `json:"pid"`
+	TID      uint64            `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// ExportChrome renders the traces as a Chrome trace-event JSON document.
+// Each platform becomes a process; each query becomes a thread whose
+// intervals appear as complete ('X') events. The limit caps exported traces
+// (0 = all).
+func ExportChrome(traces []*Trace, limit int) ([]byte, error) {
+	var events []chromeEvent
+	pids := map[string]int{}
+	count := 0
+	for _, t := range traces {
+		if limit > 0 && count >= limit {
+			break
+		}
+		count++
+		platform := string(t.Platform)
+		pid, ok := pids[platform]
+		if !ok {
+			pid = len(pids) + 1
+			pids[platform] = pid
+			events = append(events, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   pid,
+				Args:  map[string]string{"name": platform},
+			})
+		}
+		b := t.ComputeBreakdown()
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   pid,
+			TID:   t.ID,
+			Args: map[string]string{
+				"name": fmt.Sprintf("query %d (%s)", t.ID, GroupOf(b)),
+			},
+		})
+		for _, iv := range t.Intervals {
+			events = append(events, chromeEvent{
+				Name:     iv.Class.String(),
+				Phase:    "X",
+				TsMicros: float64(iv.Start.Microseconds()),
+				DurUs:    float64((iv.End - iv.Start).Microseconds()),
+				PID:      pid,
+				TID:      t.ID,
+			})
+		}
+	}
+	return json.MarshalIndent(events, "", " ")
+}

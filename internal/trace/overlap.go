@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Overlap reports, for one trace, the raw (precedence-free) union durations
+// of CPU intervals and non-CPU dependency intervals (IO + remote work), and
+// their intersection. It is how the limits studies derive the model's f sync
+// factor from observed executions: f = 1 - intersection/min(cpu, dep).
+type Overlap struct {
+	CPUUnion     time.Duration
+	DepUnion     time.Duration
+	Intersection time.Duration
+}
+
+// F returns the f sync factor implied by the overlap (Eq 1): 1 when nothing
+// overlaps (strictly serial), 0 when the smaller side is fully hidden. A
+// trace with no CPU or no dependency time is strictly serial (f = 1).
+func (o Overlap) F() float64 {
+	m := o.CPUUnion
+	if o.DepUnion < m {
+		m = o.DepUnion
+	}
+	if m <= 0 {
+		return 1
+	}
+	f := 1 - float64(o.Intersection)/float64(m)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// ComputeOverlap measures the trace's CPU/dependency overlap.
+func (t *Trace) ComputeOverlap() Overlap {
+	cpu := make([]Interval, 0, len(t.Intervals))
+	dep := make([]Interval, 0, len(t.Intervals))
+	for _, iv := range t.Intervals {
+		iv.Start = clamp(iv.Start, t.Start, t.End)
+		iv.End = clamp(iv.End, t.Start, t.End)
+		if iv.End <= iv.Start {
+			continue
+		}
+		if iv.Class == CPU {
+			cpu = append(cpu, iv)
+		} else {
+			dep = append(dep, iv)
+		}
+	}
+	cpuU := mergeIntervals(cpu)
+	depU := mergeIntervals(dep)
+	return Overlap{
+		CPUUnion:     unionLen(cpuU),
+		DepUnion:     unionLen(depU),
+		Intersection: intersectLen(cpuU, depU),
+	}
+}
+
+// mergeIntervals returns the sorted disjoint union of intervals.
+func mergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	out := []Interval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func unionLen(ivs []Interval) time.Duration {
+	var total time.Duration
+	for _, iv := range ivs {
+		total += iv.End - iv.Start
+	}
+	return total
+}
+
+// intersectLen computes the total overlap between two disjoint sorted sets.
+func intersectLen(a, b []Interval) time.Duration {
+	var total time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// MeanF returns the duration-weighted mean f over a set of traces, the
+// population parameter the limit studies feed into the model. Traces with no
+// intervals are skipped; an empty set returns 1.
+func MeanF(traces []*Trace) float64 {
+	var num, den float64
+	for _, t := range traces {
+		if len(t.Intervals) == 0 {
+			continue
+		}
+		w := float64(t.End - t.Start)
+		if w <= 0 {
+			continue
+		}
+		num += t.ComputeOverlap().F() * w
+		den += w
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,0 +1,289 @@
+// Package trace is the repository's Dapper equivalent (§4.1): it records,
+// per query, the time intervals a worker spent on CPU, on distributed
+// storage IO, and blocked on remote work, samples a configurable fraction of
+// queries, and computes the end-to-end breakdowns of Figure 2 including the
+// paper's overlap precedence rule (overlapped time is categorized first as
+// remote work, then IO, then CPU).
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// Class is a coarse end-to-end time class (§4.1).
+type Class int
+
+// The three end-to-end time classes.
+const (
+	CPU Class = iota
+	IO
+	Remote
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case CPU:
+		return "CPU"
+	case IO:
+		return "IO"
+	case Remote:
+		return "Remote Work"
+	}
+	return "Unknown"
+}
+
+// Interval is one annotated time range within a trace.
+type Interval struct {
+	Start, End time.Duration
+	Class      Class
+}
+
+// Trace records one query's end-to-end execution. Annotations on an
+// unsampled trace are dropped to keep tracing cheap, as in production Dapper.
+type Trace struct {
+	ID        uint64
+	Platform  taxonomy.Platform
+	Start     time.Duration
+	End       time.Duration
+	Intervals []Interval
+	sampled   bool
+	finished  bool
+}
+
+// Sampled reports whether this trace retains its annotations.
+func (t *Trace) Sampled() bool { return t.sampled }
+
+// Annotate records that [start, end) was spent in the given class. Reversed
+// or empty intervals are ignored. Annotations on unsampled traces are
+// dropped.
+func (t *Trace) Annotate(start, end time.Duration, c Class) {
+	if !t.sampled || end <= start {
+		return
+	}
+	t.Intervals = append(t.Intervals, Interval{Start: start, End: end, Class: c})
+}
+
+// Tracer creates and collects traces. Sampling is deterministic in the trace
+// ID so a run is reproducible: trace k is sampled iff k mod rate == 0.
+type Tracer struct {
+	rate    uint64
+	nextID  uint64
+	total   int
+	sampled []*Trace
+}
+
+// NewTracer creates a tracer keeping one out of every rate traces. The
+// paper samples one-thousandth of queries; tests use rate 1 for full
+// visibility. rate < 1 is treated as 1.
+func NewTracer(rate int) *Tracer {
+	if rate < 1 {
+		rate = 1
+	}
+	return &Tracer{rate: uint64(rate)}
+}
+
+// Start begins a new trace for a query on the given platform at time now.
+func (tr *Tracer) Start(p taxonomy.Platform, now time.Duration) *Trace {
+	id := tr.nextID
+	tr.nextID++
+	tr.total++
+	return &Trace{ID: id, Platform: p, Start: now, sampled: id%tr.rate == 0}
+}
+
+// Finish marks the trace complete at time now and retains it if sampled.
+func (tr *Tracer) Finish(t *Trace, now time.Duration) {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.End = now
+	if t.sampled {
+		tr.sampled = append(tr.sampled, t)
+	}
+}
+
+// Total returns the number of traces started.
+func (tr *Tracer) Total() int { return tr.total }
+
+// Sampled returns the retained traces in completion order.
+func (tr *Tracer) Sampled() []*Trace { return tr.sampled }
+
+// Breakdown is a trace's end-to-end time split into the three classes plus
+// any uncovered gap (time not annotated at all, e.g. client-side queueing).
+type Breakdown struct {
+	CPU, IO, Remote, Gap time.Duration
+	Total                time.Duration
+}
+
+// Frac returns the fraction of total time in the given class; gap time is
+// folded into CPU, matching the paper's three-way normalization. A zero-total
+// breakdown returns 0.
+func (b Breakdown) Frac(c Class) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	var v time.Duration
+	switch c {
+	case CPU:
+		v = b.CPU + b.Gap
+	case IO:
+		v = b.IO
+	case Remote:
+		v = b.Remote
+	}
+	return float64(v) / float64(b.Total)
+}
+
+// DefaultPrecedence is the paper's §4.1 rule: overlapped time is remote work
+// first, then IO, then CPU.
+var DefaultPrecedence = [3]Class{Remote, IO, CPU}
+
+// ComputeBreakdown computes the trace's breakdown under the default
+// precedence.
+func (t *Trace) ComputeBreakdown() Breakdown {
+	return t.BreakdownWithPrecedence(DefaultPrecedence)
+}
+
+// BreakdownWithPrecedence computes the breakdown with an explicit precedence
+// order (order[0] wins overlaps), used by the precedence ablation study.
+func (t *Trace) BreakdownWithPrecedence(order [3]Class) Breakdown {
+	b := Breakdown{Total: t.End - t.Start}
+	if len(t.Intervals) == 0 {
+		b.Gap = b.Total
+		return b
+	}
+	// Sweep over elementary segments between all boundary points, assigning
+	// each segment to the highest-precedence class covering it.
+	points := make([]time.Duration, 0, 2*len(t.Intervals)+2)
+	points = append(points, t.Start, t.End)
+	for _, iv := range t.Intervals {
+		points = append(points, clamp(iv.Start, t.Start, t.End), clamp(iv.End, t.Start, t.End))
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	rank := map[Class]int{order[0]: 0, order[1]: 1, order[2]: 2}
+	for i := 0; i+1 < len(points); i++ {
+		lo, hi := points[i], points[i+1]
+		if hi <= lo {
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		best := -1
+		for _, iv := range t.Intervals {
+			if iv.Start <= mid && mid < iv.End {
+				if r := rank[iv.Class]; best == -1 || r < best {
+					best = r
+				}
+			}
+		}
+		seg := hi - lo
+		switch {
+		case best == -1:
+			b.Gap += seg
+		case order[best] == CPU:
+			b.CPU += seg
+		case order[best] == IO:
+			b.IO += seg
+		default:
+			b.Remote += seg
+		}
+	}
+	return b
+}
+
+func clamp(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Group is a Figure 2 query group.
+type Group string
+
+// The paper's §4.2 query groups.
+const (
+	GroupCPUHeavy    Group = "CPU Heavy"
+	GroupIOHeavy     Group = "IO Heavy"
+	GroupRemoteHeavy Group = "Remote Work Heavy"
+	GroupOthers      Group = "Others"
+	GroupOverall     Group = "Overall Average"
+)
+
+// Groups lists the Figure 2 groups in presentation order.
+func Groups() []Group {
+	return []Group{GroupCPUHeavy, GroupIOHeavy, GroupRemoteHeavy, GroupOthers, GroupOverall}
+}
+
+// GroupOf classifies a breakdown per §4.2: CPU heavy when >60% of time is
+// CPU; otherwise IO (resp. remote) heavy when >30% of time is distributed
+// storage (resp. remote work); otherwise Others.
+func GroupOf(b Breakdown) Group {
+	switch {
+	case b.Frac(CPU) > 0.60:
+		return GroupCPUHeavy
+	case b.Frac(IO) > 0.30:
+		return GroupIOHeavy
+	case b.Frac(Remote) > 0.30:
+		return GroupRemoteHeavy
+	default:
+		return GroupOthers
+	}
+}
+
+// GroupStats aggregates breakdowns for one query group.
+type GroupStats struct {
+	Group      Group
+	Queries    int
+	QueryFrac  float64 // fraction of all sampled queries in this group
+	CPUFrac    float64 // mean fraction of end-to-end time on CPU
+	IOFrac     float64
+	RemoteFrac float64
+}
+
+// Aggregate computes per-group statistics (the content of Figure 2) over a
+// set of traces, including the overall average as the final row.
+func Aggregate(traces []*Trace) []GroupStats {
+	type acc struct {
+		n               int
+		cpu, io, remote float64
+	}
+	accs := map[Group]*acc{}
+	for _, g := range Groups() {
+		accs[g] = &acc{}
+	}
+	for _, t := range traces {
+		b := t.ComputeBreakdown()
+		for _, g := range []Group{GroupOf(b), GroupOverall} {
+			a := accs[g]
+			a.n++
+			a.cpu += b.Frac(CPU)
+			a.io += b.Frac(IO)
+			a.remote += b.Frac(Remote)
+		}
+	}
+	total := accs[GroupOverall].n
+	out := make([]GroupStats, 0, len(accs))
+	for _, g := range Groups() {
+		a := accs[g]
+		gs := GroupStats{Group: g, Queries: a.n}
+		if a.n > 0 {
+			gs.CPUFrac = a.cpu / float64(a.n)
+			gs.IOFrac = a.io / float64(a.n)
+			gs.RemoteFrac = a.remote / float64(a.n)
+		}
+		if total > 0 && g != GroupOverall {
+			gs.QueryFrac = float64(a.n) / float64(total)
+		} else if g == GroupOverall {
+			gs.QueryFrac = 1
+		}
+		out = append(out, gs)
+	}
+	return out
+}
