@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"hyperprof"
 	"hyperprof/internal/trace"
@@ -32,7 +33,13 @@ func main() {
 	chromeOut := flag.String("chrome-trace", "", "also write sampled traces to this file in Chrome trace-event format (view in Perfetto)")
 	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
 	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
+	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
 	flag.Parse()
+
+	if *faultsRun {
+		runResilience(*seed, *clients, *chromeOut)
+		return
+	}
 
 	cfg.Seed = *seed
 	cfg.SpannerQueries = *spannerQ
@@ -110,5 +117,44 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "\nWrote %d bytes of Chrome trace events to %s (open in Perfetto)\n", len(data), *chromeOut)
+	}
+}
+
+// runResilience executes the fault-injection study and prints the
+// availability/goodput/latency comparison. With -chrome-trace, the faulted
+// arms' traces are exported with the applied fault events as instant marks.
+func runResilience(seed uint64, clients int, chromeOut string) {
+	cfg := hyperprof.DefaultResilienceConfig()
+	cfg.Seed = seed
+	cfg.Clients = clients
+	res, err := hyperprof.ResilienceStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hyperprof.RenderResilience(res))
+	for _, p := range hyperprof.Platforms() {
+		if row := res.Row(p, true); row != nil && len(row.FaultEvents) > 0 {
+			fmt.Printf("%s faults:", p)
+			for _, ev := range row.FaultEvents {
+				fmt.Printf(" [%v %s]", ev.At.Round(time.Millisecond), ev.Label())
+			}
+			fmt.Println()
+		}
+	}
+	if chromeOut != "" {
+		var all []*trace.Trace
+		var marks []trace.Mark
+		for _, p := range hyperprof.Platforms() {
+			all = append(all, res.Traces[p]...)
+			marks = append(marks, res.Marks[p]...)
+		}
+		data, err := trace.ExportChromeMarks(all, 2000, marks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nWrote %d bytes of Chrome trace events (with %d fault marks) to %s\n", len(data), len(marks), chromeOut)
 	}
 }

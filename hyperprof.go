@@ -19,6 +19,7 @@ package hyperprof
 
 import (
 	"hyperprof/internal/experiments"
+	"hyperprof/internal/faults"
 	"hyperprof/internal/model"
 	"hyperprof/internal/profile"
 	"hyperprof/internal/soc"
@@ -180,6 +181,36 @@ type Report = experiments.Report
 // BuildReport assembles the machine-readable report (serialize with
 // Report.JSON).
 var BuildReport = experiments.BuildReport
+
+// Resilience types expose the fault-injection study: each platform's
+// workload runs fault-free and under a seeded fault schedule, and the study
+// compares availability, goodput and tail latency between the arms.
+type (
+	// Resilience is the full study result.
+	Resilience = experiments.Resilience
+	// ResilienceConfig sizes the study and sets the fault rates.
+	ResilienceConfig = experiments.ResilienceConfig
+	// ResilienceRow is one (platform, arm) measurement.
+	ResilienceRow = experiments.ResilienceRow
+	// FaultEvent records one fault that fired during a faulted arm.
+	FaultEvent = faults.Applied
+	// TraceMark is a point annotation on an exported trace timeline.
+	TraceMark = trace.Mark
+)
+
+// DefaultResilienceConfig returns the documented default fault rates.
+func DefaultResilienceConfig() ResilienceConfig {
+	return experiments.DefaultResilienceConfig()
+}
+
+// ResilienceStudy runs the fault-injection study. Equal configs replay
+// bit-identically.
+func ResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
+	return experiments.RunResilienceStudy(cfg)
+}
+
+// RenderResilience renders the study as a fixed-width comparison table.
+var RenderResilience = experiments.RenderResilience
 
 // Renderers produce the textual equivalents of the paper's tables/figures.
 var (

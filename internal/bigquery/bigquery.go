@@ -44,6 +44,9 @@ type Config struct {
 	Groups int
 	// Seed drives all randomness.
 	Seed uint64
+	// RPC is the client-side resilience policy applied to shuffle RPCs. The
+	// zero value is a plain call and changes nothing about fault-free runs.
+	RPC netsim.Policy
 }
 
 // DefaultConfig returns a laptop-scale deployment preserving the
@@ -128,10 +131,14 @@ type Engine struct {
 	coord   *cluster.Machine
 	shuffle []*shuffleServer
 	rng     *stats.RNG
+	client  *netsim.Client
 
 	fact    []*partition
 	dim     map[int64]string
 	nextQID int
+	// slotLoc maps a shuffle slot to the server index its put landed on,
+	// which may differ from the home server after a put failover.
+	slotLoc map[string]int
 
 	stage1 map[Kind]platform.Recipe // per-partition
 	stage2 map[Kind]platform.Recipe // per-query
@@ -140,6 +147,10 @@ type Engine struct {
 	// Counters for tests and reports.
 	Queries      map[Kind]int
 	ShuffleBytes int64
+	// RePuts counts shuffle puts redirected off their home server;
+	// Speculative counts stage-1 shards re-executed because their shuffle
+	// slot was lost or unreachable in stage 2.
+	RePuts, Speculative int
 }
 
 type partition struct {
@@ -206,8 +217,12 @@ func New(env *platform.Env, cfg Config) (*Engine, error) {
 		taxes:   platform.TaxTablesFor(taxonomy.BigQuery),
 		rng:     stats.NewRNG(cfg.Seed),
 		dim:     map[int64]string{},
+		slotLoc: map[string]int{},
 		Queries: map[Kind]int{},
 	}
+	// The RPC client seed is derived from the config seed without touching
+	// e.rng, so enabling a policy cannot shift the data-generation streams.
+	e.client = netsim.NewClient(cfg.RPC, cfg.Seed^0x52504351) // "RPCQ"
 	machines := mgr.Machines()
 	e.coord = machines[0]
 	for i := 0; i < cfg.Workers; i++ {
@@ -215,10 +230,8 @@ func New(env *platform.Env, cfg Config) (*Engine, error) {
 	}
 	for i := 0; i < cfg.ShuffleServers; i++ {
 		m := machines[(cfg.Workers+1+i)%len(machines)]
-		ss := &shuffleServer{machine: m, srv: netsim.NewServer(m.Node, 16), slots: map[string]shuffleSlot{}}
-		ss.srv.Handle("shuffle.put", e.handleShufflePut(ss))
-		ss.srv.Handle("shuffle.get", e.handleShuffleGet(ss))
-		ss.srv.Start()
+		ss := &shuffleServer{machine: m, slots: map[string]shuffleSlot{}}
+		e.startShuffleServer(ss)
 		e.shuffle = append(e.shuffle, ss)
 	}
 	e.registerClassifier()
@@ -374,6 +387,111 @@ func shuffleTier(bytes int64) storage.Tier {
 	return storage.HDD
 }
 
+// startShuffleServer (re)creates and starts a shuffle server's RPC endpoint.
+// It is used at construction time and by RecoverShuffleServer.
+func (e *Engine) startShuffleServer(ss *shuffleServer) {
+	ss.srv = netsim.NewServer(ss.machine.Node, 16)
+	ss.srv.Handle("shuffle.put", e.handleShufflePut(ss))
+	ss.srv.Handle("shuffle.get", e.handleShuffleGet(ss))
+	ss.srv.Start()
+}
+
+// shufflePut stores a stage-1 partial in the shuffle tier, trying servers in
+// partition-rotation order so a down home server redirects the slot to the
+// next surviving one (counted in RePuts). The landing server is remembered
+// for stage 2.
+func (e *Engine) shufflePut(p *sim.Proc, from *netsim.Node, qid, pi int, bytes int64, payload interface{}) error {
+	key := slotKey(qid, pi)
+	var lastErr error
+	for off := 0; off < len(e.shuffle); off++ {
+		idx := (pi + off) % len(e.shuffle)
+		ss := e.shuffle[idx]
+		if ss.srv.Stopped() {
+			lastErr = fmt.Errorf("%w: %s", netsim.ErrServerDown, ss.machine.Node.Name)
+			continue
+		}
+		resp, _ := e.client.Call(p, from, ss.srv, netsim.Request{
+			Method:  "shuffle.put",
+			Bytes:   bytes,
+			Payload: shufflePutArgs{key: key, payload: payload},
+		})
+		if resp.Err != nil {
+			lastErr = resp.Err
+			continue
+		}
+		if off > 0 {
+			e.RePuts++
+		}
+		e.slotLoc[key] = idx
+		return nil
+	}
+	return fmt.Errorf("bigquery: shuffle put %s failed on all servers: %w", key, lastErr)
+}
+
+// recomputePartial speculatively re-executes one stage-1 shard on the
+// reducer: re-read the fact partition from the DFS, burn the stage-1 recipe,
+// and recompute the partial aggregate. This is how a query survives losing
+// shuffle state — the inputs are durable even when the intermediates are not.
+func (e *Engine) recomputePartial(p *sim.Proc, tr *trace.Trace, reducer *cluster.Machine, q Query, pi int) (map[int64]int64, error) {
+	e.Speculative++
+	part := e.fact[pi]
+	ioStart := p.Now()
+	d, _, err := e.dfs.Read(part.file, 0, e.cfg.PartitionFileBytes)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(d)
+	platform.AnnotateIO(tr, ioStart, p.Now())
+	e.env.ExecRecipe(p, taxonomy.BigQuery, reducer.Node, tr, e.stage1[q.Kind])
+	sel := columnar.FilterGE(part.vals, q.Threshold)
+	return columnar.HashAggregate(part.keys, part.vals, sel)
+}
+
+// FailShuffleServer injects a shuffle-server crash: in-flight shuffle RPCs
+// fail immediately and the server's slots are lost with it. Queries survive
+// through put failover and speculative re-execution.
+func (e *Engine) FailShuffleServer(i int) error {
+	if i < 0 || i >= len(e.shuffle) {
+		return fmt.Errorf("bigquery: shuffle server %d out of range", i)
+	}
+	e.shuffle[i].srv.Crash()
+	return nil
+}
+
+// RecoverShuffleServer replaces a crashed shuffle server with a fresh one on
+// the same machine. Its previous slots are gone — in-memory shuffle state
+// does not survive a crash.
+func (e *Engine) RecoverShuffleServer(i int) error {
+	if i < 0 || i >= len(e.shuffle) {
+		return fmt.Errorf("bigquery: shuffle server %d out of range", i)
+	}
+	ss := e.shuffle[i]
+	if !ss.srv.Stopped() {
+		return fmt.Errorf("bigquery: shuffle server %d is already running", i)
+	}
+	ss.slots = map[string]shuffleSlot{}
+	e.startShuffleServer(ss)
+	return nil
+}
+
+// ShuffleServerDown reports whether shuffle server i is stopped or crashed.
+func (e *Engine) ShuffleServerDown(i int) bool {
+	return i >= 0 && i < len(e.shuffle) && e.shuffle[i].srv.Stopped()
+}
+
+// SetShuffleSlowdown injects (or clears, with factor <= 1) a straggler on
+// shuffle server i.
+func (e *Engine) SetShuffleSlowdown(i int, factor float64) error {
+	if i < 0 || i >= len(e.shuffle) {
+		return fmt.Errorf("bigquery: shuffle server %d out of range", i)
+	}
+	e.shuffle[i].srv.SetSlowdown(factor)
+	return nil
+}
+
+// RPCClient exposes the shuffle RPC client's counters for reports.
+func (e *Engine) RPCClient() *netsim.Client { return e.client }
+
 // Run executes a query end-to-end from the calling (coordinator) process and
 // returns its real result.
 func (e *Engine) Run(p *sim.Proc, tr *trace.Trace, q Query) (*Result, error) {
@@ -445,21 +563,18 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 
 				// Shuffle the partial to its server; join queries spill
 				// wide intermediate rows (a large fraction of the scanned
-				// bytes), scan-aggregates only compact partials.
+				// bytes), scan-aggregates only compact partials. The put
+				// fails over across the shuffle tier if the home server is
+				// down.
 				bytes := int64(len(partial)) * 16
 				if q.Kind == JoinQuery {
 					bytes = e.cfg.PartitionFileBytes
 				}
-				ss := e.shuffle[pi%len(e.shuffle)]
 				remStart := wp.Now()
-				resp, _ := ss.srv.Call(wp, worker.Node, netsim.Request{
-					Method:  "shuffle.put",
-					Bytes:   bytes,
-					Payload: shufflePutArgs{key: slotKey(qid, pi), payload: partial},
-				})
+				err = e.shufflePut(wp, worker.Node, qid, pi, bytes, partial)
 				platform.AnnotateRemote(tr, remStart, wp.Now())
-				if resp.Err != nil {
-					errs[w] = resp.Err
+				if err != nil {
+					errs[w] = err
 					return
 				}
 				e.ShuffleBytes += bytes
@@ -473,18 +588,32 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 		}
 	}
 
-	// Stage 2: fetch every shuffle slot and reduce on one worker.
+	// Stage 2: fetch every shuffle slot and reduce on one worker. A shard
+	// whose slot was lost (its shuffle server crashed) or is unreachable is
+	// speculatively re-executed from the durable fact partition instead of
+	// failing the query.
 	reducer := e.workers[qid%nW]
 	merged := map[int64]int64{}
 	for pi := 0; pi < nParts; pi++ {
-		ss := e.shuffle[pi%len(e.shuffle)]
-		remStart := p.Now()
-		resp, _ := ss.srv.Call(p, reducer.Node, netsim.Request{Method: "shuffle.get", Payload: slotKey(qid, pi)})
-		platform.AnnotateRemote(tr, remStart, p.Now())
-		if resp.Err != nil {
-			return nil, resp.Err
+		key := slotKey(qid, pi)
+		idx, ok := e.slotLoc[key]
+		if !ok {
+			idx = pi % len(e.shuffle)
 		}
-		columnar.MergeGroups(merged, resp.Payload.(map[int64]int64))
+		delete(e.slotLoc, key)
+		remStart := p.Now()
+		resp, _ := e.client.Call(p, reducer.Node, e.shuffle[idx].srv, netsim.Request{Method: "shuffle.get", Payload: key})
+		platform.AnnotateRemote(tr, remStart, p.Now())
+		var partial map[int64]int64
+		if resp.Err != nil {
+			var err error
+			if partial, err = e.recomputePartial(p, tr, reducer, q, pi); err != nil {
+				return nil, err
+			}
+		} else {
+			partial = resp.Payload.(map[int64]int64)
+		}
+		columnar.MergeGroups(merged, partial)
 	}
 	e.env.ExecRecipe(p, taxonomy.BigQuery, reducer.Node, tr, e.stage2[q.Kind])
 

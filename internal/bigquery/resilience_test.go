@@ -1,0 +1,142 @@
+package bigquery
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+)
+
+// TestQuerySurvivesShuffleServerCrashBeforeQuery: with a shuffle server down
+// before the query starts, stage-1 puts fail over to surviving servers and
+// the result is still exact.
+func TestQuerySurvivesShuffleServerCrashBeforeQuery(t *testing.T) {
+	env, e := newEngine(t, 60)
+	var res *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = e.FailShuffleServer(0); err != nil {
+			return
+		}
+		if !e.ShuffleServerDown(0) {
+			t.Error("ShuffleServerDown false after failure")
+		}
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(500)) {
+		t.Fatal("result differs from reference under shuffle failover")
+	}
+	if e.RePuts == 0 {
+		t.Fatalf("RePuts = 0, want puts redirected off the dead server")
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestQuerySurvivesShuffleServerCrashMidQuery: the crash lands between the
+// puts and the gets, losing slots that were already stored. Stage 2 must
+// speculatively re-execute those shards and still produce the exact result.
+func TestQuerySurvivesShuffleServerCrashMidQuery(t *testing.T) {
+	env, e := newEngine(t, 61)
+	var res *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		// Crash server 0 late in stage 1 (puts land between ~75ms and
+		// ~175ms at this config): slots already stored on it are lost
+		// before stage 2 fetches them.
+		env.K.Schedule(150*time.Millisecond, func() { _ = e.FailShuffleServer(0) })
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(500)) {
+		t.Fatal("result differs from reference after mid-query crash")
+	}
+	if e.Speculative == 0 {
+		t.Fatal("Speculative = 0, want lost shards re-executed")
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestShuffleServerRecoveryServesAgain: after a crash and recovery, the
+// fresh server takes puts again and queries stop paying failover costs.
+func TestShuffleServerRecoveryServesAgain(t *testing.T) {
+	env, e := newEngine(t, 62)
+	var res *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = e.FailShuffleServer(1); err != nil {
+			return
+		}
+		if err = e.RecoverShuffleServer(1); err != nil {
+			return
+		}
+		if e.ShuffleServerDown(1) {
+			t.Error("server still down after recovery")
+		}
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 200})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(200)) {
+		t.Fatal("result differs from reference after recovery")
+	}
+	if e.RePuts != 0 || e.Speculative != 0 {
+		t.Fatalf("RePuts=%d Speculative=%d, want 0/0 with the full tier back", e.RePuts, e.Speculative)
+	}
+}
+
+// TestStragglerShuffleServerWithDeadlinePolicy: a straggling shuffle server
+// under a deadline policy triggers speculative re-execution of the affected
+// stage-2 shards instead of dragging the whole query's tail.
+func TestStragglerShuffleServerWithDeadlinePolicy(t *testing.T) {
+	env := platform.NewEnv(63, 1)
+	cfg := smallConfig()
+	cfg.RPC = netsim.Policy{Deadline: 50 * time.Millisecond, MaxAttempts: 2, BackoffBase: time.Millisecond}
+	e, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	env.K.Go("client", func(p *sim.Proc) {
+		// Turn server 0 into a 1000x straggler after its stage-1 slots have
+		// landed: every stage-2 get it serves blows the 50ms deadline, so
+		// those shards are recomputed instead of dragging the tail.
+		env.K.Schedule(150*time.Millisecond, func() { _ = e.SetShuffleSlowdown(0, 1000) })
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(500)) {
+		t.Fatal("result differs from reference under straggler")
+	}
+	if e.Speculative == 0 {
+		t.Fatal("Speculative = 0, want deadline-exceeded shards re-executed")
+	}
+	if e.RPCClient().Deadlines == 0 {
+		t.Fatal("client recorded no deadline hits")
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}

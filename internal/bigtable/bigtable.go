@@ -87,8 +87,14 @@ type DB struct {
 	minorRecipe platform.Recipe
 	majorRecipe platform.Recipe
 
+	// downServers marks failed tablet servers by machine index.
+	downServers map[int]bool
+
 	// Counters for tests and reports.
 	Gets, Puts, Scans, MinorCompactions, MajorCompactions int
+	// Reassignments counts tablets moved off a failed server; Recoveries
+	// counts completed commit-log replays.
+	Reassignments, Recoveries int
 	// BloomSkips counts SSTable probes avoided by Bloom filters;
 	// RawBytes/CompressedBytes account flush compression.
 	BloomSkips                int
@@ -134,17 +140,23 @@ func (s *sstable) seal() {
 }
 
 type tablet struct {
-	id      int
-	server  *cluster.Machine
-	mem     map[string][]byte
-	memSize int64
-	memPuts int
-	imm     []*sstable // flushing memtable snapshots, newest first
-	ssts    []*sstable // on-DFS sstables, newest first
-	flushes int
-	nextSST int
+	id        int
+	server    *cluster.Machine
+	serverIdx int // index into mgr.Machines() of the owning tablet server
+	mem       map[string][]byte
+	memSize   int64
+	memPuts   int
+	// logBytes is the un-flushed commit-log volume: what a recovery replay
+	// must re-read from the DFS after a tablet-server crash.
+	logBytes int64
+	imm      []*sstable // flushing memtable snapshots, newest first
+	ssts     []*sstable // on-DFS sstables, newest first
+	flushes  int
+	nextSST  int
 	// compacting is non-nil while a major compaction blocks the tablet.
 	compacting *sim.Signal
+	// recovering is non-nil while a post-crash log replay blocks the tablet.
+	recovering *sim.Signal
 }
 
 // New builds and starts a deployment on the environment.
@@ -185,12 +197,13 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		env:   env,
-		cfg:   cfg,
-		mgr:   mgr,
-		dfs:   dfs,
-		taxes: platform.TaxTablesFor(taxonomy.BigTable),
-		rng:   stats.NewRNG(cfg.Seed),
+		env:         env,
+		cfg:         cfg,
+		mgr:         mgr,
+		dfs:         dfs,
+		taxes:       platform.TaxTablesFor(taxonomy.BigTable),
+		rng:         stats.NewRNG(cfg.Seed),
+		downServers: map[int]bool{},
 	}
 	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerTablet, 1.1)
 	db.registerClassifier()
@@ -243,9 +256,10 @@ func (db *DB) load() error {
 	machines := db.mgr.Machines()
 	for t := 0; t < db.cfg.Tablets; t++ {
 		tab := &tablet{
-			id:     t,
-			server: machines[t%len(machines)],
-			mem:    map[string][]byte{},
+			id:        t,
+			server:    machines[t%len(machines)],
+			serverIdx: t % len(machines),
+			mem:       map[string][]byte{},
 		}
 		base := &sstable{
 			file: fmt.Sprintf("bt/tablet%d/base", t),
@@ -311,6 +325,13 @@ func (db *DB) waitIfCompacting(p *sim.Proc, tr *trace.Trace, tab *tablet) {
 		p.Wait(tab.compacting)
 		platform.AnnotateRemote(tr, start, p.Now())
 	}
+	// A tablet freshly reassigned after a server crash is unavailable until
+	// its commit-log replay completes; the wait is remote work too.
+	for tab.recovering != nil && !tab.recovering.Fired() {
+		start := p.Now()
+		p.Wait(tab.recovering)
+		platform.AnnotateRemote(tr, start, p.Now())
+	}
 }
 
 // Get returns the current value of row `row` in tablet t.
@@ -370,11 +391,14 @@ func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 	db.waitIfCompacting(p, tr, tab)
 	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.putRecipe)
 
-	// Commit-log append: replicated write into the shared storage layer.
+	// Commit-log append: replicated write into the shared storage layer,
+	// failing over to the next live chunkserver if the tablet's usual log
+	// server is down.
 	ioStart := p.Now()
 	logBytes := int64(len(value)) + 64
-	p.Sleep(db.dfs.Servers()[tab.id%db.cfg.Chunkservers].RawAccess(storage.SSD, logBytes, true))
+	p.Sleep(db.logServer(tab).RawAccess(storage.SSD, logBytes, true))
 	platform.AnnotateIO(tr, ioStart, p.Now())
+	tab.logBytes += logBytes
 
 	key := rowKey(t, row)
 	cp := make([]byte, len(value))
@@ -461,6 +485,8 @@ func (db *DB) flush(tab *tablet) {
 	tab.mem = map[string][]byte{}
 	tab.memSize = 0
 	tab.memPuts = 0
+	// The snapshotted writes no longer need commit-log replay after a crash.
+	tab.logBytes = 0
 	tab.imm = append([]*sstable{snap}, tab.imm...)
 
 	db.env.K.Go("bt-minor-compaction", func(p *sim.Proc) {
@@ -533,4 +559,102 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// logServer returns the chunkserver holding the tablet's commit log,
+// failing over to the next live one when it is down (all down: fall back to
+// the home server — the write stalls on nothing, modeling a buffered log).
+func (db *DB) logServer(tab *tablet) *storage.TieredStore {
+	home := tab.id % db.cfg.Chunkservers
+	for off := 0; off < db.cfg.Chunkservers; off++ {
+		i := (home + off) % db.cfg.Chunkservers
+		if !db.dfs.ServerDown(i) {
+			return db.dfs.Servers()[i]
+		}
+	}
+	return db.dfs.Servers()[home]
+}
+
+// TabletServer returns the machine index currently serving tablet t.
+func (db *DB) TabletServer(t int) (int, error) {
+	if t < 0 || t >= len(db.tablets) {
+		return 0, fmt.Errorf("bigtable: tablet %d out of range", t)
+	}
+	return db.tablets[t].serverIdx, nil
+}
+
+// TabletServerDown reports whether tablet server i is failed.
+func (db *DB) TabletServerDown(i int) bool { return db.downServers[i] }
+
+// FailTabletServer injects a tablet-server crash: the server's memtables are
+// lost with it, so every tablet it owned is reassigned round-robin to the
+// surviving servers, and each reassigned tablet replays its un-flushed
+// commit log from the DFS before serving again (ops arriving mid-recovery
+// block on the replay, annotated as remote work). Durable state — SSTables
+// and the commit log — lives in the DFS and survives, so no acknowledged
+// write is lost. Fails if it would take down the last live server.
+func (db *DB) FailTabletServer(i int) error {
+	machines := db.mgr.Machines()
+	if i < 0 || i >= len(machines) {
+		return fmt.Errorf("bigtable: tablet server %d out of range", i)
+	}
+	if db.downServers[i] {
+		return nil
+	}
+	var live []int
+	for m := range machines {
+		if m != i && !db.downServers[m] {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("bigtable: cannot fail server %d: no live servers remain", i)
+	}
+	db.downServers[i] = true
+	for _, tab := range db.tablets {
+		if tab.serverIdx != i {
+			continue
+		}
+		ni := live[tab.id%len(live)]
+		tab.serverIdx = ni
+		tab.server = machines[ni]
+		db.Reassignments++
+		db.recoverTablet(tab)
+	}
+	return nil
+}
+
+// RecoverTabletServer brings a failed tablet server back into the live set.
+// Tablets stay where they were reassigned (like production, rebalancing is a
+// separate concern); the server is simply eligible for future reassignments.
+func (db *DB) RecoverTabletServer(i int) error {
+	if i < 0 || i >= len(db.mgr.Machines()) {
+		return fmt.Errorf("bigtable: tablet server %d out of range", i)
+	}
+	delete(db.downServers, i)
+	return nil
+}
+
+// recoverTablet replays the tablet's un-flushed commit log on its new server:
+// re-read the log bytes from the DFS chunkserver and burn the minor-
+// compaction recipe to rebuild the memtable. The tablet blocks ops until the
+// replay finishes.
+func (db *DB) recoverTablet(tab *tablet) {
+	if tab.recovering != nil && !tab.recovering.Fired() {
+		return
+	}
+	sig := sim.NewSignal(db.env.K)
+	tab.recovering = sig
+	replay := tab.logBytes
+	db.env.K.Go("bt-log-recovery", func(p *sim.Proc) {
+		if replay > 0 {
+			p.Sleep(db.logServer(tab).RawAccess(storage.SSD, replay, false))
+		}
+		db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, nil, db.minorRecipe)
+		db.Recoveries++
+		sig.Fire()
+		if tab.recovering == sig {
+			tab.recovering = nil
+		}
+	})
 }

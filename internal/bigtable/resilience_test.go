@@ -1,0 +1,170 @@
+package bigtable
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// TestTabletServerCrashPreservesData drives the crash/reassign/replay path:
+// writes acknowledged before a tablet-server failure must be readable
+// afterward (the commit log and SSTables are durable in the DFS), and the
+// tablets must land on surviving servers.
+func TestTabletServerCrashPreservesData(t *testing.T) {
+	env, db := newDB(t, 50)
+	want := []byte("written-before-crash")
+	var got []byte
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = db.Put(p, nil, 0, 3, want); err != nil {
+			return
+		}
+		victim, _ := db.TabletServer(0)
+		if err = db.FailTabletServer(victim); err != nil {
+			return
+		}
+		if !db.TabletServerDown(victim) {
+			t.Error("TabletServerDown false after failure")
+		}
+		// The read blocks on the recovery replay, then serves the value.
+		got, err = db.Get(p, nil, 0, 3)
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("get after crash = %q, want %q (lost acknowledged write)", got, want)
+	}
+	if db.Reassignments == 0 || db.Recoveries == 0 {
+		t.Fatalf("Reassignments=%d Recoveries=%d, want both > 0", db.Reassignments, db.Recoveries)
+	}
+	// Every tablet must now live on a surviving server.
+	for i := 0; i < db.NumTablets(); i++ {
+		si, _ := db.TabletServer(i)
+		if db.TabletServerDown(si) {
+			t.Fatalf("tablet %d still assigned to failed server %d", i, si)
+		}
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestOpsContinueThroughServerBounce verifies the whole failure window: puts
+// and gets keep succeeding while a server is down, and recovery restores the
+// server to the live set.
+func TestOpsContinueThroughServerBounce(t *testing.T) {
+	env, db := newDB(t, 51)
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = db.FailTabletServer(0); err != nil {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			if err = db.Put(p, nil, i%db.NumTablets(), i, []byte("during-outage")); err != nil {
+				return
+			}
+		}
+		if err = db.RecoverTabletServer(0); err != nil {
+			return
+		}
+		if db.TabletServerDown(0) {
+			t.Error("server still down after recovery")
+		}
+		for i := 0; i < 8; i++ {
+			var v []byte
+			if v, err = db.Get(p, nil, i%db.NumTablets(), i); err != nil {
+				return
+			}
+			if !bytes.Equal(v, []byte("during-outage")) {
+				t.Errorf("row %d = %q", i, v)
+			}
+		}
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestCannotFailLastServer pins the guard: the fleet never loses its last
+// tablet server.
+func TestCannotFailLastServer(t *testing.T) {
+	env, db := newDB(t, 52)
+	_ = env
+	if err := db.FailTabletServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.FailTabletServer(1); err == nil {
+		t.Fatal("failing the last live server should error")
+	}
+	env.K.Run()
+}
+
+// TestRecoveryReplayTakesTime verifies the replay is charged for the
+// un-flushed commit-log volume: a crash right after puts makes the next read
+// wait for the replay.
+func TestRecoveryReplayTakesTime(t *testing.T) {
+	env, db := newDB(t, 53)
+	var before, after time.Duration
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		// Stay under FlushEvery so logBytes is nonzero at crash time.
+		for i := 0; i < 5; i++ {
+			if err = db.Put(p, nil, 0, i, make([]byte, 4096)); err != nil {
+				return
+			}
+		}
+		victim, _ := db.TabletServer(0)
+		if err = db.FailTabletServer(victim); err != nil {
+			return
+		}
+		before = p.Now()
+		_, err = db.Get(p, nil, 0, 0)
+		after = p.Now()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("read did not wait on recovery replay")
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestCommitLogFailsOverWhenChunkserverDown is the DFS-facing half: a put
+// whose home log chunkserver is down writes its log to the next live one.
+func TestCommitLogFailsOverWhenChunkserverDown(t *testing.T) {
+	env, db := newDB(t, 54)
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		// Tablet 0's home log server is chunkserver 0.
+		if err = db.DFS().FailServer(0); err != nil {
+			return
+		}
+		if err = db.Put(p, nil, 0, 1, []byte("logged-elsewhere")); err != nil {
+			return
+		}
+		var v []byte
+		if v, err = db.Get(p, nil, 0, 1); err != nil {
+			return
+		}
+		if !bytes.Equal(v, []byte("logged-elsewhere")) {
+			t.Errorf("get = %q", v)
+		}
+		err = db.DFS().RecoverServer(0)
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyperprof/internal/bigquery"
+	"hyperprof/internal/bigtable"
+	"hyperprof/internal/faults"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+	"hyperprof/internal/workload"
+)
+
+// ResilienceConfig sizes the resilience study: each platform runs its
+// calibrated workload twice — a fault-free baseline arm and a faulted arm
+// driven by a seeded fault schedule — and the study compares availability,
+// goodput and tail latency between the two.
+type ResilienceConfig struct {
+	Seed uint64
+	// Per-platform operation budgets (shared by both arms).
+	SpannerOps, BigTableOps, BigQueryOps int
+	// Clients is the closed-loop client count per platform.
+	Clients int
+	// MTBFFrac is the per-target mean time between failures as a fraction of
+	// the platform's baseline elapsed time (0.5 means each target expects
+	// roughly two crash or straggler windows per run).
+	MTBFFrac float64
+	// MTTRFrac is the mean repair time as a fraction of baseline elapsed.
+	MTTRFrac float64
+	// StragglerProb is the chance a generated fault window is a straggler
+	// (service-time multiplier StragglerFactor) instead of a crash.
+	StragglerProb   float64
+	StragglerFactor float64
+	// NetDegradeProb is the chance of one network-degradation window per
+	// platform run, adding NetExtraDelay per message and dropping requests
+	// with probability NetDropProb while it lasts.
+	NetDegradeProb float64
+	NetExtraDelay  time.Duration
+	NetDropProb    float64
+	// TraceRate keeps 1/TraceRate of traces (latency quantiles are computed
+	// from sampled traces, so 1 keeps them exact).
+	TraceRate int
+}
+
+// DefaultResilienceConfig returns the documented default fault rates: every
+// registered target expects about two fault windows per run, repairs take a
+// few percent of the run, a quarter of windows are 4x stragglers, and a
+// network brown-out (extra 200us per message, 2% drops) occurs in about half
+// the runs. At these rates all three platforms stay above 99% availability.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Seed:            1,
+		SpannerOps:      1200,
+		BigTableOps:     1200,
+		BigQueryOps:     96,
+		Clients:         8,
+		MTBFFrac:        0.5,
+		MTTRFrac:        0.03,
+		StragglerProb:   0.25,
+		StragglerFactor: 4,
+		NetDegradeProb:  0.5,
+		NetExtraDelay:   200 * time.Microsecond,
+		NetDropProb:     0.02,
+		TraceRate:       1,
+	}
+}
+
+// resilienceRPCPolicy is the client-side policy both arms run with: a few
+// quick retries so transient faults (crashed replica, dropped message, shed
+// request) are retried instead of surfacing as operation errors. No deadline
+// is set; hedging is exercised separately in the netsim tests.
+func resilienceRPCPolicy() netsim.Policy {
+	return netsim.Policy{
+		MaxAttempts: 3,
+		BackoffBase: 200 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+	}
+}
+
+// ResilienceRow is one (platform, arm) measurement.
+type ResilienceRow struct {
+	Platform taxonomy.Platform
+	// Faulted distinguishes the fault-injected arm from the baseline.
+	Faulted bool
+	// Ops and Errors count issued operations and the subset that failed.
+	Ops, Errors int
+	// Availability is successful ops / issued ops.
+	Availability float64
+	// Elapsed is the virtual time to drain the workload.
+	Elapsed time.Duration
+	// GoodputOpsPerSec is successful ops per virtual second.
+	GoodputOpsPerSec float64
+	// Latency quantiles over per-operation end-to-end latencies.
+	P50, P99, P999 time.Duration
+	// FaultsApplied counts fault events that fired during the run.
+	FaultsApplied int
+	// FaultEvents lists the applied faults (empty for the baseline arm).
+	FaultEvents []faults.Applied
+}
+
+// Resilience holds the full study: two rows per platform (baseline then
+// faulted, in taxonomy.Platforms() order) plus the faulted arm's traces and
+// fault marks for timeline export.
+type Resilience struct {
+	Cfg    ResilienceConfig
+	Rows   []ResilienceRow
+	Traces map[taxonomy.Platform][]*trace.Trace
+	Marks  map[taxonomy.Platform][]trace.Mark
+}
+
+// RunResilienceStudy measures each platform fault-free, generates a seeded
+// fault schedule spanning the measured horizon, and re-runs the identical
+// workload under injection. Equal configs replay bit-identically.
+func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
+	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
+		return nil, fmt.Errorf("experiments: invalid resilience config %+v", cfg)
+	}
+	r := &Resilience{
+		Cfg:    cfg,
+		Traces: map[taxonomy.Platform][]*trace.Trace{},
+		Marks:  map[taxonomy.Platform][]trace.Mark{},
+	}
+	for _, p := range taxonomy.Platforms() {
+		base, err := r.runArm(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, base)
+		faulted, err := r.runArm(p, base.Elapsed)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, faulted)
+	}
+	return r, nil
+}
+
+// Row returns the study's row for a platform arm.
+func (r *Resilience) Row(p taxonomy.Platform, faulted bool) *ResilienceRow {
+	for i := range r.Rows {
+		if r.Rows[i].Platform == p && r.Rows[i].Faulted == faulted {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// scheduleConfig converts the study's fractional fault rates into an
+// absolute schedule over the measured horizon. Faults stop arriving at 80%
+// of the horizon so recoveries land while the workload is still draining.
+// stragglerProb overrides the configured probability so platforms whose
+// targets cannot straggle (BigTable's tablet servers are not RPC-fronted)
+// get crash-only schedules instead of dead skipped events.
+func (r *Resilience) scheduleConfig(horizon time.Duration, seed uint64, stragglerProb float64) faults.ScheduleConfig {
+	return faults.ScheduleConfig{
+		Horizon:         time.Duration(float64(horizon) * 0.8),
+		MTBF:            time.Duration(float64(horizon) * r.Cfg.MTBFFrac),
+		MTTR:            time.Duration(float64(horizon) * r.Cfg.MTTRFrac),
+		StragglerProb:   stragglerProb,
+		StragglerFactor: r.Cfg.StragglerFactor,
+		NetDegradeProb:  r.Cfg.NetDegradeProb,
+		NetExtraDelay:   r.Cfg.NetExtraDelay,
+		NetDropProb:     r.Cfg.NetDropProb,
+		Seed:            seed,
+	}
+}
+
+// runArm runs one platform arm. A zero horizon is the baseline (no faults);
+// a positive horizon is the faulted arm with a schedule spanning it.
+func (r *Resilience) runArm(p taxonomy.Platform, horizon time.Duration) (ResilienceRow, error) {
+	switch p {
+	case taxonomy.Spanner:
+		return r.runSpanner(horizon)
+	case taxonomy.BigTable:
+		return r.runBigTable(horizon)
+	case taxonomy.BigQuery:
+		return r.runBigQuery(horizon)
+	}
+	return ResilienceRow{}, fmt.Errorf("experiments: unknown platform %q", p)
+}
+
+func (r *Resilience) runSpanner(horizon time.Duration) (ResilienceRow, error) {
+	env := platform.NewEnv(r.Cfg.Seed, r.Cfg.TraceRate)
+	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	scfg := spanner.DefaultConfig()
+	scfg.RPC = resilienceRPCPolicy()
+	db, err := spanner.New(env, scfg)
+	if err != nil {
+		return ResilienceRow{}, err
+	}
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// One replica per group is injectable, so a majority always
+		// survives and no acknowledged write can be lost. The target region
+		// cycles with the group index, so initial leaders (region 0) are
+		// crashed too and elections are exercised.
+		for g := 0; g < scfg.Groups; g++ {
+			g, region := g, g%scfg.Regions
+			eng.Register(fmt.Sprintf("spanner/g%d/r%d", g, region), faults.Actions{
+				Crash:       func() { _ = db.CrashReplica(g, region) },
+				Recover:     func() { _ = db.RestartReplica(g, region) },
+				SetSlowdown: func(f float64) { _ = db.SetReplicaSlowdown(g, region, f) },
+			})
+		}
+		r.registerNetwork(eng, env)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed, r.Cfg.StragglerProb)))
+	}
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), r.Cfg.Clients, r.Cfg.SpannerOps)
+	return r.measure(taxonomy.Spanner, env, run, eng)
+}
+
+func (r *Resilience) runBigTable(horizon time.Duration) (ResilienceRow, error) {
+	env := platform.NewEnv(r.Cfg.Seed+1, r.Cfg.TraceRate)
+	db, err := bigtable.New(env, bigtable.DefaultConfig())
+	if err != nil {
+		return ResilienceRow{}, err
+	}
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// Every other tablet server is injectable (the rest always survive,
+		// so reassignment always has a destination), plus one DFS
+		// chunkserver to drive commit-log and read failover.
+		for i := 0; i < bigtable.DefaultConfig().TabletServers; i += 2 {
+			i := i
+			eng.Register(fmt.Sprintf("bigtable/ts%d", i), faults.Actions{
+				Crash:   func() { _ = db.FailTabletServer(i) },
+				Recover: func() { _ = db.RecoverTabletServer(i) },
+			})
+		}
+		eng.Register("bigtable/cs0", faults.Actions{
+			Crash:   func() { _ = db.DFS().FailServer(0) },
+			Recover: func() { _ = db.DFS().RecoverServer(0) },
+		})
+		r.registerNetwork(eng, env)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+1, 0)))
+	}
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), r.Cfg.Clients, r.Cfg.BigTableOps)
+	return r.measure(taxonomy.BigTable, env, run, eng)
+}
+
+func (r *Resilience) runBigQuery(horizon time.Duration) (ResilienceRow, error) {
+	env := platform.NewEnv(r.Cfg.Seed+2, r.Cfg.TraceRate)
+	qcfg := bigquery.DefaultConfig()
+	qcfg.RPC = resilienceRPCPolicy()
+	e, err := bigquery.New(env, qcfg)
+	if err != nil {
+		return ResilienceRow{}, err
+	}
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// Every other shuffle server is injectable so puts always have a
+		// live destination; lost slots are speculatively re-executed.
+		for i := 0; i < qcfg.ShuffleServers; i += 2 {
+			i := i
+			eng.Register(fmt.Sprintf("bigquery/ss%d", i), faults.Actions{
+				Crash:       func() { _ = e.FailShuffleServer(i) },
+				Recover:     func() { _ = e.RecoverShuffleServer(i) },
+				SetSlowdown: func(f float64) { _ = e.SetShuffleSlowdown(i, f) },
+			})
+		}
+		eng.Register("bigquery/cs0", faults.Actions{
+			Crash:   func() { _ = e.DFS().FailServer(0) },
+			Recover: func() { _ = e.DFS().RecoverServer(0) },
+		})
+		r.registerNetwork(eng, env)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+2, r.Cfg.StragglerProb)))
+	}
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), r.Cfg.Clients, r.Cfg.BigQueryOps)
+	return r.measure(taxonomy.BigQuery, env, run, eng)
+}
+
+func (r *Resilience) registerNetwork(eng *faults.Engine, env *platform.Env) {
+	eng.RegisterNetwork(func(extra time.Duration, drop float64) {
+		env.Net.Degrade(extra, drop, r.Cfg.Seed^0x4e455444) // "NETD"
+	}, env.Net.Restore)
+}
+
+// measure drains the scheduled workload and condenses it into a row. Elapsed
+// is the instant the workload drains, not the kernel's final time: recovery
+// events from the fault schedule may fire after the last operation.
+func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *workload.Run, eng *faults.Engine) (ResilienceRow, error) {
+	var elapsed time.Duration
+	env.K.Go("resilience-measure", func(mp *sim.Proc) {
+		mp.Wait(run.Done)
+		elapsed = mp.Now()
+	})
+	env.K.Run()
+	row := ResilienceRow{
+		Platform: p,
+		Faulted:  eng != nil,
+		Ops:      run.Completed,
+		Errors:   len(run.Errors),
+		Elapsed:  elapsed,
+	}
+	if row.Ops > 0 {
+		row.Availability = float64(row.Ops-row.Errors) / float64(row.Ops)
+	}
+	if elapsed > 0 {
+		row.GoodputOpsPerSec = float64(row.Ops-row.Errors) / elapsed.Seconds()
+	}
+	lat := &stats.Summary{}
+	traces := env.Tracer.Sampled()
+	for _, t := range traces {
+		lat.Add((t.End - t.Start).Seconds())
+	}
+	if lat.N() > 0 {
+		row.P50 = time.Duration(lat.Quantile(0.50) * float64(time.Second))
+		row.P99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
+		row.P999 = time.Duration(lat.Quantile(0.999) * float64(time.Second))
+	}
+	if eng != nil {
+		row.FaultsApplied = len(eng.Applied)
+		row.FaultEvents = eng.Applied
+		r.Traces[p] = traces
+		marks := make([]trace.Mark, 0, len(eng.Applied))
+		for _, a := range eng.Applied {
+			marks = append(marks, trace.Mark{At: a.At, Name: a.Label()})
+		}
+		r.Marks[p] = marks
+	}
+	return row, nil
+}
+
+// RenderResilience renders the study as a fixed-width table with a per-row
+// faults-on vs faults-off comparison.
+func RenderResilience(r *Resilience) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Resilience under injected faults (seed %d; availability = successful ops / issued ops)\n", r.Cfg.Seed)
+	fmt.Fprintf(&b, "%-10s %-9s %6s %5s %7s %10s %10s %10s %10s %10s %7s\n",
+		"platform", "arm", "ops", "errs", "avail%", "elapsed", "goodput/s", "p50", "p99", "p999", "faults")
+	for _, row := range r.Rows {
+		arm := "baseline"
+		if row.Faulted {
+			arm = "faulted"
+		}
+		fmt.Fprintf(&b, "%-10s %-9s %6d %5d %7.2f %10s %10.1f %10s %10s %10s %7d\n",
+			row.Platform, arm, row.Ops, row.Errors, row.Availability*100,
+			row.Elapsed.Round(time.Millisecond), row.GoodputOpsPerSec,
+			row.P50.Round(10*time.Microsecond), row.P99.Round(10*time.Microsecond),
+			row.P999.Round(10*time.Microsecond), row.FaultsApplied)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// smallResilienceConfig keeps the study quick while still applying faults on
+// every platform.
+func smallResilienceConfig() ResilienceConfig {
+	cfg := DefaultResilienceConfig()
+	cfg.SpannerOps = 400
+	cfg.BigTableOps = 400
+	cfg.BigQueryOps = 32
+	// Shorter runs need denser faults to guarantee some fire on each arm.
+	cfg.MTBFFrac = 0.3
+	return cfg
+}
+
+func TestResilienceStudyAvailabilityAndFaults(t *testing.T) {
+	r, err := RunResilienceStudy(smallResilienceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(taxonomy.Platforms()) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, p := range taxonomy.Platforms() {
+		base, faulted := r.Row(p, false), r.Row(p, true)
+		if base == nil || faulted == nil {
+			t.Fatalf("%s: missing arm", p)
+		}
+		if base.Errors != 0 {
+			t.Errorf("%s baseline: %d errors", p, base.Errors)
+		}
+		if base.FaultsApplied != 0 {
+			t.Errorf("%s baseline applied %d faults", p, base.FaultsApplied)
+		}
+		if faulted.FaultsApplied == 0 {
+			t.Errorf("%s faulted arm applied no faults", p)
+		}
+		// The acceptance bar: at the documented default fault rates every
+		// platform completes its workload above 99% availability.
+		if faulted.Availability < 0.99 {
+			t.Errorf("%s availability = %.4f, want >= 0.99", p, faulted.Availability)
+		}
+		if faulted.Ops != base.Ops {
+			t.Errorf("%s: faulted arm completed %d ops, baseline %d", p, faulted.Ops, base.Ops)
+		}
+		if len(r.Marks[p]) != faulted.FaultsApplied {
+			t.Errorf("%s: %d marks for %d applied faults", p, len(r.Marks[p]), faulted.FaultsApplied)
+		}
+		if len(r.Traces[p]) == 0 {
+			t.Errorf("%s: no faulted-arm traces", p)
+		}
+	}
+}
+
+func TestResilienceStudyDeterministic(t *testing.T) {
+	cfg := smallResilienceConfig()
+	a, err := RunResilienceStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunResilienceStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := RenderResilience(a), RenderResilience(b)
+	if ra != rb {
+		t.Fatalf("same config, different reports:\n--- a ---\n%s--- b ---\n%s", ra, rb)
+	}
+	for _, p := range taxonomy.Platforms() {
+		fa, fb := a.Row(p, true), b.Row(p, true)
+		if len(fa.FaultEvents) != len(fb.FaultEvents) {
+			t.Fatalf("%s: fault counts differ: %d vs %d", p, len(fa.FaultEvents), len(fb.FaultEvents))
+		}
+		for i := range fa.FaultEvents {
+			if fa.FaultEvents[i] != fb.FaultEvents[i] {
+				t.Fatalf("%s fault %d differs: %+v vs %+v", p, i, fa.FaultEvents[i], fb.FaultEvents[i])
+			}
+		}
+	}
+}
+
+func TestResilienceStudyValidation(t *testing.T) {
+	cfg := smallResilienceConfig()
+	cfg.Clients = 0
+	if _, err := RunResilienceStudy(cfg); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}
+
+func TestRenderResilienceShape(t *testing.T) {
+	r, err := RunResilienceStudy(smallResilienceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderResilience(r)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + one line per row.
+	if len(lines) != 2+len(r.Rows) {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"baseline", "faulted", "Spanner", "BigTable", "BigQuery"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package faults is the deterministic fault-injection engine: it drives
+// crash/recover, straggler (service-time multiplier), and network-degradation
+// events against named targets on the discrete-event clock, generates seeded
+// random fault schedules, and runs chaos scenarios with per-scenario stats.
+//
+// The engine knows nothing about platforms. Each injectable component
+// registers a named Actions bundle (how to crash it, recover it, or slow it
+// down), and schedules — hand-written or generated — are injected before the
+// kernel runs. Everything is seeded, so a given (schedule seed, target set)
+// pair replays bit-identically.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+// The injectable fault kinds.
+const (
+	// Crash takes the target down immediately (in-flight work fails).
+	Crash Kind = iota
+	// Recover brings a crashed target back.
+	Recover
+	// Straggler multiplies the target's service time by Event.Factor;
+	// Factor <= 1 clears the injection.
+	Straggler
+	// NetDegrade adds Event.Extra per-message delay and drops requests with
+	// probability Event.Factor, network-wide.
+	NetDegrade
+	// NetRestore clears network degradation.
+	NetRestore
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	case Straggler:
+		return "straggler"
+	case NetDegrade:
+		return "net-degrade"
+	case NetRestore:
+		return "net-restore"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the absolute virtual time the fault fires.
+	At time.Duration
+	// Kind selects the action.
+	Kind Kind
+	// Target names the registered target; empty for network-wide events.
+	Target string
+	// Factor is the straggler multiplier or the drop probability.
+	Factor float64
+	// Extra is the per-message delay for NetDegrade.
+	Extra time.Duration
+}
+
+// Actions is what the engine can do to one registered target. Nil fields
+// mean the target does not support that fault (events against it are counted
+// as skipped rather than applied).
+type Actions struct {
+	Crash       func()
+	Recover     func()
+	SetSlowdown func(factor float64)
+}
+
+// Applied records one fault that actually fired.
+type Applied struct {
+	At     time.Duration
+	Kind   Kind
+	Target string
+}
+
+// Label renders the applied fault for logs and trace marks.
+func (a Applied) Label() string {
+	if a.Target == "" {
+		return a.Kind.String()
+	}
+	return fmt.Sprintf("%s %s", a.Kind, a.Target)
+}
+
+// Engine schedules fault events against registered targets on a kernel.
+type Engine struct {
+	k          *sim.Kernel
+	targets    map[string]Actions
+	names      []string
+	netDegrade func(extra time.Duration, drop float64)
+	netRestore func()
+
+	// Applied lists the faults that fired, in firing order.
+	Applied []Applied
+	// Skipped counts events whose target was unknown or lacked the action.
+	Skipped int
+}
+
+// NewEngine creates an engine on the kernel.
+func NewEngine(k *sim.Kernel) *Engine {
+	return &Engine{k: k, targets: map[string]Actions{}}
+}
+
+// Register adds a named target. Re-registering a name replaces its actions.
+func (e *Engine) Register(name string, a Actions) {
+	if _, ok := e.targets[name]; !ok {
+		e.names = append(e.names, name)
+	}
+	e.targets[name] = a
+}
+
+// RegisterNetwork wires the network-wide degradation hooks.
+func (e *Engine) RegisterNetwork(degrade func(extra time.Duration, drop float64), restore func()) {
+	e.netDegrade = degrade
+	e.netRestore = restore
+}
+
+// Targets returns the registered target names, sorted.
+func (e *Engine) Targets() []string {
+	out := append([]string(nil), e.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Inject schedules one event on the kernel. Events in the past (At before
+// the current virtual time) fire immediately.
+func (e *Engine) Inject(ev Event) { e.inject(ev, nil) }
+
+// InjectAll schedules a batch of events.
+func (e *Engine) InjectAll(evs []Event) {
+	for _, ev := range evs {
+		e.Inject(ev)
+	}
+}
+
+func (e *Engine) inject(ev Event, st *ScenarioStats) {
+	delay := ev.At - e.k.Now()
+	e.k.Schedule(delay, func() {
+		if !e.apply(ev) {
+			e.Skipped++
+			return
+		}
+		a := Applied{At: e.k.Now(), Kind: ev.Kind, Target: ev.Target}
+		e.Applied = append(e.Applied, a)
+		if st != nil {
+			st.record(a)
+		}
+	})
+}
+
+// apply performs the event's action, reporting whether it was applicable.
+func (e *Engine) apply(ev Event) bool {
+	switch ev.Kind {
+	case NetDegrade:
+		if e.netDegrade == nil {
+			return false
+		}
+		e.netDegrade(ev.Extra, ev.Factor)
+		return true
+	case NetRestore:
+		if e.netRestore == nil {
+			return false
+		}
+		e.netRestore()
+		return true
+	}
+	t, ok := e.targets[ev.Target]
+	if !ok {
+		return false
+	}
+	switch ev.Kind {
+	case Crash:
+		if t.Crash == nil {
+			return false
+		}
+		t.Crash()
+	case Recover:
+		if t.Recover == nil {
+			return false
+		}
+		t.Recover()
+	case Straggler:
+		if t.SetSlowdown == nil {
+			return false
+		}
+		t.SetSlowdown(ev.Factor)
+	default:
+		return false
+	}
+	return true
+}
+
+// Scenario is a named batch of fault events — one chaos experiment.
+type Scenario struct {
+	Name   string
+	Events []Event
+}
+
+// ScenarioStats accounts one scenario's injections as the simulation runs.
+type ScenarioStats struct {
+	Name string
+	// Scheduled is the number of events injected.
+	Scheduled int
+	// Applied lists the scenario's faults that fired, in firing order.
+	Applied []Applied
+	// ByKind counts applied faults per kind.
+	ByKind map[Kind]int
+}
+
+func (st *ScenarioStats) record(a Applied) {
+	st.Applied = append(st.Applied, a)
+	st.ByKind[a.Kind]++
+}
+
+// String renders a compact per-scenario summary with deterministic ordering.
+func (st *ScenarioStats) String() string {
+	s := fmt.Sprintf("scenario %q: %d scheduled, %d applied", st.Name, st.Scheduled, len(st.Applied))
+	for _, k := range []Kind{Crash, Recover, Straggler, NetDegrade, NetRestore} {
+		if n := st.ByKind[k]; n > 0 {
+			s += fmt.Sprintf(", %d %s", n, k)
+		}
+	}
+	return s
+}
+
+// RunScenario injects every event of the scenario and returns its stats
+// handle, which fills in as the simulation executes the events.
+func (e *Engine) RunScenario(s Scenario) *ScenarioStats {
+	st := &ScenarioStats{Name: s.Name, Scheduled: len(s.Events), ByKind: map[Kind]int{}}
+	for _, ev := range s.Events {
+		e.inject(ev, st)
+	}
+	return st
+}

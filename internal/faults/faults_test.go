@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// recorder is a fake injectable target that logs what happened to it and when.
+type recorder struct {
+	k   *sim.Kernel
+	log []string
+}
+
+func (r *recorder) actions(name string) Actions {
+	return Actions{
+		Crash:   func() { r.log = append(r.log, name+" crash @"+r.k.Now().String()) },
+		Recover: func() { r.log = append(r.log, name+" recover @"+r.k.Now().String()) },
+		SetSlowdown: func(f float64) {
+			r.log = append(r.log, name+" slow @"+r.k.Now().String())
+			_ = f
+		},
+	}
+}
+
+func TestEngineAppliesEventsAtScheduledTimes(t *testing.T) {
+	k := sim.New()
+	rec := &recorder{k: k}
+	e := NewEngine(k)
+	e.Register("node-0", rec.actions("node-0"))
+	e.InjectAll([]Event{
+		{At: 10 * time.Millisecond, Kind: Crash, Target: "node-0"},
+		{At: 30 * time.Millisecond, Kind: Recover, Target: "node-0"},
+		{At: 50 * time.Millisecond, Kind: Straggler, Target: "node-0", Factor: 3},
+	})
+	k.Run()
+
+	want := []string{
+		"node-0 crash @10ms",
+		"node-0 recover @30ms",
+		"node-0 slow @50ms",
+	}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("log = %v, want %v", rec.log, want)
+	}
+	if len(e.Applied) != 3 {
+		t.Fatalf("Applied = %d events, want 3", len(e.Applied))
+	}
+	if e.Applied[0].At != 10*time.Millisecond || e.Applied[0].Kind != Crash {
+		t.Fatalf("Applied[0] = %+v", e.Applied[0])
+	}
+}
+
+func TestEngineSkipsUnknownTargetsAndMissingActions(t *testing.T) {
+	k := sim.New()
+	e := NewEngine(k)
+	e.Register("limited", Actions{Crash: func() {}}) // no Recover
+	e.InjectAll([]Event{
+		{At: time.Millisecond, Kind: Crash, Target: "nope"},
+		{At: 2 * time.Millisecond, Kind: Recover, Target: "limited"},
+		{At: 3 * time.Millisecond, Kind: NetDegrade}, // no network registered
+		{At: 4 * time.Millisecond, Kind: Crash, Target: "limited"},
+	})
+	k.Run()
+	if e.Skipped != 3 {
+		t.Fatalf("Skipped = %d, want 3", e.Skipped)
+	}
+	if len(e.Applied) != 1 {
+		t.Fatalf("Applied = %v, want just the limited crash", e.Applied)
+	}
+}
+
+func TestEngineNetworkHooks(t *testing.T) {
+	k := sim.New()
+	e := NewEngine(k)
+	var degraded, restored bool
+	e.RegisterNetwork(
+		func(extra time.Duration, drop float64) {
+			degraded = true
+			if extra != 5*time.Millisecond || drop != 0.25 {
+				t.Errorf("degrade(%v, %v)", extra, drop)
+			}
+		},
+		func() { restored = true },
+	)
+	e.Inject(Event{At: time.Millisecond, Kind: NetDegrade, Factor: 0.25, Extra: 5 * time.Millisecond})
+	e.Inject(Event{At: 2 * time.Millisecond, Kind: NetRestore})
+	k.Run()
+	if !degraded || !restored {
+		t.Fatalf("degraded=%v restored=%v, want both", degraded, restored)
+	}
+}
+
+func TestScenarioStats(t *testing.T) {
+	k := sim.New()
+	rec := &recorder{k: k}
+	e := NewEngine(k)
+	e.Register("a", rec.actions("a"))
+	st := e.RunScenario(Scenario{
+		Name: "bounce",
+		Events: []Event{
+			{At: time.Millisecond, Kind: Crash, Target: "a"},
+			{At: 2 * time.Millisecond, Kind: Recover, Target: "a"},
+			{At: 3 * time.Millisecond, Kind: Crash, Target: "ghost"},
+		},
+	})
+	k.Run()
+	if st.Scheduled != 3 || len(st.Applied) != 2 {
+		t.Fatalf("scheduled=%d applied=%d, want 3/2", st.Scheduled, len(st.Applied))
+	}
+	if st.ByKind[Crash] != 1 || st.ByKind[Recover] != 1 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+	want := `scenario "bounce": 3 scheduled, 2 applied, 1 crash, 1 recover`
+	if got := st.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGenerateScheduleDeterministicAndPaired(t *testing.T) {
+	cfg := ScheduleConfig{
+		Horizon:        10 * time.Second,
+		MTBF:           2 * time.Second,
+		MTTR:           300 * time.Millisecond,
+		NetDegradeProb: 1,
+		NetExtraDelay:  time.Millisecond,
+		NetDropProb:    0.1,
+		Seed:           42,
+	}
+	targets := []string{"n0", "n1", "n2"}
+	a := GenerateSchedule(targets, cfg)
+	b := GenerateSchedule(targets, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected some events over a 10s horizon with 2s MTBF")
+	}
+	// Every crash must have a later recovery for the same target, and all
+	// events must be inside the horizon and time-sorted.
+	open := map[string]int{}
+	last := time.Duration(-1)
+	for _, ev := range a {
+		if ev.At < 0 || ev.At > cfg.Horizon {
+			t.Fatalf("event outside horizon: %+v", ev)
+		}
+		if ev.At < last {
+			t.Fatalf("events not sorted: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case Crash:
+			open[ev.Target]++
+		case Recover:
+			open[ev.Target]--
+			if open[ev.Target] < 0 {
+				t.Fatalf("recover before crash for %s", ev.Target)
+			}
+		}
+	}
+	for name, n := range open {
+		if n != 0 {
+			t.Fatalf("%s left crashed at end of schedule (%d unpaired)", name, n)
+		}
+	}
+
+	// Different seed, different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if reflect.DeepEqual(a, GenerateSchedule(targets, cfg2)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateSchedulePrefixStableAcrossTargetAdditions(t *testing.T) {
+	cfg := ScheduleConfig{Horizon: 10 * time.Second, MTBF: 2 * time.Second, MTTR: 200 * time.Millisecond, Seed: 7}
+	two := GenerateSchedule([]string{"n0", "n1"}, cfg)
+	three := GenerateSchedule([]string{"n0", "n1", "n2"}, cfg)
+	filter := func(evs []Event, names ...string) []Event {
+		keep := map[string]bool{}
+		for _, n := range names {
+			keep[n] = true
+		}
+		var out []Event
+		for _, ev := range evs {
+			if keep[ev.Target] {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(filter(two, "n0", "n1"), filter(three, "n0", "n1")) {
+		t.Fatal("adding a target changed existing targets' fault draws")
+	}
+}

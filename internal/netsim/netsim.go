@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
 )
 
 // Config sets the network's latency and bandwidth parameters. The defaults
@@ -38,6 +39,17 @@ func DefaultConfig() Config {
 type Network struct {
 	k   *sim.Kernel
 	cfg Config
+
+	// Degradation state (fault injection): every non-local RPC message pays
+	// extraDelay, and a dropProb fraction of requests is lost. A dropped
+	// request surfaces as ErrNetDropped after the request transfer
+	// (connection-reset semantics) so callers never block forever and the
+	// simulation stays leak-free even without deadlines.
+	extraDelay time.Duration
+	dropProb   float64
+	dropRNG    *stats.RNG
+	// Dropped counts requests lost to injected network degradation.
+	Dropped int
 }
 
 // New creates a network on the given kernel.
@@ -50,6 +62,59 @@ func New(k *sim.Kernel, cfg Config) *Network {
 
 // Kernel returns the simulation kernel.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Degrade injects network degradation: every non-local RPC message pays an
+// extra per-message delay, and each request is dropped with probability
+// dropProb, drawn from a generator seeded with seed (deterministic in call
+// order). Calling Degrade again replaces the previous parameters.
+func (n *Network) Degrade(extra time.Duration, dropProb float64, seed uint64) {
+	if extra < 0 {
+		extra = 0
+	}
+	if dropProb < 0 {
+		dropProb = 0
+	}
+	if dropProb > 1 {
+		dropProb = 1
+	}
+	n.extraDelay = extra
+	n.dropProb = dropProb
+	if dropProb > 0 && n.dropRNG == nil {
+		n.dropRNG = stats.NewRNG(seed)
+	}
+}
+
+// Restore clears injected network degradation. The drop generator is kept so
+// alternating Degrade/Restore windows stay on one deterministic stream.
+func (n *Network) Restore() {
+	n.extraDelay = 0
+	n.dropProb = 0
+}
+
+// Degraded reports whether degradation is currently injected.
+func (n *Network) Degraded() bool { return n.extraDelay > 0 || n.dropProb > 0 }
+
+// messageDelay is TransferTime plus any injected per-message delay; local
+// messages are exempt (they never cross the degraded fabric).
+func (n *Network) messageDelay(a, b *Node, size int64) time.Duration {
+	d := n.TransferTime(a, b, size)
+	if a != b {
+		d += n.extraDelay
+	}
+	return d
+}
+
+// dropRequest decides whether a non-local request is lost to degradation.
+func (n *Network) dropRequest(from, to *Node) bool {
+	if from == to || n.dropProb <= 0 || n.dropRNG == nil {
+		return false
+	}
+	if n.dropRNG.Bool(n.dropProb) {
+		n.Dropped++
+		return true
+	}
+	return false
+}
 
 // Node is one server: a location plus a CPU core pool.
 type Node struct {
@@ -119,21 +184,57 @@ type Handler func(p *sim.Proc, req Request) Response
 // ErrNoMethod is returned for calls to unregistered methods.
 var ErrNoMethod = errors.New("netsim: no such method")
 
-// ErrServerDown is returned for calls to a stopped server (a crashed or
-// drained task); the caller observes it after one request transfer, like a
-// connection refused.
+// ErrServerDown is returned for calls to a stopped or crashed server; the
+// caller observes it after one request transfer, like a connection refused.
 var ErrServerDown = errors.New("netsim: server down")
+
+// ErrNotStarted is returned for calls that arrive before Server.Start, so
+// fault scenarios that race startup degrade to a retryable error instead of
+// crashing the whole simulation.
+var ErrNotStarted = errors.New("netsim: server not started")
+
+// ErrOverloaded is returned when a request arrives at a server whose bounded
+// queue is full: the server sheds load instead of building an unbounded
+// backlog (the production defense the paper's SLO discussion leans on).
+var ErrOverloaded = errors.New("netsim: server overloaded")
+
+// ErrDeadlineExceeded is returned by policy-driven calls whose attempt did
+// not complete within the configured deadline.
+var ErrDeadlineExceeded = errors.New("netsim: deadline exceeded")
+
+// ErrNetDropped is returned when injected network degradation loses the
+// request. It models a reset connection: the caller learns of the loss after
+// one request transfer rather than hanging forever.
+var ErrNetDropped = errors.New("netsim: request dropped by degraded network")
 
 // Server is an RPC endpoint with a bounded worker pool: calls queue in FIFO
 // order and each worker services one call at a time, which is where
 // server-side queueing delay comes from.
+//
+// Admission semantics: a request is admitted when it *arrives* (after the
+// request transfer). Admitted requests always run to completion under Stop
+// (graceful drain) but fail under Crash; requests arriving after either
+// observe ErrServerDown. Whether a concurrent Stop lands before or after a
+// request's arrival instant is therefore the single fact that decides its
+// outcome — there is no window where an admitted call can still observe
+// ErrServerDown, and no window where a post-Stop arrival can sneak in.
 type Server struct {
 	Node     *Node
 	handlers map[string]Handler
 	queue    *sim.Queue[*inFlight]
 	workers  int
+	maxQueue int
+	slowdown float64
 	started  bool
 	stopped  bool
+	crashed  bool
+	// inService tracks requests currently being handled, in admission order,
+	// so Crash can fail them immediately. A slice (not a set) keeps the
+	// failure order deterministic: Crash wakes the waiters in the order the
+	// requests entered service.
+	inService []*inFlight
+	// Shed counts requests rejected by the queue bound.
+	Shed int
 }
 
 type inFlight struct {
@@ -158,6 +259,20 @@ func NewServer(node *Node, workers int) *Server {
 // Handle registers a handler for a method name.
 func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
 
+// SetQueueLimit bounds the server's request queue: a request arriving while
+// max requests are already waiting is shed with ErrOverloaded. max <= 0
+// (the default) leaves the queue unbounded.
+func (s *Server) SetQueueLimit(max int) { s.maxQueue = max }
+
+// SetSlowdown injects a straggler: each request's service time is multiplied
+// by factor. factor <= 1 clears the injection.
+func (s *Server) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	s.slowdown = factor
+}
+
 // Start launches the worker pool. It must be called once before any Call.
 func (s *Server) Start() {
 	if s.started {
@@ -172,21 +287,40 @@ func (s *Server) Start() {
 				if c == nil {
 					return // shutdown sentinel
 				}
+				s.inService = append(s.inService, c)
+				svcStart := p.Now()
+				var resp Response
 				h, ok := s.handlers[c.req.Method]
 				if !ok {
-					c.resp = Response{Err: fmt.Errorf("%w: %q", ErrNoMethod, c.req.Method)}
+					resp = Response{Err: fmt.Errorf("%w: %q", ErrNoMethod, c.req.Method)}
 				} else {
-					c.resp = h(p, c.req)
+					resp = h(p, c.req)
 				}
-				c.done.Fire()
+				if s.slowdown > 1 {
+					// Straggler injection: stretch the observed service time.
+					p.Sleep(time.Duration(float64(p.Now()-svcStart) * (s.slowdown - 1)))
+				}
+				for i, e := range s.inService {
+					if e == c {
+						s.inService = append(s.inService[:i], s.inService[i+1:]...)
+						break
+					}
+				}
+				// A crash may have failed this call while it was in service;
+				// its response already went out, so drop the handler's.
+				if !c.done.Fired() {
+					c.resp = resp
+					c.done.Fire()
+				}
 			}
 		})
 	}
 }
 
-// Stop shuts down the worker pool by sending one sentinel per worker.
-// In-flight and queued calls complete first (FIFO order); calls arriving
-// after Stop fail fast with ErrServerDown.
+// Stop gracefully drains the server: requests already admitted (queued or in
+// service) complete in FIFO order, then the workers exit; requests arriving
+// after Stop fail fast with ErrServerDown. See the Server admission-semantics
+// note: the arrival instant alone decides a racing call's outcome.
 func (s *Server) Stop() {
 	if s.stopped {
 		return
@@ -197,28 +331,80 @@ func (s *Server) Stop() {
 	}
 }
 
-// Stopped reports whether the server has been stopped.
+// Crash fails the server immediately: every queued and in-service request
+// errors out with ErrServerDown right now (the work in progress is lost),
+// and later arrivals are refused. Unlike Stop there is no drain. A crashed
+// server can be replaced by constructing and starting a new Server on the
+// same node (see spanner.RestartReplica for the pattern).
+func (s *Server) Crash() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.crashed = true
+	downErr := fmt.Errorf("%w: %s (crashed)", ErrServerDown, s.Node.Name)
+	for _, c := range s.queue.Drain() {
+		if c != nil && !c.done.Fired() {
+			c.resp = Response{Err: downErr}
+			c.done.Fire()
+		}
+	}
+	for _, c := range s.inService {
+		if !c.done.Fired() {
+			c.resp = Response{Err: downErr}
+			c.done.Fire()
+		}
+	}
+	// Workers blocked on the (now empty) queue exit via sentinels; workers
+	// mid-handler exit after their current (already-failed) call.
+	for i := 0; i < s.workers; i++ {
+		s.queue.Put(nil)
+	}
+}
+
+// Stopped reports whether the server has been stopped or crashed.
 func (s *Server) Stopped() bool { return s.stopped }
 
+// Crashed reports whether the server went down via Crash.
+func (s *Server) Crashed() bool { return s.crashed }
+
 // QueueDepth returns the number of requests waiting (excluding in service).
-func (s *Server) QueueDepth() int { return s.queue.Len() }
+func (s *Server) QueueDepth() int {
+	if s.stopped {
+		return 0 // only shutdown sentinels remain
+	}
+	return s.queue.Len()
+}
 
 // Call performs a blocking RPC from the calling process located at `from`:
 // request transfer, server queueing and handler execution, response
 // transfer. It returns the response and the total elapsed virtual time.
+//
+// Failures surface as Response.Err after one request transfer (connection
+// refused/reset semantics): ErrNotStarted before Start, ErrServerDown after
+// Stop or Crash, ErrOverloaded when the bounded queue is full, and
+// ErrNetDropped when injected degradation loses the request.
 func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Duration) {
-	if !s.started {
-		panic("netsim: Call before Server.Start")
-	}
 	start := p.Now()
 	net := s.Node.net
-	p.Sleep(net.TransferTime(from, s.Node, req.Bytes))
-	if s.stopped {
+	p.Sleep(net.messageDelay(from, s.Node, req.Bytes))
+	// Admission point: the request has arrived. All admission checks happen
+	// here and nowhere else, so a call's outcome is decided by whether
+	// Stop/Crash landed before or after this instant.
+	switch {
+	case net.dropRequest(from, s.Node):
+		return Response{Err: fmt.Errorf("%w: to %s", ErrNetDropped, s.Node.Name)}, p.Now() - start
+	case !s.started:
+		return Response{Err: fmt.Errorf("%w: %s", ErrNotStarted, s.Node.Name)}, p.Now() - start
+	case s.stopped:
 		return Response{Err: fmt.Errorf("%w: %s", ErrServerDown, s.Node.Name)}, p.Now() - start
+	case s.maxQueue > 0 && s.queue.Len() >= s.maxQueue:
+		s.Shed++
+		return Response{Err: fmt.Errorf("%w: %s (queue depth %d)", ErrOverloaded, s.Node.Name, s.queue.Len())}, p.Now() - start
 	}
 	c := &inFlight{req: req, done: sim.NewSignal(net.k)}
 	s.queue.Put(c)
 	p.Wait(c.done)
-	p.Sleep(net.TransferTime(s.Node, from, c.resp.Bytes))
+	p.Sleep(net.messageDelay(s.Node, from, c.resp.Bytes))
 	return c.resp, p.Now() - start
 }

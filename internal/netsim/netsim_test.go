@@ -162,22 +162,20 @@ func TestRPCParallelWorkers(t *testing.T) {
 	k.Run()
 }
 
-func TestCallBeforeStartPanics(t *testing.T) {
+func TestCallBeforeStartReturnsError(t *testing.T) {
 	k, n := testNet()
 	s := NewServer(n.NewNode("srv", 0, 0, 1), 1)
 	cli := n.NewNode("cli", 0, 0, 1)
-	panicked := false
+	var resp Response
 	k.Go("client", func(p *sim.Proc) {
-		defer func() {
-			if recover() != nil {
-				panicked = true
-			}
-		}()
-		s.Call(p, cli, Request{Method: "x"})
+		resp, _ = s.Call(p, cli, Request{Method: "x"})
 	})
 	k.Run()
-	if !panicked {
-		t.Fatal("expected panic")
+	if !errors.Is(resp.Err, ErrNotStarted) {
+		t.Fatalf("err = %v, want ErrNotStarted", resp.Err)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("leaked procs: %d", k.Live())
 	}
 }
 

@@ -1,0 +1,266 @@
+package netsim
+
+// This file implements client-side RPC resilience policies: per-call
+// deadlines, retries with exponential backoff and deterministic jitter, and
+// hedged backup requests after a p-quantile delay. Together with the
+// server-side bounded queues these are the production mechanisms that shape
+// the tail behaviour the paper's SLO discussion (§5.6) attributes to
+// resilience machinery rather than raw service time.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
+)
+
+// Policy configures client-side call resilience. The zero value is a plain
+// call: no deadline, single attempt, no hedging — and takes a fast path that
+// is event-for-event identical to Server.Call, so wiring a Client through a
+// platform does not perturb fault-free runs.
+type Policy struct {
+	// Deadline bounds each attempt; 0 disables. An attempt that misses its
+	// deadline returns ErrDeadlineExceeded; the late response is discarded
+	// when it eventually arrives (its server-side work is wasted, as in
+	// production).
+	Deadline time.Duration
+	// MaxAttempts is the total attempt budget including the first; values
+	// below 1 mean 1 (no retry).
+	MaxAttempts int
+	// BackoffBase is the backoff before the first retry; it doubles each
+	// further retry and is capped at BackoffMax. A zero base retries
+	// immediately.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeQuantile, when in (0,1], arms hedging: once the client has
+	// observed at least hedgeMinSamples completed calls, a backup request is
+	// sent to the next replica if the primary has not answered within that
+	// quantile of observed latencies. Before enough samples exist,
+	// HedgeDelay (if nonzero) is used as the bootstrap delay.
+	HedgeQuantile float64
+	// HedgeDelay is the fixed (or bootstrap) hedge delay; 0 with a zero
+	// HedgeQuantile disables hedging.
+	HedgeDelay time.Duration
+	// Retryable decides which errors are retried/failed-over; nil means
+	// DefaultRetryable.
+	Retryable func(error) bool
+}
+
+// hedgeMinSamples is how many completed calls the client needs before it
+// trusts its latency histogram for quantile-based hedge delays.
+const hedgeMinSamples = 16
+
+// DefaultRetryable reports whether an RPC error is safely retryable at
+// another replica or a later time: connection-level failures (server down or
+// not yet started), shed load, missed deadlines, and degradation drops.
+// Application-level handler errors are not retryable by default.
+func DefaultRetryable(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrNotStarted) ||
+		errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrNetDropped)
+}
+
+// Client issues RPCs under a resilience policy and accounts what the policy
+// did. It is not safe for concurrent use from real threads, but the
+// simulation kernel's strict alternation makes per-kernel sharing safe.
+type Client struct {
+	policy Policy
+	rng    *stats.RNG
+	lats   stats.Summary
+
+	// Counters for reports and tests.
+	Calls, Attempts, Retries int
+	Hedges, HedgeWins        int
+	Deadlines, Failovers     int
+}
+
+// NewClient creates a client with the given policy; seed drives backoff
+// jitter (and nothing else), so equal seeds give bit-identical behaviour.
+func NewClient(policy Policy, seed uint64) *Client {
+	return &Client{policy: policy, rng: stats.NewRNG(seed)}
+}
+
+// Policy returns the client's policy.
+func (c *Client) Policy() Policy { return c.policy }
+
+func (c *Client) retryable(err error) bool {
+	if c.policy.Retryable != nil {
+		return c.policy.Retryable(err)
+	}
+	return DefaultRetryable(err)
+}
+
+// backoff returns the jittered backoff before retry number retry (1-based).
+func (c *Client) backoff(retry int) time.Duration {
+	if c.policy.BackoffBase <= 0 {
+		return 0
+	}
+	d := c.policy.BackoffBase << uint(retry-1)
+	if c.policy.BackoffMax > 0 && d > c.policy.BackoffMax {
+		d = c.policy.BackoffMax
+	}
+	// Deterministic jitter: ±50% from the client's seeded stream, decorrelating
+	// retry storms without real randomness.
+	return time.Duration(c.rng.Jitter(float64(d), 0.5))
+}
+
+// observe records a completed call latency for quantile-based hedging.
+func (c *Client) observe(d time.Duration) { c.lats.Add(float64(d)) }
+
+// hedgeDelay returns the current hedge trigger delay, or 0 if hedging is
+// disabled.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.policy.HedgeQuantile > 0 && c.lats.N() >= hedgeMinSamples {
+		return time.Duration(c.lats.Quantile(c.policy.HedgeQuantile))
+	}
+	return c.policy.HedgeDelay
+}
+
+// attempt performs one attempt against s, honoring the per-attempt deadline.
+// Without a deadline it calls inline (zero overhead); with one, the attempt
+// runs in a helper process so the caller can give up at the deadline while
+// the attempt drains in the background (every server failure mode produces a
+// response, so helpers never leak).
+func (c *Client) attempt(p *sim.Proc, from *Node, s *Server, req Request) Response {
+	c.Attempts++
+	if c.policy.Deadline <= 0 {
+		resp, _ := s.Call(p, from, req)
+		return resp
+	}
+	k := s.Node.net.k
+	var resp Response
+	done := sim.NewSignal(k)
+	k.Go(fmt.Sprintf("rpc-attempt/%s", req.Method), func(ap *sim.Proc) {
+		r, _ := s.Call(ap, from, req)
+		resp = r
+		done.Fire()
+	})
+	gate := sim.NewSignal(k)
+	done.OnFire(gate.Fire)
+	k.Schedule(c.policy.Deadline, gate.Fire)
+	p.Wait(gate)
+	if !done.Fired() {
+		c.Deadlines++
+		return Response{Err: fmt.Errorf("%w: %s after %v", ErrDeadlineExceeded, req.Method, c.policy.Deadline)}
+	}
+	return resp
+}
+
+// Call performs a policy-driven RPC against a single server: deadline per
+// attempt, retries with exponential backoff and jitter.
+func (c *Client) Call(p *sim.Proc, from *Node, s *Server, req Request) (Response, time.Duration) {
+	return c.CallAny(p, from, []*Server{s}, req)
+}
+
+// CallAny performs a policy-driven RPC that fails over across targets:
+// attempt i goes to targets[i mod len(targets)], so retries rotate through
+// the replica set. It returns the last response and total elapsed time.
+func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request) (Response, time.Duration) {
+	if len(targets) == 0 {
+		return Response{Err: fmt.Errorf("netsim: no targets for %s", req.Method)}, 0
+	}
+	c.Calls++
+	start := p.Now()
+	attempts := c.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var resp Response
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.Retries++
+			if targets[i%len(targets)] != targets[(i-1)%len(targets)] {
+				c.Failovers++
+			}
+			p.Sleep(c.backoff(i))
+		}
+		resp = c.attempt(p, from, targets[i%len(targets)], req)
+		if resp.Err == nil || !c.retryable(resp.Err) {
+			break
+		}
+	}
+	elapsed := p.Now() - start
+	if resp.Err == nil {
+		c.observe(elapsed)
+	}
+	return resp, elapsed
+}
+
+// CallHedged performs a policy-driven RPC with a hedged backup: the primary
+// goes to targets[0]; if it has not answered within the hedge delay (the
+// policy's latency quantile once observed, HedgeDelay before that), a backup
+// request is sent to targets[1] and the first successful response wins. With
+// hedging disabled or fewer than two targets it degrades to CallAny.
+func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Request) (Response, time.Duration) {
+	hd := c.hedgeDelay()
+	if hd <= 0 || len(targets) < 2 {
+		return c.CallAny(p, from, targets, req)
+	}
+	c.Calls++
+	start := p.Now()
+	k := targets[0].Node.net.k
+
+	launch := func(s *Server) (*Response, *sim.Signal) {
+		var resp Response
+		done := sim.NewSignal(k)
+		c.Attempts++
+		k.Go(fmt.Sprintf("rpc-hedge/%s", req.Method), func(ap *sim.Proc) {
+			r, _ := s.Call(ap, from, req)
+			resp = r
+			done.Fire()
+		})
+		return &resp, done
+	}
+
+	priResp, priDone := launch(targets[0])
+	gate := sim.NewSignal(k)
+	priDone.OnFire(gate.Fire)
+	k.Schedule(hd, gate.Fire)
+	p.Wait(gate)
+
+	resp := *priResp
+	if !priDone.Fired() {
+		// Primary is straggling: send the backup and take the first answer.
+		c.Hedges++
+		bakResp, bakDone := launch(targets[1])
+		first := sim.NewSignal(k)
+		priDone.OnFire(first.Fire)
+		bakDone.OnFire(first.Fire)
+		p.Wait(first)
+		switch {
+		case bakDone.Fired() && (!priDone.Fired() || (*priResp).Err != nil):
+			c.HedgeWins++
+			resp = *bakResp
+		case priDone.Fired():
+			resp = *priResp
+		}
+		// If the winner failed retryably and the other attempt is still out,
+		// wait for it rather than giving up with a losable error.
+		if resp.Err != nil && c.retryable(resp.Err) {
+			both := sim.NewSignal(k)
+			remaining := 0
+			for _, d := range []*sim.Signal{priDone, bakDone} {
+				if !d.Fired() {
+					remaining++
+					d.OnFire(both.Fire)
+				}
+			}
+			if remaining > 0 {
+				p.Wait(both)
+				if bakDone.Fired() && (*bakResp).Err == nil {
+					c.HedgeWins++
+					resp = *bakResp
+				} else if priDone.Fired() && (*priResp).Err == nil {
+					resp = *priResp
+				}
+			}
+		}
+	}
+	elapsed := p.Now() - start
+	if resp.Err == nil {
+		c.observe(elapsed)
+	}
+	return resp, elapsed
+}

@@ -102,6 +102,7 @@ type Signal struct {
 	k       *Kernel
 	fired   bool
 	waiters []*Proc
+	hooks   []func()
 }
 
 // NewSignal creates an unfired signal.
@@ -121,6 +122,22 @@ func (s *Signal) Fire() {
 		s.k.Schedule(0, func() { s.k.step(w) })
 	}
 	s.waiters = nil
+	for _, fn := range s.hooks {
+		fn()
+	}
+	s.hooks = nil
+}
+
+// OnFire registers fn to run (in the firing context) when the signal fires;
+// if it already fired, fn runs immediately. It is the composition hook behind
+// wait-for-any patterns: forward several signals into one without spawning
+// watcher processes that could outlive the simulation.
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.hooks = append(s.hooks, fn)
 }
 
 // Wait blocks the calling process until the signal fires.
@@ -196,6 +213,15 @@ func (q *Queue[T]) Put(v T) {
 		return
 	}
 	q.items = append(q.items, v)
+}
+
+// Drain removes and returns all queued items without waking blocked getters.
+// Callers use it to fail pending work wholesale (e.g. a crashed RPC server
+// erroring out its backlog).
+func (q *Queue[T]) Drain() []T {
+	items := q.items
+	q.items = nil
+	return items
 }
 
 // GetQueue blocks p until an item is available in q and returns it.

@@ -80,7 +80,7 @@ func (db *DB) replicateEntry(p *sim.Proc, tr *trace.Trace, grp *group, leader *r
 			for _, e := range entries {
 				bytes += int64(len(e.value)) + 64
 			}
-			resp, _ := rep.srv.Call(cp, leader.machine.Node, netsim.Request{
+			resp, _ := db.client.Call(cp, leader.machine.Node, rep.srv, netsim.Request{
 				Method:  "consensus.append",
 				Bytes:   bytes,
 				Payload: appendArgs{FromIndex: from, Entries: entries, Term: grp.term},

@@ -1,0 +1,163 @@
+package spanner
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/sim"
+)
+
+// TestRepeatedLeaderFailureConverges drives the full crash/recover loop the
+// resilience study leans on: repeatedly fail the leader, commit writes under
+// the new leader, restart the old one, and verify at the end that every
+// acknowledged write survived (election by longest log) and elections were
+// counted — no lost majority-committed data, ever.
+func TestRepeatedLeaderFailureConverges(t *testing.T) {
+	env := testEnv(33)
+	cfg := smallConfig()
+	cfg.CompactionEvery = 0
+	db, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds, writesPerRound = 4, 3
+	acked := map[int][]byte{}
+	var failed int
+	env.K.Go("client", func(p *sim.Proc) {
+		row := 0
+		for round := 0; round < rounds; round++ {
+			var old int
+			if old, err = db.Leader(0); err != nil {
+				return
+			}
+			if _, err = db.FailLeader(0); err != nil {
+				return
+			}
+			for j := 0; j < writesPerRound; j++ {
+				val := []byte(fmt.Sprintf("round-%d-write-%d", round, j))
+				if e := db.Commit(p, nil, 0, row, val); e != nil {
+					failed++
+				} else {
+					acked[row] = val
+				}
+				row++
+			}
+			if err = db.RestartReplica(0, old); err != nil {
+				return
+			}
+			// Let straggling replication procs settle before the next bounce.
+			p.Sleep(20 * time.Millisecond)
+		}
+		// Every acknowledged write must read back intact from whoever leads now.
+		for r := 0; r < row; r++ {
+			want, ok := acked[r]
+			if !ok {
+				continue
+			}
+			got, e := db.Read(p, nil, 0, r, false)
+			if e != nil {
+				err = fmt.Errorf("read row %d: %w", r, e)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				err = fmt.Errorf("row %d = %q, want %q (lost acknowledged write)", r, got, want)
+				return
+			}
+		}
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("%d commits failed; with one replica down a majority is always available", failed)
+	}
+	if len(acked) != rounds*writesPerRound {
+		t.Fatalf("acked %d writes, want %d", len(acked), rounds*writesPerRound)
+	}
+	if db.Elections != rounds {
+		t.Fatalf("Elections = %d, want %d", db.Elections, rounds)
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestReadFailsOverWhenLeaderDown pins the client-side failover path: when
+// the leader's server is stopped out from under the group (no explicit
+// FailLeader), the next read elects a new leader and succeeds, including the
+// strong-read quorum round under a retrying RPC policy.
+func TestReadFailsOverWhenLeaderDown(t *testing.T) {
+	env := testEnv(34)
+	cfg := smallConfig()
+	cfg.RPC = netsim.Policy{MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond}
+	db, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	env.K.Go("client", func(p *sim.Proc) {
+		leader, _ := db.Leader(0)
+		if err = db.StopReplica(0, leader); err != nil {
+			return
+		}
+		got, err = db.Read(p, nil, 0, 5, true)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("read returned no data after failover")
+	}
+	if db.Elections != 1 {
+		t.Fatalf("Elections = %d, want 1 (ensureLeader)", db.Elections)
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}
+
+// TestCommitSurvivesReplicaCrash verifies the hard-crash path: a follower
+// crash (in-flight RPC failures, no drain) must not block or fail commits
+// while a majority remains.
+func TestCommitSurvivesReplicaCrash(t *testing.T) {
+	env := testEnv(35)
+	cfg := smallConfig()
+	cfg.RPC = netsim.Policy{MaxAttempts: 2, BackoffBase: time.Millisecond}
+	db, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("after-crash")
+	var got []byte
+	env.K.Go("client", func(p *sim.Proc) {
+		if err = db.CrashReplica(0, 2); err != nil {
+			return
+		}
+		if !db.ReplicaDown(0, 2) {
+			err = fmt.Errorf("ReplicaDown false after crash")
+			return
+		}
+		if err = db.Commit(p, nil, 0, 1, want); err != nil {
+			return
+		}
+		got, err = db.Read(p, nil, 0, 1, false)
+		db.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read = %q, want %q", got, want)
+	}
+	if env.K.Live() != 0 {
+		t.Fatalf("leaked procs: %d", env.K.Live())
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	QueryScanRows int
 	// Seed drives all randomness in the deployment.
 	Seed uint64
+	// RPC is the client-side resilience policy applied to consensus RPCs
+	// (replication and lease rounds). The zero value is a plain call with no
+	// retries and changes nothing about fault-free runs.
+	RPC netsim.Policy
 }
 
 // DefaultConfig returns a laptop-scale deployment that preserves the
@@ -78,6 +82,7 @@ type DB struct {
 	groups []*group
 	rng    *stats.RNG
 	zipf   *stats.Zipf
+	client *netsim.Client
 
 	readRecipe     platform.Recipe
 	writeRecipe    platform.Recipe
@@ -151,6 +156,9 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 		rng:   stats.NewRNG(cfg.Seed),
 	}
 	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerGroup, 1.1)
+	// The RPC client seed is derived from the config seed without touching
+	// db.rng, so enabling a policy cannot shift the workload's random streams.
+	db.client = netsim.NewClient(cfg.RPC, cfg.Seed^0x52504353) // "RPCS"
 	db.registerClassifier()
 	db.buildRecipes()
 	if err := db.place(); err != nil {
@@ -312,7 +320,10 @@ func (db *DB) Read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byt
 		return nil, fmt.Errorf("spanner: group %d out of range", g)
 	}
 	grp := db.groups[g]
-	leader := grp.leaderRep()
+	leader, err := db.ensureLeader(grp)
+	if err != nil {
+		return nil, err
+	}
 	if strong {
 		if err := db.quorumRound(p, tr, grp, "consensus.lease", 32); err != nil {
 			return nil, err
@@ -347,7 +358,10 @@ func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) err
 		return fmt.Errorf("spanner: row %d out of range", row)
 	}
 	grp := db.groups[g]
-	leader := grp.leaderRep()
+	leader, err := db.ensureLeader(grp)
+	if err != nil {
+		return err
+	}
 	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.writeRecipe)
 
 	// Leader durable log append.
@@ -394,7 +408,7 @@ var ErrNoQuorum = errors.New("spanner: quorum unavailable")
 // the round errors out as soon as a majority becomes impossible.
 func (db *DB) quorumRound(p *sim.Proc, tr *trace.Trace, grp *group, method string, bytes int64) error {
 	return db.quorum(p, tr, grp, func(rep *replica, cp *sim.Proc) error {
-		resp, _ := rep.srv.Call(cp, grp.leaderRep().machine.Node, netsim.Request{Method: method, Bytes: bytes})
+		resp, _ := db.client.Call(cp, grp.leaderRep().machine.Node, rep.srv, netsim.Request{Method: method, Bytes: bytes})
 		return resp.Err
 	})
 }
@@ -450,6 +464,58 @@ func (db *DB) StopReplica(g, region int) error {
 	return nil
 }
 
+// CrashReplica injects a hard failure: the replica's server crashes, failing
+// its queued and in-flight RPCs immediately (unlike StopReplica's graceful
+// drain). Use RestartReplica to bring it back.
+func (db *DB) CrashReplica(g, region int) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if region < 0 || region >= len(db.groups[g].replicas) {
+		return fmt.Errorf("spanner: region %d out of range", region)
+	}
+	db.groups[g].replicas[region].srv.Crash()
+	return nil
+}
+
+// SetReplicaSlowdown injects (or clears, with factor <= 1) a straggler on the
+// replica's RPC server.
+func (db *DB) SetReplicaSlowdown(g, region int, factor float64) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if region < 0 || region >= len(db.groups[g].replicas) {
+		return fmt.Errorf("spanner: region %d out of range", region)
+	}
+	db.groups[g].replicas[region].srv.SetSlowdown(factor)
+	return nil
+}
+
+// ReplicaDown reports whether group g's replica in the given region is
+// stopped or crashed.
+func (db *DB) ReplicaDown(g, region int) bool {
+	if g < 0 || g >= len(db.groups) || region < 0 || region >= len(db.groups[g].replicas) {
+		return false
+	}
+	return db.groups[g].replicas[region].srv.Stopped()
+}
+
+// RPCClient exposes the consensus RPC client's counters for reports.
+func (db *DB) RPCClient() *netsim.Client { return db.client }
+
+// ensureLeader returns the group's current leader, electing a new one first
+// if the incumbent's server is down — this is how client operations fail over
+// across replicas: the read/commit retries land on the freshly elected
+// leader instead of erroring against the dead one.
+func (db *DB) ensureLeader(grp *group) (*replica, error) {
+	if grp.leaderRep().srv.Stopped() {
+		if _, err := db.elect(grp); err != nil {
+			return nil, err
+		}
+	}
+	return grp.leaderRep(), nil
+}
+
 // Query runs a SQL-ish scan over QueryScanRows consecutive rows of group g
 // starting at row start, returning how many rows satisfy a real predicate
 // (first byte odd).
@@ -458,7 +524,10 @@ func (db *DB) Query(p *sim.Proc, tr *trace.Trace, g, start int) (int, error) {
 		return 0, fmt.Errorf("spanner: group %d out of range", g)
 	}
 	grp := db.groups[g]
-	leader := grp.leaderRep()
+	leader, err := db.ensureLeader(grp)
+	if err != nil {
+		return 0, err
+	}
 	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.queryRecipe)
 
 	matched := 0

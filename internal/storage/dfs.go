@@ -83,6 +83,11 @@ func (d *DFS) RecoverServer(i int) error {
 	return nil
 }
 
+// ServerDown reports whether chunkserver i is currently failed.
+func (d *DFS) ServerDown(i int) bool {
+	return i >= 0 && i < len(d.down) && d.down[i]
+}
+
 // DownServers returns the indices of failed chunkservers.
 func (d *DFS) DownServers() []int {
 	var out []int
@@ -192,20 +197,29 @@ func (d *DFS) Read(name string, offset, length int64) (time.Duration, Tier, erro
 	var total time.Duration
 	worstTier := RAM
 	for idx := offset / d.chunkSize; idx <= (offset+length-1)/d.chunkSize; idx++ {
-		// Serve from the first live replica.
-		si := -1
+		// Serve from the first live replica that actually holds the chunk. A
+		// recovered server may hold stale replicas (chunks written while it
+		// was down were skipped, not re-replicated), so a miss falls through
+		// to the next replica rather than failing the read.
+		var dur time.Duration
+		var tier Tier
+		served := false
 		for _, cand := range d.replicaServers(name, idx) {
-			if !d.down[cand] {
-				si = cand
+			if d.down[cand] {
+				continue
+			}
+			var err error
+			dur, tier, err = d.servers[cand].Read(chunkKey(name, idx))
+			if err == nil {
+				served = true
 				break
 			}
+			if !errors.Is(err, ErrNotFound) {
+				return 0, HDD, err
+			}
 		}
-		if si < 0 {
+		if !served {
 			return 0, HDD, fmt.Errorf("%w: %s chunk %d", ErrAllReplicasDown, name, idx)
-		}
-		dur, tier, err := d.servers[si].Read(chunkKey(name, idx))
-		if err != nil {
-			return 0, HDD, err
 		}
 		total += dur
 		if tier > worstTier {

@@ -443,6 +443,56 @@ func TestDFSCreateSkipsDownServers(t *testing.T) {
 	}
 }
 
+func TestDFSWriteWhileDownReadableAfterRecovery(t *testing.T) {
+	d, _ := NewDFS(dfsConfig())
+	primary := d.replicaServers("outage-file", 0)[0]
+	if err := d.FailServer(primary); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("outage-file", 1<<20); err != nil {
+		t.Fatalf("create during outage: %v", err)
+	}
+	if err := d.RecoverServer(primary); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered primary holds a stale (empty) replica; the read must
+	// fall through to a replica that actually has the chunk.
+	if _, _, err := d.Read("outage-file", 0, 1<<20); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestDFSDeleteWhileServerDown(t *testing.T) {
+	d, _ := NewDFS(dfsConfig())
+	if _, err := d.Create("doomed", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	victim := d.replicaServers("doomed", 0)[0]
+	if err := d.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("doomed"); err != nil {
+		t.Fatalf("delete during outage: %v", err)
+	}
+	if d.Exists("doomed") {
+		t.Fatal("file still exists after delete")
+	}
+	// The name is immediately reusable, and the fresh file's bytes land
+	// only on live replicas.
+	if _, err := d.Create("doomed", 2<<20); err != nil {
+		t.Fatalf("re-create during outage: %v", err)
+	}
+	if used := d.servers[victim].Used(HDD); used != 0 {
+		t.Fatalf("down server stored %d bytes", used)
+	}
+	if err := d.RecoverServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Read("doomed", 0, 2<<20); err != nil {
+		t.Fatalf("read re-created file after recovery: %v", err)
+	}
+}
+
 func TestDFSFailServerValidation(t *testing.T) {
 	d, _ := NewDFS(dfsConfig())
 	if err := d.FailServer(-1); err == nil {

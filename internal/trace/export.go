@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // This file exports sampled traces in the Chrome trace-event format so a
@@ -14,6 +15,7 @@ import (
 type chromeEvent struct {
 	Name     string            `json:"name"`
 	Phase    string            `json:"ph"`
+	Scope    string            `json:"s,omitempty"`
 	TsMicros float64           `json:"ts"`
 	DurUs    float64           `json:"dur,omitempty"`
 	PID      int               `json:"pid"`
@@ -21,12 +23,36 @@ type chromeEvent struct {
 	Args     map[string]string `json:"args,omitempty"`
 }
 
+// Mark is a point annotation on the simulation timeline — typically an
+// injected fault event — rendered as a global instant event so it cuts
+// across every process row in the viewer.
+type Mark struct {
+	At   time.Duration
+	Name string
+}
+
 // ExportChrome renders the traces as a Chrome trace-event JSON document.
 // Each platform becomes a process; each query becomes a thread whose
 // intervals appear as complete ('X') events. The limit caps exported traces
 // (0 = all).
 func ExportChrome(traces []*Trace, limit int) ([]byte, error) {
+	return ExportChromeMarks(traces, limit, nil)
+}
+
+// ExportChromeMarks is ExportChrome plus timeline marks: each mark becomes a
+// global instant ('i') event, so injected faults line up visually against the
+// query intervals they perturbed.
+func ExportChromeMarks(traces []*Trace, limit int, marks []Mark) ([]byte, error) {
 	var events []chromeEvent
+	for _, m := range marks {
+		events = append(events, chromeEvent{
+			Name:     m.Name,
+			Phase:    "i",
+			Scope:    "g",
+			TsMicros: float64(m.At.Microseconds()),
+			PID:      1,
+		})
+	}
 	pids := map[string]int{}
 	count := 0
 	for _, t := range traces {

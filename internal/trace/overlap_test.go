@@ -168,3 +168,35 @@ func TestExportChrome(t *testing.T) {
 		t.Fatalf("capped events = %d", len(one))
 	}
 }
+
+func TestExportChromeMarks(t *testing.T) {
+	tr := NewTracer(1)
+	tc := tr.Start(taxonomy.Spanner, 0)
+	tc.Annotate(0, ms(2), CPU)
+	tr.Finish(tc, ms(2))
+
+	marks := []Mark{
+		{At: ms(1), Name: "crash spanner/g0/r1"},
+		{At: ms(4), Name: "recover spanner/g0/r1"},
+	}
+	data, err := ExportChromeMarks(tr.Sampled(), 0, marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	instants := 0
+	for _, e := range events {
+		if e["ph"] == "i" {
+			instants++
+			if e["s"] != "g" {
+				t.Fatalf("instant scope = %v, want global", e["s"])
+			}
+		}
+	}
+	if instants != 2 {
+		t.Fatalf("instant events = %d, want 2", instants)
+	}
+}
