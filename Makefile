@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race
+# check-safety sweeps this many fault-injected seeds per platform through the
+# safety torture harness (linearizability + invariant checking under chaos).
+SAFETY_SEEDS ?= 20
+
+.PHONY: check build vet fmt test race check-safety
 
 check: build vet fmt race
 
@@ -17,7 +21,10 @@ fmt:
 	fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+check-safety:
+	$(GO) run ./cmd/hyperprof -check -check-seeds $(SAFETY_SEEDS)

@@ -34,8 +34,14 @@ func main() {
 	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
 	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
 	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
+	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
+	checkSeeds := flag.Int("check-seeds", 0, "with -check: faulted runs per platform (0 = default)")
 	flag.Parse()
 
+	if *checkRun {
+		runSafety(*seed, *checkSeeds, *chromeOut)
+		return
+	}
 	if *faultsRun {
 		runResilience(*seed, *clients, *chromeOut)
 		return
@@ -117,6 +123,45 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "\nWrote %d bytes of Chrome trace events to %s (open in Perfetto)\n", len(data), *chromeOut)
+	}
+}
+
+// runSafety executes the safety torture study: per platform, a fault-free
+// calibration run plus a seed sweep of fault-injected runs, with operation
+// histories checked for linearizability, structural violations and standing
+// invariants. Any violation prints its reproducing seed and minimal
+// violating history and the process exits nonzero. With -chrome-trace,
+// violations are exported as instant marks on the timeline.
+func runSafety(seed uint64, seeds int, chromeOut string) {
+	cfg := hyperprof.DefaultSafetyConfig()
+	cfg.BaseSeed = seed
+	if seeds > 0 {
+		cfg.Seeds = seeds
+	}
+	s, err := hyperprof.SafetyStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hyperprof.RenderSafety(s))
+	var marks []trace.Mark
+	for _, p := range hyperprof.Platforms() {
+		marks = append(marks, s.Marks[p]...)
+	}
+	if chromeOut != "" && len(marks) == 0 {
+		fmt.Printf("\nNo violations, so no trace events to mark — skipping %s\n", chromeOut)
+	}
+	if chromeOut != "" && len(marks) > 0 {
+		data, err := trace.ExportChromeMarks(nil, 2000, marks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nWrote %d bytes of Chrome trace events (%d violation marks) to %s\n", len(data), len(marks), chromeOut)
+	}
+	if !s.Ok() {
+		os.Exit(1)
 	}
 }
 

@@ -212,6 +212,40 @@ func ResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
 // RenderResilience renders the study as a fixed-width comparison table.
 var RenderResilience = experiments.RenderResilience
 
+// Safety types expose the torture study: each platform runs a contended
+// read/write workload with operation-history recording enabled, fault-free
+// and then across a seed sweep of injected fault schedules, and every run is
+// checked for linearizability, structural safety violations (duplicate
+// replay, double-counted merges, unsafe elections) and the standing
+// invariants (consensus durability, tablet ownership, shuffle slot
+// placement, DFS replica consistency).
+type (
+	// Safety is the full study result.
+	Safety = experiments.Safety
+	// SafetyConfig sizes the study and sets the fault rates.
+	SafetyConfig = experiments.SafetyConfig
+	// SafetyRow is one (platform, seed) measurement.
+	SafetyRow = experiments.SafetyRow
+	// SafetyViolation is one checker finding with its reproducing seed.
+	SafetyViolation = experiments.SafetyViolation
+)
+
+// DefaultSafetyConfig returns the documented torture defaults.
+func DefaultSafetyConfig() SafetyConfig {
+	return experiments.DefaultSafetyConfig()
+}
+
+// SafetyStudy runs the torture study. Equal configs replay bit-identically;
+// any violation is reported with the seed that reproduces it and the minimal
+// violating subhistory.
+func SafetyStudy(cfg SafetyConfig) (*Safety, error) {
+	return experiments.RunSafetyStudy(cfg)
+}
+
+// RenderSafety renders the study as a fixed-width table followed by every
+// violation in full.
+var RenderSafety = experiments.RenderSafety
+
 // Renderers produce the textual equivalents of the paper's tables/figures.
 var (
 	RenderTable1   = experiments.RenderTable1

@@ -13,6 +13,7 @@ import (
 
 	"time"
 
+	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/columnar"
 	"hyperprof/internal/netsim"
@@ -151,6 +152,12 @@ type Engine struct {
 	// Speculative counts stage-1 shards re-executed because their shuffle
 	// slot was lost or unreachable in stage 2.
 	RePuts, Speculative int
+
+	// rec is the opt-in safety recorder (see safety.go); brokenDoubleMerge
+	// re-introduces the double-counting bug on the speculative path so tests
+	// can prove the exactly-once checker catches it.
+	rec               *check.History
+	brokenDoubleMerge bool
 }
 
 type partition struct {
@@ -391,6 +398,11 @@ func shuffleTier(bytes int64) storage.Tier {
 // It is used at construction time and by RecoverShuffleServer.
 func (e *Engine) startShuffleServer(ss *shuffleServer) {
 	ss.srv = netsim.NewServer(ss.machine.Node, 16)
+	// Shuffle handlers are not idempotent — a get consumes its slot — so the
+	// server deduplicates retried calls by CallID: a retry whose first attempt
+	// actually executed (the reply was lost, not the request) replays the
+	// cached response instead of consuming the slot twice.
+	ss.srv.SetDedup(true)
 	ss.srv.Handle("shuffle.put", e.handleShufflePut(ss))
 	ss.srv.Handle("shuffle.get", e.handleShuffleGet(ss))
 	ss.srv.Start()
@@ -594,6 +606,11 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 	// failing the query.
 	reducer := e.workers[qid%nW]
 	merged := map[int64]int64{}
+	// contrib counts how many times each stage-1 shard lands in the merge; the
+	// exactly-once checker asserts every shard contributes exactly once,
+	// whether it arrived through the shuffle or through speculative
+	// re-execution — never both, never twice.
+	contrib := make([]int, nParts)
 	for pi := 0; pi < nParts; pi++ {
 		key := slotKey(qid, pi)
 		idx, ok := e.slotLoc[key]
@@ -610,12 +627,31 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 			if partial, err = e.recomputePartial(p, tr, reducer, q, pi); err != nil {
 				return nil, err
 			}
+			if e.brokenDoubleMerge {
+				// The reintroduced bug: the speculative result is merged here
+				// and again below, double-counting the shard.
+				columnar.MergeGroups(merged, partial)
+				contrib[pi]++
+			}
 		} else {
 			partial = resp.Payload.(map[int64]int64)
 		}
 		columnar.MergeGroups(merged, partial)
+		contrib[pi]++
 	}
 	e.env.ExecRecipe(p, taxonomy.BigQuery, reducer.Node, tr, e.stage2[q.Kind])
+	if e.rec != nil {
+		for pi, c := range contrib {
+			if c != 1 {
+				e.rec.Violate("exactly-once", slotKey(qid, pi),
+					"query %d merged stage-1 shard %d into the aggregate %d times, want exactly once", qid, pi, c)
+			}
+		}
+		if ref := e.ReferenceOver(q.Threshold, nParts); !equalGroups(merged, ref) {
+			e.rec.Violate("exact-result", fmt.Sprintf("q%d", qid),
+				"query %d (%s) aggregate diverges from the exact reference over %d partitions", qid, q.Kind, nParts)
+		}
+	}
 
 	res := &Result{Groups: merged}
 	for _, n := range rowsScanned {

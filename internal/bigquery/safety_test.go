@@ -1,0 +1,122 @@
+package bigquery
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hyperprof/internal/check"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+)
+
+// TestSpeculativeReexecutionMergesExactlyOnce pins the regression for
+// double-counted speculative shards: a shuffle server crashes mid-query, the
+// lost shards are recomputed, and the exactly-once checker must find every
+// shard merged exactly once and the aggregate exact.
+func TestSpeculativeReexecutionMergesExactlyOnce(t *testing.T) {
+	env, e := newEngine(t, 81)
+	h := check.NewHistory(env.K)
+	e.SetRecorder(h)
+	var res *Result
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		env.K.Schedule(150*time.Millisecond, func() { _ = e.FailShuffleServer(0) })
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Speculative == 0 {
+		t.Fatal("Speculative = 0: the seed no longer exercises shard recomputation")
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(500)) {
+		t.Fatal("result differs from reference after mid-query crash")
+	}
+	if vs := h.Structural(); len(vs) != 0 {
+		t.Fatalf("structural violations: %v", vs)
+	}
+	if br := e.CheckInvariants(); len(br) != 0 {
+		t.Fatalf("invariants broken: %v", br)
+	}
+}
+
+// TestDoubleMergeCaughtByChecker re-introduces the double-counting bug on the
+// speculative path and proves the checker catches it: each recomputed shard
+// is reported as merged twice and the aggregate diverges from the reference.
+func TestDoubleMergeCaughtByChecker(t *testing.T) {
+	env, e := newEngine(t, 82)
+	e.brokenDoubleMerge = true
+	h := check.NewHistory(env.K)
+	e.SetRecorder(h)
+	var err error
+	env.K.Go("client", func(p *sim.Proc) {
+		env.K.Schedule(150*time.Millisecond, func() { _ = e.FailShuffleServer(0) })
+		_, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Speculative == 0 {
+		t.Fatal("Speculative = 0: the broken path was never taken")
+	}
+	var once, exact int
+	for _, v := range h.Structural() {
+		switch v.Kind {
+		case "exactly-once":
+			once++
+		case "exact-result":
+			exact++
+		}
+	}
+	if once != e.Speculative {
+		t.Fatalf("exactly-once violations = %d, want one per speculative shard (%d)", once, e.Speculative)
+	}
+	if exact != 1 {
+		t.Fatalf("exact-result violations = %d, want 1", exact)
+	}
+}
+
+// TestStragglerRetriesExecuteAtMostOncePerServer: deadline-driven retries
+// against a straggling shuffle server must not consume slots twice. With
+// server-side dedup the retry joins the in-flight execution, so delivery
+// accounting sees every call ID execute at most once per server.
+func TestStragglerRetriesExecuteAtMostOncePerServer(t *testing.T) {
+	env := platform.NewEnv(83, 1)
+	env.Net.EnableDeliveryAccounting()
+	cfg := smallConfig()
+	cfg.RPC = netsim.Policy{Deadline: 50 * time.Millisecond, MaxAttempts: 2, BackoffBase: time.Millisecond}
+	e, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.NewHistory(env.K)
+	e.SetRecorder(h)
+	var res *Result
+	env.K.Go("client", func(p *sim.Proc) {
+		env.K.Schedule(150*time.Millisecond, func() { _ = e.SetShuffleSlowdown(0, 1000) })
+		res, err = e.Run(p, nil, Query{Kind: ScanAgg, Threshold: 500})
+		e.Stop()
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RPCClient().Deadlines == 0 {
+		t.Fatal("client recorded no deadline hits: the straggler never bit")
+	}
+	if dups := env.Net.DupExecs(); len(dups) != 0 {
+		t.Fatalf("at-most-once execution violated:\n%v", dups)
+	}
+	if !reflect.DeepEqual(res.Groups, e.Reference(500)) {
+		t.Fatal("result differs from reference under straggler retries")
+	}
+	if vs := h.Structural(); len(vs) != 0 {
+		t.Fatalf("structural violations: %v", vs)
+	}
+}

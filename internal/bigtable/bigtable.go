@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hyperprof/internal/bloom"
+	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/compress"
 	"hyperprof/internal/platform"
@@ -90,11 +91,25 @@ type DB struct {
 	// downServers marks failed tablet servers by machine index.
 	downServers map[int]bool
 
+	// rec, when non-nil, records every Get/Put into an operation history for
+	// the safety checker (see safety.go).
+	rec *check.History
+	// brokenLogTruncateEarly reintroduces the early-truncation bug: the
+	// commit log is dropped when the memtable is *snapshotted* instead of
+	// when the flush is *durable*, so a crash mid-flush loses acknowledged
+	// writes. Test fixture for the checker.
+	brokenLogTruncateEarly bool
+	// brokenReplayDup disables log truncation entirely, so post-crash replay
+	// re-applies records that are already durable in SSTables. Test fixture
+	// for the duplicate-replay check.
+	brokenReplayDup bool
+
 	// Counters for tests and reports.
 	Gets, Puts, Scans, MinorCompactions, MajorCompactions int
 	// Reassignments counts tablets moved off a failed server; Recoveries
-	// counts completed commit-log replays.
-	Reassignments, Recoveries int
+	// counts completed commit-log replays; ReplayDups counts replayed
+	// commit-log records that were already durable (always a safety bug).
+	Reassignments, Recoveries, ReplayDups int
 	// BloomSkips counts SSTable probes avoided by Bloom filters;
 	// RawBytes/CompressedBytes account flush compression.
 	BloomSkips                int
@@ -139,6 +154,14 @@ func (s *sstable) seal() {
 	}
 }
 
+// logRec is one commit-log record: a sequenced mutation that survives a
+// tablet-server crash on the DFS and is replayed on recovery.
+type logRec struct {
+	seq   int64
+	key   string
+	value []byte
+}
+
 type tablet struct {
 	id        int
 	server    *cluster.Machine
@@ -146,13 +169,29 @@ type tablet struct {
 	mem       map[string][]byte
 	memSize   int64
 	memPuts   int
-	// logBytes is the un-flushed commit-log volume: what a recovery replay
-	// must re-read from the DFS after a tablet-server crash.
+	// log holds the un-truncated commit-log records, in seq order; logBytes
+	// is their on-DFS volume — what a recovery replay must re-read after a
+	// tablet-server crash. Records are truncated only once the flush that
+	// made them durable has completed, never at snapshot time.
+	log      []logRec
 	logBytes int64
-	imm      []*sstable // flushing memtable snapshots, newest first
-	ssts     []*sstable // on-DFS sstables, newest first
-	flushes  int
-	nextSST  int
+	// nextSeq is the next commit-log sequence number (1-based); durableSeq is
+	// the highest sequence known durable in SSTables. Replaying a record with
+	// seq <= durableSeq is the duplicate-replay safety violation.
+	nextSeq    int64
+	durableSeq int64
+	// epoch is bumped on every reassignment; in-flight flushes from an older
+	// epoch abort instead of promoting a snapshot the crash already lost.
+	epoch int
+	// flushPending holds the snapshot seqs of in-flight flushes in start
+	// order; flushDone marks the completed ones, so durableSeq advances over
+	// the completed prefix even when async flushes finish out of order.
+	flushPending []int64
+	flushDone    map[int64]bool
+	imm          []*sstable // flushing memtable snapshots, newest first
+	ssts         []*sstable // on-DFS sstables, newest first
+	flushes      int
+	nextSST      int
 	// compacting is non-nil while a major compaction blocks the tablet.
 	compacting *sim.Signal
 	// recovering is non-nil while a post-crash log replay blocks the tablet.
@@ -260,6 +299,8 @@ func (db *DB) load() error {
 			server:    machines[t%len(machines)],
 			serverIdx: t % len(machines),
 			mem:       map[string][]byte{},
+			nextSeq:   1,
+			flushDone: map[int64]bool{},
 		}
 		base := &sstable{
 			file: fmt.Sprintf("bt/tablet%d/base", t),
@@ -334,8 +375,8 @@ func (db *DB) waitIfCompacting(p *sim.Proc, tr *trace.Trace, tab *tablet) {
 	}
 }
 
-// Get returns the current value of row `row` in tablet t.
-func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
+// get is the un-recorded implementation of Get.
+func (db *DB) get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
 	if t < 0 || t >= len(db.tablets) {
 		return nil, fmt.Errorf("bigtable: tablet %d out of range", t)
 	}
@@ -381,9 +422,8 @@ func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
 	return nil, fmt.Errorf("%w: %q", storage.ErrNotFound, key)
 }
 
-// Put writes value to row `row` of tablet t: commit-log append to the DFS,
-// memtable insert, and compaction triggers.
-func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error {
+// put is the un-recorded implementation of Put.
+func (db *DB) put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error {
 	if t < 0 || t >= len(db.tablets) {
 		return fmt.Errorf("bigtable: tablet %d out of range", t)
 	}
@@ -398,11 +438,17 @@ func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 	logBytes := int64(len(value)) + 64
 	p.Sleep(db.logServer(tab).RawAccess(storage.SSD, logBytes, true))
 	platform.AnnotateIO(tr, ioStart, p.Now())
-	tab.logBytes += logBytes
 
+	// The record and the memtable insert land atomically after the log IO
+	// (the kernel only switches procs at park points), so a crash either
+	// sees both or neither.
 	key := rowKey(t, row)
 	cp := make([]byte, len(value))
 	copy(cp, value)
+	seq := tab.nextSeq
+	tab.nextSeq++
+	tab.log = append(tab.log, logRec{seq: seq, key: key, value: cp})
+	tab.logBytes += logBytes
 	old := int64(len(tab.mem[key]))
 	tab.mem[key] = cp
 	tab.memSize += int64(len(cp)) - old
@@ -475,19 +521,27 @@ func (db *DB) lookup(tab *tablet, key string) []byte {
 
 // flush snapshots the memtable and writes it to the DFS as a new SSTable in
 // the background (minor compaction). Serving continues from the immutable
-// snapshot meanwhile.
+// snapshot meanwhile. The commit log is truncated only once the flush is
+// durable — truncating at snapshot time would lose the snapshotted writes if
+// the server crashed mid-flush (the brokenLogTruncateEarly fixture).
 func (db *DB) flush(tab *tablet) {
 	snap := &sstable{
 		file: fmt.Sprintf("bt/tablet%d/sst%d", tab.id, tab.nextSST),
 		data: tab.mem,
 	}
+	snapSeq := tab.nextSeq - 1
+	epoch := tab.epoch
 	tab.nextSST++
 	tab.mem = map[string][]byte{}
 	tab.memSize = 0
 	tab.memPuts = 0
-	// The snapshotted writes no longer need commit-log replay after a crash.
-	tab.logBytes = 0
 	tab.imm = append([]*sstable{snap}, tab.imm...)
+	tab.flushPending = append(tab.flushPending, snapSeq)
+	if db.brokenLogTruncateEarly {
+		// BROKEN (fixture): drop the snapshotted records before they are
+		// durable.
+		db.truncateLog(tab, snapSeq)
+	}
 
 	db.env.K.Go("bt-minor-compaction", func(p *sim.Proc) {
 		db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, nil, db.minorRecipe)
@@ -496,6 +550,13 @@ func (db *DB) flush(tab *tablet) {
 		db.RawBytes += snap.rawBytes
 		if _, err := db.dfs.Create(snap.file, snap.bytes); err != nil {
 			panic(fmt.Sprintf("bigtable: flush: %v", err))
+		}
+		if tab.epoch != epoch {
+			// The tablet was reassigned mid-flush: the crash already rebuilt
+			// this snapshot's writes from the commit log on the new server, so
+			// promoting the orphan would resurrect a stale epoch's state.
+			db.dfs.Delete(snap.file)
+			return
 		}
 		// Promote snapshot to a real SSTable.
 		for i, s := range tab.imm {
@@ -507,16 +568,46 @@ func (db *DB) flush(tab *tablet) {
 		tab.ssts = append([]*sstable{snap}, tab.ssts...)
 		tab.flushes++
 		db.MinorCompactions++
+		// The snapshot is durable: advance durableSeq over the completed
+		// prefix of pending flushes (they can finish out of order) and
+		// truncate the replay log up to it.
+		tab.flushDone[snapSeq] = true
+		for len(tab.flushPending) > 0 && tab.flushDone[tab.flushPending[0]] {
+			seq := tab.flushPending[0]
+			delete(tab.flushDone, seq)
+			tab.flushPending = tab.flushPending[1:]
+			if seq > tab.durableSeq {
+				tab.durableSeq = seq
+			}
+			if !db.brokenReplayDup {
+				db.truncateLog(tab, seq)
+			}
+		}
 		if tab.flushes%db.cfg.MajorEvery == 0 && tab.compacting == nil {
 			db.major(tab)
 		}
 	})
 }
 
-// major merges all SSTables of a tablet into one in remote storage, blocking
-// the tablet's operations until it completes.
+// truncateLog drops commit-log records with seq <= upto.
+func (db *DB) truncateLog(tab *tablet, upto int64) {
+	i := 0
+	for i < len(tab.log) && tab.log[i].seq <= upto {
+		tab.logBytes -= int64(len(tab.log[i].value)) + 64
+		i++
+	}
+	tab.log = tab.log[i:]
+}
+
+// major merges a tablet's SSTables into one in remote storage, blocking the
+// tablet's operations until it completes. The input set is snapshotted up
+// front: a minor compaction already in flight when the major starts can
+// complete mid-merge and prepend a new SSTable, which must survive —
+// replacing the live list wholesale would silently drop its acknowledged
+// writes.
 func (db *DB) major(tab *tablet) {
 	tab.compacting = sim.NewSignal(db.env.K)
+	inputs := append([]*sstable(nil), tab.ssts...)
 	db.env.K.Go("bt-major-compaction", func(p *sim.Proc) {
 		merged := &sstable{
 			file: fmt.Sprintf("bt/tablet%d/sst%d", tab.id, tab.nextSST),
@@ -525,8 +616,8 @@ func (db *DB) major(tab *tablet) {
 		tab.nextSST++
 		// Merge oldest-to-newest so newer values win.
 		var readTime time.Duration
-		for i := len(tab.ssts) - 1; i >= 0; i-- {
-			s := tab.ssts[i]
+		for i := len(inputs) - 1; i >= 0; i-- {
+			s := inputs[i]
 			d, _, err := db.dfs.Read(s.file, 0, s.bytes)
 			if err != nil {
 				panic(fmt.Sprintf("bigtable: major read: %v", err))
@@ -542,12 +633,24 @@ func (db *DB) major(tab *tablet) {
 		if _, err := db.dfs.Create(merged.file, merged.bytes); err != nil {
 			panic(fmt.Sprintf("bigtable: major write: %v", err))
 		}
-		for _, s := range tab.ssts {
+		for _, s := range inputs {
 			if err := db.dfs.Delete(s.file); err != nil {
 				panic(fmt.Sprintf("bigtable: major delete: %v", err))
 			}
 		}
-		tab.ssts = []*sstable{merged}
+		// Keep any SSTables flushed since the merge started (newest first),
+		// with the merged table as the new oldest.
+		inputSet := map[*sstable]bool{}
+		for _, s := range inputs {
+			inputSet[s] = true
+		}
+		var kept []*sstable
+		for _, s := range tab.ssts {
+			if !inputSet[s] {
+				kept = append(kept, s)
+			}
+		}
+		tab.ssts = append(kept, merged)
 		db.MajorCompactions++
 		tab.compacting.Fire()
 		tab.compacting = nil
@@ -619,9 +722,47 @@ func (db *DB) FailTabletServer(i int) error {
 		tab.serverIdx = ni
 		tab.server = machines[ni]
 		db.Reassignments++
+		db.rebuildFromLog(tab)
 		db.recoverTablet(tab)
 	}
 	return nil
+}
+
+// rebuildFromLog applies crash semantics to a reassigned tablet: the crashed
+// server's volatile state — the active memtable and any still-flushing
+// snapshots — is lost, and the new server's memtable is rebuilt by replaying
+// the commit log in sequence order. SSTables live in the DFS and survive.
+// The rebuild itself is instantaneous state surgery; recoverTablet separately
+// burns the replay's IO and CPU time while the tablet blocks.
+func (db *DB) rebuildFromLog(tab *tablet) {
+	tab.epoch++ // aborts in-flight flush promotions from the dead server
+	tab.mem = map[string][]byte{}
+	tab.memSize = 0
+	tab.imm = nil
+	tab.flushPending = nil
+	tab.flushDone = map[int64]bool{}
+	dups := 0
+	for _, rec := range tab.log {
+		if rec.seq <= tab.durableSeq {
+			// Replaying a record that is already durable in an SSTable: for
+			// last-writer-wins puts the replay happens to be idempotent, but
+			// it is a protocol violation (re-applied increments or appends
+			// would corrupt state), so it is flagged structurally.
+			dups++
+		}
+		old := int64(len(tab.mem[rec.key]))
+		tab.mem[rec.key] = rec.value
+		tab.memSize += int64(len(rec.value)) - old
+	}
+	tab.memPuts = len(tab.log)
+	if dups > 0 {
+		db.ReplayDups += dups
+		if db.rec != nil {
+			db.rec.Violate("duplicate-replay", fmt.Sprintf("t%d", tab.id),
+				"tablet %d replayed %d commit-log records already durable (durableSeq %d)",
+				tab.id, dups, tab.durableSeq)
+		}
+	}
 }
 
 // RecoverTabletServer brings a failed tablet server back into the live set.

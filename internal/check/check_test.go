@@ -1,0 +1,242 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// histBuilder drives a History from a scripted clock: ops are recorded by
+// scheduling kernel events at explicit instants.
+type histBuilder struct {
+	k *sim.Kernel
+	h *History
+}
+
+func newBuilder() *histBuilder {
+	k := sim.New()
+	return &histBuilder{k: k, h: NewHistory(k)}
+}
+
+// at schedules fn at absolute virtual time t.
+func (b *histBuilder) at(t time.Duration, fn func()) {
+	b.k.Schedule(t, fn)
+}
+
+// op records a full operation with explicit invoke/return times.
+func (b *histBuilder) op(inv, ret time.Duration, client, kind, key string, arg uint64, outcome Outcome, retVal uint64) {
+	var op *Op
+	b.at(inv, func() { op = b.h.Invoke(client, kind, key, arg) })
+	b.at(ret, func() {
+		switch outcome {
+		case OutcomeOK:
+			b.h.OK(op, retVal)
+		case OutcomeFailed:
+			b.h.Fail(op)
+		case OutcomeIndeterminate:
+			b.h.Indeterminate(op)
+		}
+	})
+}
+
+func (b *histBuilder) run() *History {
+	b.k.Run()
+	return b.h
+}
+
+const ms = time.Millisecond
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	b.op(0*ms, 1*ms, "c1", "read", "k", 0, OutcomeOK, 100)
+	b.op(2*ms, 3*ms, "c1", "write", "k", 7, OutcomeOK, 0)
+	b.op(4*ms, 5*ms, "c2", "read", "k", 0, OutcomeOK, 7)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("sequential history flagged: %v", v)
+	}
+}
+
+func TestStaleReadAfterAckedWriteViolates(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// Write of 7 acked at 3ms; a read invoked at 4ms returns the initial
+	// value — a lost acknowledged write.
+	b.op(2*ms, 3*ms, "c1", "write", "k", 7, OutcomeOK, 0)
+	b.op(4*ms, 5*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	h := b.run()
+	vs := h.CheckLinearizability()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	if vs[0].Kind != "linearizability" || vs[0].Key != "k" {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+	if len(vs[0].History) != 2 {
+		t.Fatalf("minimal history has %d ops, want 2:\n%s", len(vs[0].History), FormatOps(vs[0].History))
+	}
+}
+
+func TestConcurrentReadMayMissWrite(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// Read overlaps the write: returning either the old or the new value is
+	// linearizable.
+	b.op(0*ms, 10*ms, "c1", "write", "k", 7, OutcomeOK, 0)
+	b.op(1*ms, 9*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	b.op(2*ms, 8*ms, "c3", "read", "k", 0, OutcomeOK, 7)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("concurrent reads flagged: %v", v)
+	}
+}
+
+func TestReadYourWritesViolationCaught(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// Same client writes then reads back the old value strictly later.
+	b.op(0*ms, 1*ms, "c1", "write", "k", 7, OutcomeOK, 0)
+	b.op(2*ms, 3*ms, "c1", "read", "k", 0, OutcomeOK, 100)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", v)
+	}
+}
+
+func TestIndeterminateWriteMayNeverApply(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// A commit that errored (but may have applied) followed by reads of the
+	// old value: legal — the write linearizes after them, or never took
+	// effect at all.
+	b.op(0*ms, 1*ms, "c1", "write", "k", 7, OutcomeIndeterminate, 0)
+	b.op(2*ms, 3*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("indeterminate write flagged: %v", v)
+	}
+}
+
+func TestIndeterminateWriteMayApplyLate(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// The errored commit's value becomes visible later (catch-up replicated
+	// it): old value read first, new value read after. Legal.
+	b.op(0*ms, 1*ms, "c1", "write", "k", 7, OutcomeIndeterminate, 0)
+	b.op(2*ms, 3*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	b.op(4*ms, 5*ms, "c2", "read", "k", 0, OutcomeOK, 7)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("late-applying indeterminate write flagged: %v", v)
+	}
+}
+
+func TestValueFlipFlopViolates(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	// New value observed, then the old value again: no register order
+	// explains it.
+	b.op(0*ms, 1*ms, "c1", "write", "k", 7, OutcomeOK, 0)
+	b.op(2*ms, 3*ms, "c2", "read", "k", 0, OutcomeOK, 7)
+	b.op(4*ms, 5*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	h := b.run()
+	vs := h.CheckLinearizability()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	// The write is not needed to witness the flip-flop against the initial
+	// value; the minimal history is the two reads... unless the checker
+	// keeps the write because dropping it also drops the 7-read's source.
+	// Removing the write makes the 7-read unexplainable, which is still a
+	// violation, so the shrinker should reach 1-2 ops.
+	if len(vs[0].History) > 2 {
+		t.Fatalf("minimal history not minimal:\n%s", FormatOps(vs[0].History))
+	}
+}
+
+func TestFailedWriteImposesNoConstraint(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("k", 100)
+	b.op(0*ms, 1*ms, "c1", "write", "k", 7, OutcomeFailed, 0)
+	b.op(2*ms, 3*ms, "c2", "read", "k", 0, OutcomeOK, 100)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("failed write flagged: %v", v)
+	}
+}
+
+func TestKeysAreCheckedIndependently(t *testing.T) {
+	b := newBuilder()
+	b.h.Initial("a", 1)
+	b.h.Initial("b", 2)
+	b.op(0*ms, 1*ms, "c1", "write", "a", 7, OutcomeOK, 0)
+	b.op(2*ms, 3*ms, "c2", "read", "a", 0, OutcomeOK, 1) // violation on a
+	b.op(0*ms, 1*ms, "c3", "write", "b", 9, OutcomeOK, 0)
+	b.op(2*ms, 3*ms, "c4", "read", "b", 0, OutcomeOK, 9) // b is fine
+	h := b.run()
+	vs := h.CheckLinearizability()
+	if len(vs) != 1 || vs[0].Key != "a" {
+		t.Fatalf("violations = %v, want one on key a", vs)
+	}
+}
+
+func TestManyConcurrentWritersLinearizable(t *testing.T) {
+	// A contended but correct interleaving: n clients write distinct values
+	// concurrently, then a read returns one of them.
+	b := newBuilder()
+	b.h.Initial("k", 0)
+	for i := 0; i < 10; i++ {
+		b.op(0*ms, 10*ms, "c", "write", "k", uint64(i+1), OutcomeOK, 0)
+	}
+	b.op(11*ms, 12*ms, "r", "read", "k", 0, OutcomeOK, 5)
+	h := b.run()
+	if v := h.CheckLinearizability(); len(v) != 0 {
+		t.Fatalf("concurrent writers flagged: %v", v)
+	}
+}
+
+func TestStructuralViolationsRecorded(t *testing.T) {
+	k := sim.New()
+	h := NewHistory(k)
+	k.Schedule(3*ms, func() { h.Violate("exactly-once", "q1/p2", "shard merged %d times", 2) })
+	k.Run()
+	vs := h.Structural()
+	if len(vs) != 1 || vs[0].At != 3*ms || vs[0].Kind != "exactly-once" {
+		t.Fatalf("structural = %+v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "merged 2 times") {
+		t.Fatalf("detail = %q", vs[0].Detail)
+	}
+}
+
+func TestInvariantRegistry(t *testing.T) {
+	var broken bool
+	var r Registry
+	r.Register("commit-index-monotonic", func() []string {
+		if broken {
+			return []string{"group 3 commit index regressed"}
+		}
+		return nil
+	})
+	if vs := r.Check(0); len(vs) != 0 {
+		t.Fatalf("healthy registry reported %v", vs)
+	}
+	broken = true
+	vs := r.Check(5 * ms)
+	if len(vs) != 1 || vs[0].Kind != "invariant" || vs[0].At != 5*ms {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestDigestDistinguishesValues(t *testing.T) {
+	a, b := Digest([]byte("value-a")), Digest([]byte("value-b"))
+	if a == b {
+		t.Fatal("digests collide")
+	}
+	if Digest(nil) != Digest([]byte{}) {
+		t.Fatal("nil and empty digests differ")
+	}
+}

@@ -1,0 +1,211 @@
+package check
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file implements the Wing & Gong linearizability check specialized to
+// per-key atomic registers. Linearizability is local (Herlihy & Wing): a
+// history over many keys is linearizable iff each key's subhistory is, so
+// the checker runs key by key. Within a key it searches for a legal
+// linearization order by repeatedly choosing a "minimal" operation — one
+// whose invocation precedes every unlinearized operation's return — and
+// checking it against the register state, with memoization on the
+// (linearized-set, register-value) pair to keep the search tractable
+// (Lowe's optimization of Wing & Gong).
+
+// farFuture stands in for an unbounded return time: indeterminate and
+// pending operations may linearize at any point after their invocation,
+// including "never" — a write that never took effect linearizes after every
+// read that missed it.
+const farFuture = time.Duration(math.MaxInt64)
+
+// regOp is one operation projected onto the register model.
+type regOp struct {
+	op    *Op
+	write bool
+	val   uint64 // value written, or value a read returned
+	inv   time.Duration
+	ret   time.Duration
+}
+
+// CheckLinearizability checks every key's completed read/write subhistory
+// against an atomic register initialized to the key's recorded initial
+// digest. It returns one violation per non-linearizable key, each carrying a
+// minimal violating subhistory. A nil history checks clean.
+func (h *History) CheckLinearizability() []Violation {
+	if h == nil {
+		return nil
+	}
+	var out []Violation
+	for _, key := range h.Keys() {
+		ops := h.keyOps(key)
+		if len(ops) == 0 {
+			continue
+		}
+		initial := h.initials[key]
+		if linearizableKey(initial, ops) {
+			continue
+		}
+		minimal := shrinkKey(initial, ops)
+		hist := make([]*Op, len(minimal))
+		var last time.Duration
+		for i, r := range minimal {
+			hist[i] = r.op
+			if r.op.Return > last {
+				last = r.op.Return
+			}
+		}
+		out = append(out, Violation{
+			Kind:    "linearizability",
+			Key:     key,
+			Detail:  formatLinViolation(key, len(ops), len(minimal)),
+			At:      last,
+			History: hist,
+		})
+	}
+	return out
+}
+
+func formatLinViolation(key string, total, minimal int) string {
+	return "history over key " + key + " is not linearizable (" +
+		itoa(total) + " ops, minimal violating subhistory " + itoa(minimal) + " ops)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// keyOps projects a key's recorded operations onto the register model:
+//   - failed operations had no effect and impose no constraint: dropped;
+//   - reads that never returned a value (indeterminate/pending) constrain
+//     nothing: dropped;
+//   - indeterminate/pending writes may take effect at any later time: kept
+//     with an unbounded return.
+func (h *History) keyOps(key string) []regOp {
+	var ops []regOp
+	for _, op := range h.ops {
+		if op.Key != key || op.Outcome == OutcomeFailed {
+			continue
+		}
+		switch op.Kind {
+		case "read":
+			if op.Outcome != OutcomeOK {
+				continue
+			}
+			ops = append(ops, regOp{op: op, val: op.Ret, inv: op.Invoke, ret: op.Return})
+		case "write":
+			ret := op.Return
+			if op.Outcome != OutcomeOK {
+				ret = farFuture
+			}
+			ops = append(ops, regOp{op: op, write: true, val: op.Arg, inv: op.Invoke, ret: ret})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].inv != ops[j].inv {
+			return ops[i].inv < ops[j].inv
+		}
+		return ops[i].op.ID < ops[j].op.ID
+	})
+	return ops
+}
+
+// linearizableKey reports whether the key's projected subhistory has a legal
+// linearization over a register starting at initial.
+func linearizableKey(initial uint64, ops []regOp) bool {
+	c := &keyChecker{ops: ops, memo: map[string]bool{}}
+	mask := make([]uint64, (len(ops)+63)/64)
+	return c.search(mask, 0, initial)
+}
+
+type keyChecker struct {
+	ops  []regOp
+	memo map[string]bool // states proven non-linearizable
+}
+
+func (c *keyChecker) search(mask []uint64, used int, val uint64) bool {
+	if used == len(c.ops) {
+		return true
+	}
+	key := memoKey(mask, val)
+	if c.memo[key] {
+		return false
+	}
+	// A candidate for the next linearization point must invoke no later than
+	// every unlinearized operation returns: an op that returned strictly
+	// before another invoked must be linearized first.
+	minRet := farFuture
+	for i := range c.ops {
+		if !bit(mask, i) && c.ops[i].ret < minRet {
+			minRet = c.ops[i].ret
+		}
+	}
+	for i := range c.ops {
+		if bit(mask, i) || c.ops[i].inv > minRet {
+			continue
+		}
+		o := &c.ops[i]
+		if !o.write && o.val != val {
+			continue // a read must return the register's current value
+		}
+		setBit(mask, i)
+		next := val
+		if o.write {
+			next = o.val
+		}
+		if c.search(mask, used+1, next) {
+			return true
+		}
+		clearBit(mask, i)
+	}
+	c.memo[key] = true
+	return false
+}
+
+func bit(mask []uint64, i int) bool { return mask[i/64]&(1<<(i%64)) != 0 }
+func setBit(mask []uint64, i int)   { mask[i/64] |= 1 << (i % 64) }
+func clearBit(mask []uint64, i int) { mask[i/64] &^= 1 << (i % 64) }
+
+func memoKey(mask []uint64, val uint64) string {
+	buf := make([]byte, 0, len(mask)*8+8)
+	for _, w := range append(mask[:len(mask):len(mask)], val) {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+// shrinkKey minimizes a violating subhistory by greedy delta-debugging:
+// repeatedly drop any operation whose removal keeps the history
+// non-linearizable, until every remaining operation is load-bearing.
+func shrinkKey(initial uint64, ops []regOp) []regOp {
+	cur := append([]regOp(nil), ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]regOp, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if !linearizableKey(initial, cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyperprof/internal/bigquery"
+	"hyperprof/internal/bigtable"
+	"hyperprof/internal/check"
+	"hyperprof/internal/faults"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// SafetyConfig sizes the safety torture study: each platform runs a
+// contended read/write workload with history recording enabled, first
+// fault-free (to calibrate the horizon and prove the checkers pass on a
+// clean run), then once per seed under an injected fault schedule. After
+// every run the recorded history is checked for linearizability, the
+// structural violations are drained, and the platform's standing invariants
+// (consensus, tablets, shuffle, DFS replica consistency) are asserted.
+type SafetyConfig struct {
+	// BaseSeed seeds the calibration run; faulted runs use BaseSeed..
+	// BaseSeed+Seeds-1.
+	BaseSeed uint64
+	// Seeds is the number of faulted runs per platform.
+	Seeds int
+	// Per-platform operation budgets per run.
+	SpannerOps, BigTableOps, BigQueryOps int
+	// Clients is the closed-loop torture client count per platform.
+	Clients int
+	// HotRows bounds the contended row range so concurrent clients collide
+	// on the same registers, which is what gives the linearizability checker
+	// real overlap to reason about.
+	HotRows int
+	// Fault rates, as fractions of the calibrated horizon (see
+	// ResilienceConfig for the semantics).
+	MTBFFrac, MTTRFrac float64
+	StragglerProb      float64
+	StragglerFactor    float64
+	NetDegradeProb     float64
+	NetExtraDelay      time.Duration
+	NetDropProb        float64
+}
+
+// DefaultSafetyConfig returns the documented torture defaults: six clients
+// hammering eight hot rows per platform, roughly two fault windows per
+// target per run, and network brown-outs in half the runs.
+func DefaultSafetyConfig() SafetyConfig {
+	return SafetyConfig{
+		BaseSeed:        1,
+		Seeds:           5,
+		SpannerOps:      400,
+		BigTableOps:     400,
+		BigQueryOps:     24,
+		Clients:         6,
+		HotRows:         8,
+		MTBFFrac:        0.5,
+		MTTRFrac:        0.03,
+		StragglerProb:   0.25,
+		StragglerFactor: 4,
+		NetDegradeProb:  0.5,
+		NetExtraDelay:   200 * time.Microsecond,
+		NetDropProb:     0.02,
+	}
+}
+
+// SafetyViolation is one checker finding, tagged with the seed that
+// reproduces it (rerun the study with that seed to replay the violating
+// execution bit-identically).
+type SafetyViolation struct {
+	Seed uint64
+	check.Violation
+}
+
+// SafetyRow summarizes one (platform, seed) torture run.
+type SafetyRow struct {
+	Platform taxonomy.Platform
+	Seed     uint64
+	// Faulted distinguishes torture runs from the calibration run.
+	Faulted bool
+	// Ops and Errors count issued operations and the subset that failed
+	// (errors are availability loss, not safety loss — the checkers decide
+	// what counts as a violation).
+	Ops, Errors int
+	// Elapsed is the virtual time to drain the workload.
+	Elapsed time.Duration
+	// FaultsApplied counts fault events that fired.
+	FaultsApplied int
+	// Violations counts checker findings for this run.
+	Violations int
+}
+
+// Safety holds the full study.
+type Safety struct {
+	Cfg        SafetyConfig
+	Rows       []SafetyRow
+	Violations []SafetyViolation
+	// Marks carries one timeline mark per violation (plus nothing else), for
+	// Chrome-trace export of the violating run.
+	Marks map[taxonomy.Platform][]trace.Mark
+}
+
+// Ok reports whether the study finished with zero violations.
+func (s *Safety) Ok() bool { return len(s.Violations) == 0 }
+
+// RunSafetyStudy runs the torture harness: per platform, one fault-free
+// calibration run (whose elapsed time becomes the fault-schedule horizon)
+// followed by Seeds faulted runs. Equal configs replay bit-identically.
+func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
+	if cfg.Clients <= 0 || cfg.Seeds <= 0 || cfg.HotRows <= 0 {
+		return nil, fmt.Errorf("experiments: invalid safety config %+v", cfg)
+	}
+	s := &Safety{Cfg: cfg, Marks: map[taxonomy.Platform][]trace.Mark{}}
+	for _, p := range taxonomy.Platforms() {
+		base, err := s.runOne(p, cfg.BaseSeed, 0)
+		if err != nil {
+			return nil, err
+		}
+		horizon := base.Elapsed
+		for i := 0; i < cfg.Seeds; i++ {
+			if _, err := s.runOne(p, cfg.BaseSeed+uint64(i), horizon); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// runOne runs one (platform, seed) arm. A zero horizon is the fault-free
+// calibration run; a positive horizon is a torture run with a fault schedule
+// spanning it.
+func (s *Safety) runOne(p taxonomy.Platform, seed uint64, horizon time.Duration) (SafetyRow, error) {
+	var row SafetyRow
+	var err error
+	switch p {
+	case taxonomy.Spanner:
+		row, err = s.runSpanner(seed, horizon)
+	case taxonomy.BigTable:
+		row, err = s.runBigTable(seed, horizon)
+	case taxonomy.BigQuery:
+		row, err = s.runBigQuery(seed, horizon)
+	default:
+		return SafetyRow{}, fmt.Errorf("experiments: unknown platform %q", p)
+	}
+	if err != nil {
+		return SafetyRow{}, err
+	}
+	s.Rows = append(s.Rows, row)
+	return row, nil
+}
+
+// scheduleFor converts the fractional fault rates into an absolute schedule
+// over the calibrated horizon (faults stop arriving at 80% so recoveries
+// land while the workload drains).
+func (s *Safety) scheduleFor(horizon time.Duration, seed uint64, stragglerProb float64) faults.ScheduleConfig {
+	return faults.ScheduleConfig{
+		Horizon:         time.Duration(float64(horizon) * 0.8),
+		MTBF:            time.Duration(float64(horizon) * s.Cfg.MTBFFrac),
+		MTTR:            time.Duration(float64(horizon) * s.Cfg.MTTRFrac),
+		StragglerProb:   stragglerProb,
+		StragglerFactor: s.Cfg.StragglerFactor,
+		NetDegradeProb:  s.Cfg.NetDegradeProb,
+		NetExtraDelay:   s.Cfg.NetExtraDelay,
+		NetDropProb:     s.Cfg.NetDropProb,
+		Seed:            seed,
+	}
+}
+
+// drive launches the closed-loop torture clients and runs the simulation to
+// completion. op performs one operation; it gets the client's private RNG
+// and (client, op) indices so it can build globally unique write values.
+func (s *Safety) drive(env *platform.Env, name string, seed uint64, totalOps int,
+	op func(p *sim.Proc, rng *stats.RNG, client, i int) error) (ops, errs int, elapsed time.Duration) {
+	clients := s.Cfg.Clients
+	per := totalOps / clients
+	if per < 1 {
+		per = 1
+	}
+	root := stats.NewRNG(seed ^ 0x53414645) // "SAFE"
+	bar := sim.NewBarrier(env.K, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		rng := root.Fork()
+		env.K.Go(fmt.Sprintf("%s-torture-c%d", name, c), func(p *sim.Proc) {
+			defer bar.Done()
+			for i := 0; i < per; i++ {
+				ops++
+				if err := op(p, rng, c, i); err != nil {
+					errs++
+				}
+			}
+		})
+	}
+	env.K.Go(name+"-measure", func(p *sim.Proc) {
+		p.WaitBarrier(bar)
+		elapsed = p.Now()
+	})
+	env.K.Run()
+	return ops, errs, elapsed
+}
+
+// collect drains every checker after a run — linearizability over the
+// recorded history, structural violations, and the standing invariants —
+// into the study, tagging findings with platform and seed.
+func (s *Safety) collect(p taxonomy.Platform, seed uint64, h *check.History, reg *check.Registry, at time.Duration) int {
+	var vs []check.Violation
+	vs = append(vs, h.CheckLinearizability()...)
+	vs = append(vs, h.Structural()...)
+	vs = append(vs, reg.Check(at)...)
+	for _, v := range vs {
+		v.Platform = string(p)
+		s.Violations = append(s.Violations, SafetyViolation{Seed: seed, Violation: v})
+		s.Marks[p] = append(s.Marks[p], trace.Mark{
+			At:   v.At,
+			Name: fmt.Sprintf("VIOLATION %s %s (seed %d)", v.Kind, v.Key, seed),
+		})
+	}
+	return len(vs)
+}
+
+func (s *Safety) registerNet(eng *faults.Engine, env *platform.Env, seed uint64) {
+	eng.RegisterNetwork(func(extra time.Duration, drop float64) {
+		env.Net.Degrade(extra, drop, seed^0x4e455444) // "NETD"
+	}, env.Net.Restore)
+}
+
+func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (SafetyRow, error) {
+	env := platform.NewEnv(seed, 1)
+	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	scfg := spanner.DefaultConfig()
+	scfg.RPC = resilienceRPCPolicy()
+	db, err := spanner.New(env, scfg)
+	if err != nil {
+		return SafetyRow{}, err
+	}
+	h := check.NewHistory(env.K)
+	db.SetRecorder(h)
+	reg := &check.Registry{}
+	db.RegisterInvariants(reg)
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// Two replicas per group are injectable. Overlapping windows can take
+		// a group below quorum — operations then fail with ErrNoQuorum, which
+		// is availability loss the checker tolerates; electing or serving
+		// from a minority would be the safety loss it does not.
+		for g := 0; g < scfg.Groups; g++ {
+			for _, region := range []int{g % scfg.Regions, (g + 1) % scfg.Regions} {
+				g, region := g, region
+				eng.Register(fmt.Sprintf("spanner/g%d/r%d", g, region), faults.Actions{
+					Crash:       func() { _ = db.CrashReplica(g, region) },
+					Recover:     func() { _ = db.RestartReplica(g, region) },
+					SetSlowdown: func(f float64) { _ = db.SetReplicaSlowdown(g, region, f) },
+				})
+			}
+		}
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed, s.Cfg.StragglerProb)))
+	}
+	ops, errs, elapsed := s.drive(env, "spanner", seed, s.Cfg.SpannerOps,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
+			g, r := rng.Intn(scfg.Groups), rng.Intn(s.Cfg.HotRows)
+			if rng.Bool(0.5) {
+				_, err := db.Read(p, nil, g, r, rng.Bool(0.15))
+				return err
+			}
+			return db.Commit(p, nil, g, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
+		})
+	row := SafetyRow{Platform: taxonomy.Spanner, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}
+	if eng != nil {
+		row.FaultsApplied = len(eng.Applied)
+	}
+	row.Violations = s.collect(taxonomy.Spanner, seed, h, reg, env.K.Now())
+	return row, nil
+}
+
+func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (SafetyRow, error) {
+	env := platform.NewEnv(seed+1000, 1)
+	bcfg := bigtable.DefaultConfig()
+	db, err := bigtable.New(env, bcfg)
+	if err != nil {
+		return SafetyRow{}, err
+	}
+	h := check.NewHistory(env.K)
+	db.SetRecorder(h)
+	reg := &check.Registry{}
+	db.RegisterInvariants(reg)
+	reg.Register("bigtable-dfs", db.DFS().CheckReplicaConsistency)
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// Every other tablet server plus one chunkserver, as in the
+		// resilience study: crashes force tablet reassignment and commit-log
+		// replay, the exact recovery paths the checkers guard.
+		for i := 0; i < bcfg.TabletServers; i += 2 {
+			i := i
+			eng.Register(fmt.Sprintf("bigtable/ts%d", i), faults.Actions{
+				Crash:   func() { _ = db.FailTabletServer(i) },
+				Recover: func() { _ = db.RecoverTabletServer(i) },
+			})
+		}
+		eng.Register("bigtable/cs0", faults.Actions{
+			Crash:   func() { _ = db.DFS().FailServer(0) },
+			Recover: func() { _ = db.DFS().RecoverServer(0) },
+		})
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed+1000, 0)))
+	}
+	ops, errs, elapsed := s.drive(env, "bigtable", seed, s.Cfg.BigTableOps,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
+			t, r := rng.Intn(bcfg.Tablets), rng.Intn(s.Cfg.HotRows)
+			if rng.Bool(0.5) {
+				_, err := db.Get(p, nil, t, r)
+				return err
+			}
+			return db.Put(p, nil, t, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
+		})
+	row := SafetyRow{Platform: taxonomy.BigTable, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}
+	if eng != nil {
+		row.FaultsApplied = len(eng.Applied)
+	}
+	row.Violations = s.collect(taxonomy.BigTable, seed, h, reg, env.K.Now())
+	return row, nil
+}
+
+func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (SafetyRow, error) {
+	env := platform.NewEnv(seed+2000, 1)
+	qcfg := bigquery.DefaultConfig()
+	qcfg.RPC = resilienceRPCPolicy()
+	e, err := bigquery.New(env, qcfg)
+	if err != nil {
+		return SafetyRow{}, err
+	}
+	h := check.NewHistory(env.K)
+	e.SetRecorder(h)
+	reg := &check.Registry{}
+	e.RegisterInvariants(reg)
+	reg.Register("bigquery-dfs", e.DFS().CheckReplicaConsistency)
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		for i := 0; i < qcfg.ShuffleServers; i += 2 {
+			i := i
+			eng.Register(fmt.Sprintf("bigquery/ss%d", i), faults.Actions{
+				Crash:       func() { _ = e.FailShuffleServer(i) },
+				Recover:     func() { _ = e.RecoverShuffleServer(i) },
+				SetSlowdown: func(f float64) { _ = e.SetShuffleSlowdown(i, f) },
+			})
+		}
+		eng.Register("bigquery/cs0", faults.Actions{
+			Crash:   func() { _ = e.DFS().FailServer(0) },
+			Recover: func() { _ = e.DFS().RecoverServer(0) },
+		})
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed+2000, s.Cfg.StragglerProb)))
+	}
+	kinds := []bigquery.Kind{bigquery.ScanAgg, bigquery.JoinQuery}
+	ops, errs, elapsed := s.drive(env, "bigquery", seed, s.Cfg.BigQueryOps,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
+			q := bigquery.Query{Kind: kinds[rng.Intn(len(kinds))], Threshold: int64(rng.Intn(1000))}
+			_, err := e.Run(p, nil, q)
+			return err
+		})
+	row := SafetyRow{Platform: taxonomy.BigQuery, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}
+	if eng != nil {
+		row.FaultsApplied = len(eng.Applied)
+	}
+	row.Violations = s.collect(taxonomy.BigQuery, seed, h, reg, env.K.Now())
+	return row, nil
+}
+
+// RenderSafety renders the study as a fixed-width table followed by every
+// violation in full (minimal violating histories included).
+func RenderSafety(s *Safety) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Safety torture study (base seed %d, %d seeds/platform; checks: linearizability, structural, invariants)\n",
+		s.Cfg.BaseSeed, s.Cfg.Seeds)
+	fmt.Fprintf(&b, "%-10s %6s %-9s %6s %5s %10s %7s %10s\n",
+		"platform", "seed", "arm", "ops", "errs", "elapsed", "faults", "violations")
+	for _, row := range s.Rows {
+		arm := "baseline"
+		if row.Faulted {
+			arm = "tortured"
+		}
+		fmt.Fprintf(&b, "%-10s %6d %-9s %6d %5d %10s %7d %10d\n",
+			row.Platform, row.Seed, arm, row.Ops, row.Errors,
+			row.Elapsed.Round(time.Millisecond), row.FaultsApplied, row.Violations)
+	}
+	if s.Ok() {
+		b.WriteString("PASS: no safety violations\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "FAIL: %d safety violations\n", len(s.Violations))
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "[seed %d] %s\n", v.Seed, v.Violation.String())
+	}
+	return b.String()
+}

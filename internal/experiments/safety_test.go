@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// smallSafetyConfig shrinks the torture study to a fast smoke: two seeds per
+// platform with the full fault rates.
+func smallSafetyConfig() SafetyConfig {
+	cfg := DefaultSafetyConfig()
+	cfg.Seeds = 2
+	cfg.SpannerOps = 120
+	cfg.BigTableOps = 120
+	cfg.BigQueryOps = 8
+	cfg.Clients = 4
+	return cfg
+}
+
+func TestSafetyStudyFindsNoViolations(t *testing.T) {
+	s, err := RunSafetyStudy(smallSafetyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ok() {
+		t.Fatalf("safety study found violations:\n%s", RenderSafety(s))
+	}
+	// One calibration row plus Seeds faulted rows per platform.
+	wantRows := len(taxonomy.Platforms()) * (1 + s.Cfg.Seeds)
+	if len(s.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(s.Rows), wantRows)
+	}
+	faultedWithFaults := 0
+	for _, row := range s.Rows {
+		if row.Ops == 0 {
+			t.Errorf("%s seed %d: zero ops issued", row.Platform, row.Seed)
+		}
+		if !row.Faulted && row.Errors > 0 {
+			t.Errorf("%s calibration run had %d errors", row.Platform, row.Errors)
+		}
+		if row.Faulted && row.FaultsApplied > 0 {
+			faultedWithFaults++
+		}
+	}
+	if faultedWithFaults == 0 {
+		t.Fatal("no faulted run applied any faults — the torture arm is inert")
+	}
+	out := RenderSafety(s)
+	if !strings.Contains(out, "PASS: no safety violations") {
+		t.Fatalf("render missing PASS line:\n%s", out)
+	}
+}
+
+func TestSafetyStudyIsDeterministic(t *testing.T) {
+	cfg := smallSafetyConfig()
+	cfg.Seeds = 1
+	a, err := RunSafetyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSafetyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := RenderSafety(a), RenderSafety(b); ra != rb {
+		t.Fatalf("same config, different studies:\n--- a ---\n%s\n--- b ---\n%s", ra, rb)
+	}
+}
+
+func TestSafetyStudyRejectsInvalidConfig(t *testing.T) {
+	cfg := smallSafetyConfig()
+	cfg.Clients = 0
+	if _, err := RunSafetyStudy(cfg); err == nil {
+		t.Fatal("want error for zero clients")
+	}
+}

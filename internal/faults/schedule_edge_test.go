@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/sim"
+)
+
+// window pairs one open event (Crash or Straggler start) with its close.
+type window struct {
+	kind       Kind
+	start, end time.Duration
+}
+
+// targetWindows reconstructs the per-target fault windows from a schedule,
+// failing the test on any unpaired or mis-ordered event.
+func targetWindows(t *testing.T, evs []Event) map[string][]window {
+	t.Helper()
+	open := map[string]*window{}
+	out := map[string][]window{}
+	for _, ev := range evs {
+		switch {
+		case ev.Kind == Crash || (ev.Kind == Straggler && ev.Factor > 1):
+			if open[ev.Target] != nil {
+				t.Fatalf("target %s: window opened at %v while one from %v is still open",
+					ev.Target, ev.At, open[ev.Target].start)
+			}
+			open[ev.Target] = &window{kind: ev.Kind, start: ev.At}
+		case ev.Kind == Recover || (ev.Kind == Straggler && ev.Factor <= 1):
+			w := open[ev.Target]
+			if w == nil {
+				t.Fatalf("target %s: close event at %v with no open window", ev.Target, ev.At)
+			}
+			if ev.Kind == Recover && w.kind != Crash || ev.Kind == Straggler && w.kind != Straggler {
+				t.Fatalf("target %s: %v close at %v does not match open %v window", ev.Target, ev.Kind, ev.At, w.kind)
+			}
+			w.end = ev.At
+			out[ev.Target] = append(out[ev.Target], *w)
+			open[ev.Target] = nil
+		}
+	}
+	for name, w := range open {
+		if w != nil {
+			t.Fatalf("target %s: window opened at %v never closes", name, w.start)
+		}
+	}
+	return out
+}
+
+func edgeConfig(seed uint64) ScheduleConfig {
+	return ScheduleConfig{
+		Horizon: 2 * time.Second,
+		MTBF:    80 * time.Millisecond,
+		Seed:    seed,
+	}
+}
+
+// TestZeroDurationStragglerWindowsImpossible: even with MTTR forced to zero,
+// straggler windows must keep strictly positive duration — a zero-length
+// window would clear the slowdown in the same instant it is set, silently
+// erasing the fault.
+func TestZeroDurationStragglerWindowsImpossible(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		cfg := edgeConfig(seed)
+		cfg.MTTR = 0
+		cfg.StragglerProb = 1
+		cfg.StragglerFactor = 8
+		evs := GenerateSchedule([]string{"s0", "s1", "s2"}, cfg)
+		for _, ws := range targetWindows(t, evs) {
+			for _, w := range ws {
+				if w.end <= w.start {
+					t.Fatalf("seed %d: straggler window [%v, %v] has non-positive duration", seed, w.start, w.end)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashRecoverPairsNeverCoincide: a crash and its recovery must never
+// land on the same timestamp, even with zero MTTR — an identical-instant pair
+// would make the outcome depend on event ordering at one virtual instant.
+func TestCrashRecoverPairsNeverCoincide(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		cfg := edgeConfig(seed)
+		cfg.MTTR = 0
+		evs := GenerateSchedule([]string{"a", "b"}, cfg)
+		found := false
+		for _, ws := range targetWindows(t, evs) {
+			for _, w := range ws {
+				found = true
+				if w.kind != Crash {
+					t.Fatalf("seed %d: unexpected %v window with StragglerProb 0", seed, w.kind)
+				}
+				if w.end == w.start {
+					t.Fatalf("seed %d: crash/recover pair coincides at %v", seed, w.start)
+				}
+				if w.end-w.start < minRepair && w.end != cfg.Horizon {
+					t.Fatalf("seed %d: repair %v below the %v floor", seed, w.end-w.start, minRepair)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: no windows generated", seed)
+		}
+	}
+}
+
+// TestPerTargetWindowsNeverOverlap: a target must be fully repaired before
+// its next fault opens; overlapping windows would crash an already-crashed
+// server or stack straggler factors.
+func TestPerTargetWindowsNeverOverlap(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		cfg := edgeConfig(seed)
+		cfg.MTTR = 60 * time.Millisecond // long repairs, frequent arrivals
+		cfg.StragglerProb = 0.5
+		cfg.StragglerFactor = 8
+		evs := GenerateSchedule([]string{"x", "y", "z"}, cfg)
+		for name, ws := range targetWindows(t, evs) {
+			for i := 1; i < len(ws); i++ {
+				if ws[i].start < ws[i-1].end {
+					t.Fatalf("seed %d target %s: window %d [%v, %v] overlaps previous ending %v",
+						seed, name, i, ws[i].start, ws[i].end, ws[i-1].end)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowsClampToHorizon: every event lies inside [0, Horizon], so a run
+// always ends with the fleet healthy and no fault leaks past the
+// measurement window.
+func TestWindowsClampToHorizon(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		cfg := edgeConfig(seed)
+		cfg.MTTR = 500 * time.Millisecond // repairs frequently cross the horizon
+		evs := GenerateSchedule([]string{"a", "b"}, cfg)
+		for _, ev := range evs {
+			if ev.At < 0 || ev.At > cfg.Horizon {
+				t.Fatalf("seed %d: event at %v outside [0, %v]", seed, ev.At, cfg.Horizon)
+			}
+		}
+	}
+}
+
+// TestOverlappingBrownoutsReplaceNotStack: two NetDegrade windows overlapping
+// on one network must replace each other's parameters, not accumulate, and a
+// single restore returns the network to healthy.
+func TestOverlappingBrownoutsReplaceNotStack(t *testing.T) {
+	k := sim.New()
+	net := netsim.New(k, netsim.DefaultConfig())
+	e := NewEngine(k)
+	e.RegisterNetwork(func(extra time.Duration, drop float64) { net.Degrade(extra, drop, 99) }, net.Restore)
+	a, b := net.NewNode("a", 0, 0, 1), net.NewNode("b", 0, 1, 1)
+	base := net.TransferTime(a, b, 0)
+	var during, after time.Duration
+	e.InjectAll([]Event{
+		{At: 10 * time.Millisecond, Kind: NetDegrade, Extra: 5 * time.Millisecond, Factor: 0},
+		// The second brown-out opens before the first closes: it replaces the
+		// 5ms surcharge with 1ms rather than stacking to 6ms.
+		{At: 20 * time.Millisecond, Kind: NetDegrade, Extra: time.Millisecond, Factor: 0},
+		{At: 40 * time.Millisecond, Kind: NetRestore},
+	})
+	k.Schedule(30*time.Millisecond, func() { during = net.TransferTime(a, b, 0) + net.ExtraDelay() })
+	k.Schedule(50*time.Millisecond, func() { after = net.TransferTime(a, b, 0) + net.ExtraDelay() })
+	k.Run()
+	if want := base + time.Millisecond; during != want {
+		t.Fatalf("delay during overlapping brown-outs = %v, want replaced %v (not stacked %v)",
+			during, want, base+6*time.Millisecond)
+	}
+	if after != base {
+		t.Fatalf("delay after restore = %v, want %v", after, base)
+	}
+	if len(e.Applied) != 3 {
+		t.Fatalf("Applied = %d, want 3", len(e.Applied))
+	}
+}

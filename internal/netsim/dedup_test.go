@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// countingServer wires a handler that counts executions and sleeps for svc.
+func countingServer(n *Network, name string, svc time.Duration, execs *int) *Server {
+	s := NewServer(n.NewNode(name, 0, 0, 2), 2)
+	s.Handle("op", func(p *sim.Proc, req Request) Response {
+		*execs++
+		p.Sleep(svc)
+		return Response{Payload: name}
+	})
+	s.Start()
+	return s
+}
+
+func TestDedupSuppressesRetryReexecution(t *testing.T) {
+	// A slow handler misses the client's first-attempt deadline; the retry
+	// re-delivers the same call ID to the same server. With dedup on, the
+	// handler must run once: the retry joins the in-flight execution and
+	// returns its result.
+	k, n := testNet()
+	n.EnableDeliveryAccounting()
+	client := n.NewNode("cli", 0, 0, 1)
+	execs := 0
+	s := countingServer(n, "srv", 3*time.Millisecond, &execs)
+	s.SetDedup(true)
+
+	c := NewClient(Policy{Deadline: 2 * time.Millisecond, MaxAttempts: 3}, 1)
+	var resp Response
+	k.Go("client", func(p *sim.Proc) {
+		resp, _ = c.Call(p, client, s, Request{Method: "op"})
+		s.Stop()
+	})
+	k.Run()
+	if resp.Err != nil {
+		t.Fatalf("resp.Err = %v (the joined retry should return the original result)", resp.Err)
+	}
+	if execs != 1 {
+		t.Fatalf("handler executed %d times, want 1", execs)
+	}
+	if s.DupSuppressed == 0 {
+		t.Fatal("DupSuppressed = 0, want at least 1 suppressed duplicate")
+	}
+	if dups := n.DupExecs(); len(dups) != 0 {
+		t.Fatalf("DupExecs = %v, want none", dups)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("leaked procs: %d", k.Live())
+	}
+}
+
+func TestDedupReplaysCachedSuccess(t *testing.T) {
+	// A second delivery arriving after the first finished replays the cached
+	// response without executing the handler again.
+	k, n := testNet()
+	n.EnableDeliveryAccounting()
+	client := n.NewNode("cli", 0, 0, 1)
+	execs := 0
+	s := countingServer(n, "srv", time.Millisecond, &execs)
+	s.SetDedup(true)
+
+	var second Response
+	k.Go("client", func(p *sim.Proc) {
+		req := Request{Method: "op", CallID: 42}
+		if resp, _ := s.Call(p, client, req); resp.Err != nil {
+			t.Errorf("first call failed: %v", resp.Err)
+		}
+		second, _ = s.Call(p, client, req)
+		s.Stop()
+	})
+	k.Run()
+	if second.Err != nil || second.Payload != "srv" {
+		t.Fatalf("replayed resp = %+v", second)
+	}
+	if execs != 1 {
+		t.Fatalf("handler executed %d times, want 1", execs)
+	}
+	if got := n.Admits("srv", 42); got != 2 {
+		t.Fatalf("Admits = %d, want 2", got)
+	}
+	if got := n.Execs("srv", 42); got != 1 {
+		t.Fatalf("Execs = %d, want 1", got)
+	}
+}
+
+func TestWithoutDedupDuplicateExecutesTwice(t *testing.T) {
+	// Control: the same double delivery without dedup runs the handler twice,
+	// and delivery accounting reports the at-most-once violation.
+	k, n := testNet()
+	n.EnableDeliveryAccounting()
+	client := n.NewNode("cli", 0, 0, 1)
+	execs := 0
+	s := countingServer(n, "srv", time.Millisecond, &execs)
+
+	k.Go("client", func(p *sim.Proc) {
+		req := Request{Method: "op", CallID: 42}
+		s.Call(p, client, req)
+		s.Call(p, client, req)
+		s.Stop()
+	})
+	k.Run()
+	if execs != 2 {
+		t.Fatalf("handler executed %d times, want 2", execs)
+	}
+	dups := n.DupExecs()
+	if len(dups) != 1 {
+		t.Fatalf("DupExecs = %v, want exactly one violation", dups)
+	}
+}
+
+func TestDedupDoesNotCacheFailures(t *testing.T) {
+	// A crashed execution must not poison the cache: after the server is
+	// replaced, a retry of the same call ID executes fresh.
+	k, n := testNet()
+	node := n.NewNode("srv", 0, 0, 1)
+	client := n.NewNode("cli", 0, 0, 1)
+	execs := 0
+	mk := func() *Server {
+		s := NewServer(node, 1)
+		s.Handle("op", func(p *sim.Proc, req Request) Response {
+			execs++
+			p.Sleep(time.Millisecond)
+			return Response{Payload: "ok"}
+		})
+		s.SetDedup(true)
+		s.Start()
+		return s
+	}
+	s := mk()
+	var first, second Response
+	k.Go("client", func(p *sim.Proc) {
+		first, _ = s.Call(p, client, Request{Method: "op", CallID: 7})
+		s2 := mk()
+		second, _ = s2.Call(p, client, Request{Method: "op", CallID: 7})
+		s2.Stop()
+	})
+	k.Schedule(500*time.Microsecond, s.Crash)
+	k.Run()
+	if !errors.Is(first.Err, ErrServerDown) {
+		t.Fatalf("first = %+v, want crash error", first)
+	}
+	if second.Err != nil || second.Payload != "ok" {
+		t.Fatalf("second = %+v, want fresh success", second)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("leaked procs: %d", k.Live())
+	}
+}
+
+func TestHedgedCallExecutesOncePerServer(t *testing.T) {
+	// A hedged call sends the same call ID to two servers: each executes at
+	// most once (two admits, two execs, no per-server duplicates), and the
+	// slow primary's late completion is not double-counted anywhere.
+	k, n := testNet()
+	n.EnableDeliveryAccounting()
+	client := n.NewNode("cli", 0, 0, 1)
+	priExecs, bakExecs := 0, 0
+	pri := countingServer(n, "pri", 100*time.Millisecond, &priExecs)
+	bak := countingServer(n, "bak", time.Millisecond, &bakExecs)
+	pri.SetDedup(true)
+	bak.SetDedup(true)
+
+	c := NewClient(Policy{HedgeDelay: 5 * time.Millisecond}, 1)
+	var resp Response
+	k.Go("client", func(p *sim.Proc) {
+		resp, _ = c.CallHedged(p, client, []*Server{pri, bak}, Request{Method: "op"})
+	})
+	k.Run()
+	if resp.Err != nil || resp.Payload != "bak" {
+		t.Fatalf("resp = %+v, want backup's answer", resp)
+	}
+	if priExecs != 1 || bakExecs != 1 {
+		t.Fatalf("execs pri=%d bak=%d, want 1 and 1", priExecs, bakExecs)
+	}
+	if dups := n.DupExecs(); len(dups) != 0 {
+		t.Fatalf("DupExecs = %v, want none", dups)
+	}
+	if c.Hedges != 1 || c.HedgeWins != 1 {
+		t.Fatalf("Hedges = %d, HedgeWins = %d, want 1/1", c.Hedges, c.HedgeWins)
+	}
+	pri.Stop()
+	bak.Stop()
+	k.Run()
+	if k.Live() != 0 {
+		t.Fatalf("leaked procs: %d", k.Live())
+	}
+}
+
+func TestHedgeWinsNotCountedForFailedBackup(t *testing.T) {
+	// Regression: the backup fires first with a retryable failure, then the
+	// primary succeeds. The primary's answer is adopted, so HedgeWins must
+	// stay 0 — previously the backup's fast failure was counted as a win.
+	k, n := testNet()
+	client := n.NewNode("cli", 0, 0, 1)
+	priExecs := 0
+	pri := countingServer(n, "pri", 20*time.Millisecond, &priExecs)
+	bak := NewServer(n.NewNode("bak", 0, 0, 1), 1) // never started: fails fast
+
+	c := NewClient(Policy{HedgeDelay: 5 * time.Millisecond}, 1)
+	var resp Response
+	k.Go("client", func(p *sim.Proc) {
+		resp, _ = c.CallHedged(p, client, []*Server{pri, bak}, Request{Method: "op"})
+		pri.Stop()
+	})
+	k.Run()
+	if resp.Err != nil || resp.Payload != "pri" {
+		t.Fatalf("resp = %+v, want primary's success", resp)
+	}
+	if c.Hedges != 1 {
+		t.Fatalf("Hedges = %d, want 1", c.Hedges)
+	}
+	if c.HedgeWins != 0 {
+		t.Fatalf("HedgeWins = %d, want 0: the failed backup did not win", c.HedgeWins)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("leaked procs: %d", k.Live())
+	}
+}
+
+func TestCallIDsDistinctAcrossClientsAndCalls(t *testing.T) {
+	k, n := testNet()
+	client := n.NewNode("cli", 0, 0, 1)
+	execs := 0
+	s := countingServer(n, "srv", time.Millisecond, &execs)
+
+	seen := map[uint64]bool{}
+	s.Handle("op", func(p *sim.Proc, req Request) Response {
+		if req.CallID == 0 {
+			t.Error("policy call delivered with zero CallID")
+		}
+		if seen[req.CallID] {
+			t.Errorf("call ID %#x reused across logical calls", req.CallID)
+		}
+		seen[req.CallID] = true
+		return Response{}
+	})
+	c1 := NewClient(Policy{MaxAttempts: 2}, 1)
+	c2 := NewClient(Policy{MaxAttempts: 2}, 2)
+	k.Go("clients", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			c1.Call(p, client, s, Request{Method: "op"})
+			c2.Call(p, client, s, Request{Method: "op"})
+		}
+		s.Stop()
+	})
+	k.Run()
+	if len(seen) != 6 {
+		t.Fatalf("distinct call IDs = %d, want 6", len(seen))
+	}
+}

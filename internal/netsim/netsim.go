@@ -9,6 +9,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"hyperprof/internal/sim"
@@ -50,6 +51,61 @@ type Network struct {
 	dropRNG    *stats.RNG
 	// Dropped counts requests lost to injected network degradation.
 	Dropped int
+
+	// Delivery accounting (safety checking): when enabled, the network counts
+	// per-(server, call-ID) request arrivals and handler executions, so a
+	// checker can prove at-most-once execution under retries and hedging.
+	accounting bool
+	admits     map[deliveryKey]int
+	execs      map[deliveryKey]int
+
+	// nextClientID hands out per-network client IDs for call-ID assignment;
+	// keeping the counter on the network (not a package global) preserves
+	// determinism across independent simulations.
+	nextClientID uint32
+}
+
+// deliveryKey identifies one logical call's deliveries to one server.
+type deliveryKey struct {
+	server string
+	id     uint64
+}
+
+// EnableDeliveryAccounting turns on per-(server, call-ID) delivery counting.
+// Only requests carrying a nonzero CallID are tracked.
+func (n *Network) EnableDeliveryAccounting() {
+	n.accounting = true
+	if n.admits == nil {
+		n.admits = map[deliveryKey]int{}
+		n.execs = map[deliveryKey]int{}
+	}
+}
+
+// Admits returns how many times a call ID arrived at (was admitted by) the
+// named server.
+func (n *Network) Admits(server string, id uint64) int {
+	return n.admits[deliveryKey{server, id}]
+}
+
+// Execs returns how many times a call ID was actually executed (not
+// dedup-suppressed) at the named server.
+func (n *Network) Execs(server string, id uint64) int {
+	return n.execs[deliveryKey{server, id}]
+}
+
+// DupExecs returns a sorted description of every (server, call-ID) pair whose
+// handler executed more than once — the at-most-once violations. Retried and
+// hedged requests legitimately admit twice; with server-side dedup enabled
+// they must still execute at most once per server.
+func (n *Network) DupExecs() []string {
+	var out []string
+	for k, c := range n.execs {
+		if c > 1 {
+			out = append(out, fmt.Sprintf("%s call %#x executed %d times", k.server, k.id, c))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // New creates a network on the given kernel.
@@ -93,6 +149,14 @@ func (n *Network) Restore() {
 
 // Degraded reports whether degradation is currently injected.
 func (n *Network) Degraded() bool { return n.extraDelay > 0 || n.dropProb > 0 }
+
+// ExtraDelay returns the currently injected per-message delay. Successive
+// Degrade calls replace (never stack) this value, which fault-schedule tests
+// assert directly.
+func (n *Network) ExtraDelay() time.Duration { return n.extraDelay }
+
+// DropProb returns the currently injected request-drop probability.
+func (n *Network) DropProb() float64 { return n.dropProb }
 
 // messageDelay is TransferTime plus any injected per-message delay; local
 // messages are exempt (they never cross the degraded fabric).
@@ -164,10 +228,14 @@ func (n *Network) TransferTime(a, b *Node, size int64) time.Duration {
 	return n.RTT(a, b)/2 + xfer
 }
 
-// Request is an RPC request.
+// Request is an RPC request. CallID, when nonzero, identifies the logical
+// call across retries and hedged duplicates: policy clients stamp one ID per
+// logical call so servers can deduplicate re-deliveries and the network can
+// account at-most-once execution. Zero means untracked (plain Server.Call).
 type Request struct {
 	Method  string
 	Bytes   int64
+	CallID  uint64
 	Payload interface{}
 }
 
@@ -235,6 +303,16 @@ type Server struct {
 	inService []*inFlight
 	// Shed counts requests rejected by the queue bound.
 	Shed int
+
+	// Duplicate suppression (at-most-once execution): with dedup enabled, a
+	// second delivery of the same nonzero CallID joins the in-flight execution
+	// (singleflight) or replays the cached successful response instead of
+	// running the handler again. Production RPC stacks need this so hedged
+	// and retried mutations are not applied twice.
+	dedup         bool
+	pendingByID   map[uint64]*inFlight
+	doneByID      map[uint64]Response
+	DupSuppressed int
 }
 
 type inFlight struct {
@@ -258,6 +336,18 @@ func NewServer(node *Node, workers int) *Server {
 
 // Handle registers a handler for a method name.
 func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+// SetDedup enables duplicate suppression for requests carrying a CallID: a
+// re-delivered ID joins the in-flight execution or replays the cached
+// successful response. Failed executions are not cached, so a retry after a
+// definite failure executes fresh.
+func (s *Server) SetDedup(on bool) {
+	s.dedup = on
+	if on && s.pendingByID == nil {
+		s.pendingByID = map[uint64]*inFlight{}
+		s.doneByID = map[uint64]Response{}
+	}
+}
 
 // SetQueueLimit bounds the server's request queue: a request arriving while
 // max requests are already waiting is shed with ErrOverloaded. max <= 0
@@ -398,11 +488,47 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 		return Response{Err: fmt.Errorf("%w: %s", ErrNotStarted, s.Node.Name)}, p.Now() - start
 	case s.stopped:
 		return Response{Err: fmt.Errorf("%w: %s", ErrServerDown, s.Node.Name)}, p.Now() - start
-	case s.maxQueue > 0 && s.queue.Len() >= s.maxQueue:
+	}
+	tracked := req.CallID != 0
+	if net.accounting && tracked {
+		net.admits[deliveryKey{s.Node.Name, req.CallID}]++
+	}
+	if s.dedup && tracked {
+		// Duplicate delivery of a finished call: replay the cached success.
+		if resp, ok := s.doneByID[req.CallID]; ok {
+			s.DupSuppressed++
+			p.Sleep(net.messageDelay(s.Node, from, resp.Bytes))
+			return resp, p.Now() - start
+		}
+		// Duplicate of an in-flight call: join it (singleflight) instead of
+		// executing the handler a second time.
+		if prev, ok := s.pendingByID[req.CallID]; ok {
+			s.DupSuppressed++
+			p.Wait(prev.done)
+			p.Sleep(net.messageDelay(s.Node, from, prev.resp.Bytes))
+			return prev.resp, p.Now() - start
+		}
+	}
+	if s.maxQueue > 0 && s.queue.Len() >= s.maxQueue {
 		s.Shed++
 		return Response{Err: fmt.Errorf("%w: %s (queue depth %d)", ErrOverloaded, s.Node.Name, s.queue.Len())}, p.Now() - start
 	}
+	if net.accounting && tracked {
+		net.execs[deliveryKey{s.Node.Name, req.CallID}]++
+	}
 	c := &inFlight{req: req, done: sim.NewSignal(net.k)}
+	if s.dedup && tracked {
+		id := req.CallID
+		s.pendingByID[id] = c
+		// The done hook runs on completion and on crash alike: the pending
+		// entry always clears, and only definite successes are cached.
+		c.done.OnFire(func() {
+			delete(s.pendingByID, id)
+			if c.resp.Err == nil {
+				s.doneByID[id] = c.resp
+			}
+		})
+	}
 	s.queue.Put(c)
 	p.Wait(c.done)
 	p.Sleep(net.messageDelay(s.Node, from, c.resp.Bytes))

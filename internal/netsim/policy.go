@@ -70,6 +70,12 @@ type Client struct {
 	rng    *stats.RNG
 	lats   stats.Summary
 
+	// Call-ID assignment: id is handed out lazily by the network of the first
+	// call's target, seq increments per logical call. Retries and hedges of
+	// one logical call share its ID so servers can deduplicate them.
+	id      uint64
+	nextSeq uint64
+
 	// Counters for reports and tests.
 	Calls, Attempts, Retries int
 	Hedges, HedgeWins        int
@@ -84,6 +90,18 @@ func NewClient(policy Policy, seed uint64) *Client {
 
 // Policy returns the client's policy.
 func (c *Client) Policy() Policy { return c.policy }
+
+// callID mints the next logical call ID: client ID in the high bits, per-call
+// sequence in the low. The client ID comes from the target's network so equal
+// seeds on independent simulations stay bit-identical.
+func (c *Client) callID(n *Network) uint64 {
+	if c.id == 0 {
+		n.nextClientID++
+		c.id = uint64(n.nextClientID)
+	}
+	c.nextSeq++
+	return c.id<<32 | c.nextSeq
+}
 
 func (c *Client) retryable(err error) bool {
 	if c.policy.Retryable != nil {
@@ -162,6 +180,9 @@ func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request
 		return Response{Err: fmt.Errorf("netsim: no targets for %s", req.Method)}, 0
 	}
 	c.Calls++
+	if req.CallID == 0 {
+		req.CallID = c.callID(targets[0].Node.net)
+	}
 	start := p.Now()
 	attempts := c.policy.MaxAttempts
 	if attempts < 1 {
@@ -199,6 +220,9 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 		return c.CallAny(p, from, targets, req)
 	}
 	c.Calls++
+	if req.CallID == 0 {
+		req.CallID = c.callID(targets[0].Node.net)
+	}
 	start := p.Now()
 	k := targets[0].Node.net.k
 
@@ -221,6 +245,7 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 	p.Wait(gate)
 
 	resp := *priResp
+	fromBackup := false
 	if !priDone.Fired() {
 		// Primary is straggling: send the backup and take the first answer.
 		c.Hedges++
@@ -231,8 +256,8 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 		p.Wait(first)
 		switch {
 		case bakDone.Fired() && (!priDone.Fired() || (*priResp).Err != nil):
-			c.HedgeWins++
 			resp = *bakResp
+			fromBackup = true
 		case priDone.Fired():
 			resp = *priResp
 		}
@@ -250,12 +275,19 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 			if remaining > 0 {
 				p.Wait(both)
 				if bakDone.Fired() && (*bakResp).Err == nil {
-					c.HedgeWins++
 					resp = *bakResp
+					fromBackup = true
 				} else if priDone.Fired() && (*priResp).Err == nil {
 					resp = *priResp
+					fromBackup = false
 				}
 			}
+		}
+		// A hedge win means the backup's *successful* response is the one the
+		// caller gets. A backup that raced ahead only to fail — while the
+		// primary's success was ultimately adopted — is not a win.
+		if fromBackup && resp.Err == nil {
+			c.HedgeWins++
 		}
 	}
 	elapsed := p.Now() - start

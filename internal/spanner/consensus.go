@@ -22,12 +22,24 @@ type appendArgs struct {
 	FromIndex int
 	Entries   []logEntry
 	Term      int
+	// PrevTerm is the term of the leader's entry just before FromIndex (-1
+	// when FromIndex is 0). A follower whose entry there carries a different
+	// term has a divergent prefix — appending on top of it would graft a
+	// matching suffix over conflicting history — so it rejects and the leader
+	// backs up (Raft's AppendEntries consistency check).
+	PrevTerm int
+	// Commit is the leader's commit index at send time; the follower applies
+	// its log prefix up to it (apply-at-commit, never at append).
+	Commit int
 }
 
 // appendReply is returned via Response.Payload.
 type appendReply struct {
 	// OK reports whether the entries were appended.
 	OK bool
+	// Stale reports that the append came from a deposed leadership (its term
+	// is older than the group's current term) and was refused outright.
+	Stale bool
 	// NeedFrom is the follower's log length when a gap was detected; the
 	// leader retries from that index.
 	NeedFrom int
@@ -50,19 +62,48 @@ func (db *DB) handleAppend(grp *group, rep *replica) netsim.Handler {
 	return func(p *sim.Proc, req netsim.Request) netsim.Response {
 		args := req.Payload.(appendArgs)
 		db.env.ExecRecipe(p, taxonomy.Spanner, rep.machine.Node, nil, db.followerRecipe)
+		if args.Term < grp.term {
+			// Append from a deposed leadership: an election happened while this
+			// round was in flight. Accepting it would let the old leader count
+			// the ack toward a majority and commit an entry the new leader may
+			// not hold — the commit must fail as indeterminate instead.
+			return netsim.Response{Bytes: 64, Payload: appendReply{Stale: true}}
+		}
 		if args.FromIndex > len(rep.log) {
 			// Gap: this follower missed earlier entries (it was down).
 			return netsim.Response{Bytes: 64, Payload: appendReply{OK: false, NeedFrom: len(rep.log)}}
 		}
-		// Log matching: drop any divergent suffix, then append.
-		rep.log = rep.log[:args.FromIndex]
+		if args.FromIndex > 0 && rep.log[args.FromIndex-1].term != args.PrevTerm {
+			// Divergent prefix: this follower's entry before FromIndex is not
+			// the leader's. Back the leader up one entry so the catch-up batch
+			// covers (and truncates) the divergence.
+			return netsim.Response{Bytes: 64, Payload: appendReply{OK: false, NeedFrom: args.FromIndex - 1}}
+		}
+		// Log matching: truncate only on *conflict* (same index, different
+		// term), then append what is new. An entry already present with the
+		// incoming term is the same entry — a delayed or client-retried round
+		// must be idempotent, or it would discard committed entries that newer
+		// rounds already replicated behind it. Only the committed prefix is
+		// applied to rows — an entry applied at append time could be read
+		// through a later leader and then vanish when the divergent suffix it
+		// sat on is truncated.
 		var bytes int64
-		for _, e := range args.Entries {
+		for j, e := range args.Entries {
+			idx := args.FromIndex + j
+			if idx < len(rep.log) {
+				if rep.log[idx].term == e.term {
+					continue
+				}
+				rep.log = rep.log[:idx]
+				if rep.applied > idx {
+					rep.applied = idx // defensive: committed entries never conflict
+				}
+			}
 			rep.log = append(rep.log, e)
-			rep.rows[e.key] = e.value
 			rep.machine.Store.Write(e.key, int64(len(e.value)))
 			bytes += int64(len(e.value)) + 64
 		}
+		applyUpTo(rep, args.Commit)
 		p.Sleep(rep.machine.Store.RawAccess(storage.SSD, bytes, true))
 		return netsim.Response{Bytes: 64, Payload: appendReply{OK: true}}
 	}
@@ -72,6 +113,12 @@ func (db *DB) handleAppend(grp *group, rep *replica) netsim.Handler {
 // parallel and waits for a majority, retrying once with a catch-up batch
 // for followers that report a gap.
 func (db *DB) replicateEntry(p *sim.Proc, tr *trace.Trace, grp *group, leader *replica, index int) error {
+	// The round is stamped with the leadership term the entry was appended
+	// under, NOT the live grp.term: if an election lands mid-round, followers
+	// must recognize the remaining appends as coming from a deposed leader and
+	// refuse them, or the old round could commit an entry the new leader does
+	// not hold.
+	term := leader.log[index].term
 	return db.quorum(p, tr, grp, func(rep *replica, cp *sim.Proc) error {
 		send := func(from int) (netsim.Response, bool) {
 			entries := make([]logEntry, len(leader.log[from:index+1]))
@@ -80,31 +127,41 @@ func (db *DB) replicateEntry(p *sim.Proc, tr *trace.Trace, grp *group, leader *r
 			for _, e := range entries {
 				bytes += int64(len(e.value)) + 64
 			}
+			prevTerm := -1
+			if from > 0 {
+				prevTerm = leader.log[from-1].term
+			}
 			resp, _ := db.client.Call(cp, leader.machine.Node, rep.srv, netsim.Request{
 				Method:  "consensus.append",
 				Bytes:   bytes,
-				Payload: appendArgs{FromIndex: from, Entries: entries, Term: grp.term},
+				Payload: appendArgs{FromIndex: from, Entries: entries, Term: term, PrevTerm: prevTerm, Commit: grp.committed},
 			})
 			if resp.Err != nil {
 				return resp, false
 			}
 			return resp, resp.Payload.(appendReply).OK
 		}
-		resp, ok := send(index)
-		if resp.Err != nil {
-			return resp.Err
-		}
-		if !ok {
-			// Catch the follower up from its reported log length.
-			resp, ok = send(resp.Payload.(appendReply).NeedFrom)
+		// Back the follower up until logs agree: each rejection reports a
+		// strictly smaller NeedFrom (a gap reports the follower's log length,
+		// a divergent prefix reports FromIndex-1), so this terminates — at
+		// index 0 there is no prefix left to disagree on.
+		for from := index; ; {
+			resp, ok := send(from)
 			if resp.Err != nil {
 				return resp.Err
 			}
-			if !ok {
-				return fmt.Errorf("spanner: follower rejected catch-up for group %d", grp.id)
+			if ok {
+				return nil
 			}
+			reply := resp.Payload.(appendReply)
+			if reply.Stale {
+				return fmt.Errorf("spanner: group %d leadership lost mid-replication (term %d superseded)", grp.id, term)
+			}
+			if reply.NeedFrom >= from {
+				return fmt.Errorf("spanner: group %d catch-up made no progress at index %d", grp.id, from)
+			}
+			from = reply.NeedFrom
 		}
-		return nil
 	})
 }
 
@@ -131,10 +188,10 @@ func (db *DB) LogLen(g, region int) (int, error) {
 }
 
 // FailLeader injects a leader failure for group g: the leader's server is
-// stopped and a new leader is elected among the live replicas — the one
-// with the longest log (ties break toward the lowest region), which
-// preserves every majority-acknowledged write. It returns the new leader's
-// region.
+// stopped and a new leader is elected among the live replicas — the most
+// up-to-date one by (last log term, log length), ties breaking toward the
+// lowest region — which preserves every majority-acknowledged write. It
+// returns the new leader's region.
 func (db *DB) FailLeader(g int) (int, error) {
 	if g < 0 || g >= len(db.groups) {
 		return 0, fmt.Errorf("spanner: group %d out of range", g)
@@ -144,24 +201,76 @@ func (db *DB) FailLeader(g int) (int, error) {
 	return db.elect(grp)
 }
 
-// elect picks the live replica with the longest log as the new leader.
+// elect picks a new leader among the live replicas. Two rules make this safe
+// (Raft's election restriction): the election needs a *majority* of the
+// group alive, and the winner is the most up-to-date live replica ordered by
+// (term of last entry, log length). Any committed entry lives on a majority
+// of replicas, and any live majority intersects it, so the most up-to-date
+// member of a live majority is guaranteed to hold every committed entry
+// (leader completeness). Log length alone is not enough: a deposed leader
+// can carry a *longer* log whose tail is an uncommitted divergent suffix
+// from an older term.
 func (db *DB) elect(grp *group) (int, error) {
-	best := -1
+	live, best := 0, -1
 	for i, rep := range grp.replicas {
 		if rep.srv.Stopped() {
 			continue
 		}
-		if best == -1 || len(rep.log) > len(grp.replicas[best].log) {
+		live++
+		if db.brokenElectAnyReplica {
+			if best == -1 {
+				best = i
+			}
+			continue
+		}
+		if best == -1 || moreUpToDate(rep, grp.replicas[best]) {
 			best = i
 		}
 	}
 	if best == -1 {
 		return 0, fmt.Errorf("%w: group %d has no live replicas", ErrNoQuorum, grp.id)
 	}
+	if !db.brokenElectAnyReplica && live < len(grp.replicas)/2+1 {
+		return 0, fmt.Errorf("%w: group %d has %d/%d replicas live, election needs a majority",
+			ErrNoQuorum, grp.id, live, len(grp.replicas))
+	}
 	grp.leader = best
 	grp.term++
 	db.Elections++
+	if !db.brokenElectAnyReplica {
+		// The winner may hold committed entries it has not applied yet (it
+		// acked them before their commit was known). Catch its row state up to
+		// the commit index before it serves reads; leader completeness
+		// guarantees the prefix is present.
+		applyUpTo(grp.replicas[best], grp.committed)
+	}
+	// Standing assertion (leader completeness): the winner's log must cover
+	// every committed entry. Under the honest rules above this cannot fire;
+	// it catches regressions and the brokenElectAnyReplica fixture.
+	if win := grp.leaderRep(); len(win.log) < grp.committed && db.rec != nil {
+		db.rec.Violate("election-safety", fmt.Sprintf("g%d", grp.id),
+			"group %d elected region %d whose log (%d entries) misses committed entries (%d)",
+			grp.id, win.region, len(win.log), grp.committed)
+	}
 	return grp.replicas[best].region, nil
+}
+
+// moreUpToDate reports whether a's log is strictly more up-to-date than b's:
+// higher last-entry term, or equal term and longer log.
+func moreUpToDate(a, b *replica) bool {
+	at, bt := lastTerm(a), lastTerm(b)
+	if at != bt {
+		return at > bt
+	}
+	return len(a.log) > len(b.log)
+}
+
+// lastTerm returns the term of a replica's last log entry (0 when empty).
+func lastTerm(r *replica) int {
+	if len(r.log) == 0 {
+		return 0
+	}
+	return r.log[len(r.log)-1].term
 }
 
 // RestartReplica brings a previously stopped replica back: a fresh server

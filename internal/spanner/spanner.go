@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/netsim"
 	"hyperprof/internal/platform"
@@ -84,6 +85,14 @@ type DB struct {
 	zipf   *stats.Zipf
 	client *netsim.Client
 
+	// rec, when non-nil, records every Read/Commit into an operation history
+	// for the safety checker (see safety.go).
+	rec *check.History
+	// brokenElectAnyReplica is a test-only fault: elections pick the first
+	// live replica with no up-to-dateness or majority requirement,
+	// reintroducing the unsafe election the checker exists to catch.
+	brokenElectAnyReplica bool
+
 	readRecipe     platform.Recipe
 	writeRecipe    platform.Recipe
 	queryRecipe    platform.Recipe
@@ -101,14 +110,22 @@ type group struct {
 	leader   int        // index of the current leader replica
 	term     int        // bumped on every election
 	commits  int
+	// committed is the length of the majority-acknowledged log prefix. It is
+	// monotone by construction (only ever raised, on the commit path) and is
+	// what the election-safety and committed-prefix invariants are checked
+	// against.
+	committed int
 }
 
 func (g *group) leaderRep() *replica { return g.replicas[g.leader] }
 
-// logEntry is one replicated write.
+// logEntry is one replicated write. The term stamps which leadership wrote
+// it, so elections can order logs by recency (Raft's up-to-date rule) and the
+// invariant checker can tell a stale divergent suffix from a committed entry.
 type logEntry struct {
 	key   string
 	value []byte
+	term  int
 }
 
 type replica struct {
@@ -116,9 +133,29 @@ type replica struct {
 	srv     *netsim.Server
 	region  int
 	// log is the replica's replicated write log; rows is its applied state
-	// (bootstrap rows are virtual: see bootstrapValue).
-	log  []logEntry
-	rows map[string][]byte
+	// (bootstrap rows are virtual: see bootstrapValue). Entries are applied
+	// to rows strictly at commit, in log order: applied counts the applied
+	// prefix and never exceeds the group's commit index. Applying at append
+	// time would let an uncommitted entry leak into reads and then vanish
+	// across a failover — a dirty read.
+	log     []logEntry
+	rows    map[string][]byte
+	applied int
+}
+
+// applyUpTo applies the replica's log prefix [applied, n) to its row state,
+// in log order. n is clamped to the log length; applied never regresses.
+func applyUpTo(rep *replica, n int) {
+	if n > len(rep.log) {
+		n = len(rep.log)
+	}
+	for i := rep.applied; i < n; i++ {
+		e := rep.log[i]
+		rep.rows[e.key] = e.value
+	}
+	if n > rep.applied {
+		rep.applied = n
+	}
 }
 
 // New builds and starts a deployment on the environment. The environment's
@@ -312,10 +349,8 @@ func (db *DB) handleLease(rep *replica) netsim.Handler {
 	}
 }
 
-// Read performs a point read of row `row` in group g, returning the value.
-// A StrongReadFrac fraction of reads (decided by the strong argument)
-// confirms the leader's lease with a quorum round first.
-func (db *DB) Read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byte, error) {
+// read is the un-recorded implementation of Read.
+func (db *DB) read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byte, error) {
 	if g < 0 || g >= len(db.groups) {
 		return nil, fmt.Errorf("spanner: group %d out of range", g)
 	}
@@ -346,29 +381,36 @@ func (db *DB) Read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byt
 	return val, nil
 }
 
-// Commit writes value to row `row` of group g through the replication
-// protocol: the leader appends to its replicated log, ships the entry to
-// every follower in parallel, waits for a majority of acknowledgments, and
-// then applies the write.
-func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) error {
+// commit is the un-recorded implementation of Commit. The appended result
+// reports whether the entry reached the leader's log before the error: a
+// pre-append failure definitely had no effect, while a post-append failure is
+// indeterminate — a later catch-up can still replicate and commit the entry.
+func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (appended bool, err error) {
 	if g < 0 || g >= len(db.groups) {
-		return fmt.Errorf("spanner: group %d out of range", g)
+		return false, fmt.Errorf("spanner: group %d out of range", g)
 	}
 	if row < 0 || row >= db.cfg.RowsPerGroup {
-		return fmt.Errorf("spanner: row %d out of range", row)
+		return false, fmt.Errorf("spanner: row %d out of range", row)
 	}
 	grp := db.groups[g]
 	leader, err := db.ensureLeader(grp)
 	if err != nil {
-		return err
+		return false, err
 	}
+	// Capture the leadership term alongside the leader: an election can land
+	// during any park point below (the recipe, the log IO), and the entry must
+	// be stamped with the term it was *minted* under. Reading grp.term at
+	// append time instead would let a deposed leader stamp the new term, pass
+	// the followers' stale-term check, and mint an entry conflicting with the
+	// new leader's at the same (index, term) — losing an acknowledged write.
+	term := grp.term
 	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.writeRecipe)
 
 	// Leader durable log append.
 	key := rowKey(g, row)
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	entry := logEntry{key: key, value: cp}
+	entry := logEntry{key: key, value: cp, term: term}
 	leader.log = append(leader.log, entry)
 	prevIndex := len(leader.log) - 1
 	ioStart := p.Now()
@@ -377,25 +419,43 @@ func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) err
 
 	// Parallel replication; majority = leader + 1 follower ack.
 	if err := db.replicateEntry(p, tr, grp, leader, prevIndex); err != nil {
-		return err
+		return true, err
+	}
+	if prevIndex+1 > grp.committed {
+		grp.committed = prevIndex + 1
 	}
 
-	// Apply on the leader (followers applied in their append handlers).
+	// Apply the committed prefix on the leader, in log order. Applying
+	// grp.committed rather than just this entry also covers entries that
+	// became committed through a *later* entry's replication (a failed
+	// majority round leaves its entry in the log; the next successful round
+	// commits the whole prefix) and keeps concurrent same-key commits applied
+	// in log order, not completion order.
 	applyStart := p.Now()
 	d, err := leader.machine.Store.Write(key, int64(len(value)))
 	if err != nil {
-		return err
+		return true, err
 	}
 	p.Sleep(d)
 	platform.AnnotateIO(tr, applyStart, p.Now())
-	leader.rows[key] = cp
+	applyUpTo(leader, grp.committed)
+	if cur := grp.leaderRep(); cur != leader {
+		// An election landed while this round was in flight (every ack
+		// predates it, or the followers would have refused the stale term).
+		// The acking followers held this entry at election time, so the
+		// most-up-to-date winner holds it too — but its row state was only
+		// caught up to the commit index as of the election. Re-apply so the
+		// write this client is about to ack is readable through the new
+		// leader.
+		applyUpTo(cur, grp.committed)
+	}
 	db.Writes++
 
 	grp.commits++
 	if db.cfg.CompactionEvery > 0 && grp.commits%db.cfg.CompactionEvery == 0 {
 		db.startCompaction(grp)
 	}
-	return nil
+	return true, nil
 }
 
 // ErrNoQuorum is returned when too many replicas are down to reach a
