@@ -4,7 +4,7 @@ GO ?= go
 # safety torture harness (linearizability + invariant checking under chaos).
 SAFETY_SEEDS ?= 20
 
-.PHONY: check build vet fmt test race check-safety
+.PHONY: check build vet fmt test race check-safety bench
 
 check: build vet fmt race
 
@@ -28,3 +28,8 @@ race:
 
 check-safety:
 	$(GO) run ./cmd/hyperprof -check -check-seeds $(SAFETY_SEEDS)
+
+# bench runs the DES-kernel substrate microbenchmarks and writes BENCH_0.json
+# (ns/op, B/op, allocs/op per bench) for the CI artifact trail.
+bench:
+	sh scripts/bench.sh BENCH_0.json

@@ -351,8 +351,10 @@ func BenchmarkAblationChainHandoff(b *testing.B) {
 
 // --- Substrate microbenchmarks ---
 
-// BenchmarkSimKernelEvents measures raw event throughput of the DES kernel.
+// BenchmarkSimKernelEvents measures raw event throughput of the DES kernel:
+// schedule b.N closures, then drain them all.
 func BenchmarkSimKernelEvents(b *testing.B) {
+	b.ReportAllocs()
 	k := sim.New()
 	n := 0
 	b.ResetTimer()
@@ -365,8 +367,42 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 	}
 }
 
-// BenchmarkSimProcSwitch measures process park/resume round trips.
+// BenchmarkSimKernelSchedule isolates the push half of the event loop: heap
+// insertion cost without any dispatch. The queue is drained outside the timer.
+func BenchmarkSimKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Duration(i), fn)
+	}
+	b.StopTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelRun isolates the pop-and-dispatch half: the queue is
+// populated outside the timer, then drained under it.
+func BenchmarkSimKernelRun(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Duration(i), fn)
+	}
+	b.ResetTimer()
+	k.Run()
+	if n != b.N {
+		b.Fatal("lost events")
+	}
+}
+
+// BenchmarkSimProcSwitch measures process park/resume round trips. The
+// allocs/op report is the pin for the kernel fast path: a steady-state
+// sleep/wake cycle must not allocate.
 func BenchmarkSimProcSwitch(b *testing.B) {
+	b.ReportAllocs()
 	k := sim.New()
 	k.Go("bench", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {

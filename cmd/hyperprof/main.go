@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hyperprof [-seed N] [-spanner N] [-bigtable N] [-bigquery N] [-clients N] [-rate N]
+//	hyperprof [-seed N] [-spanner N] [-bigtable N] [-bigquery N] [-clients N] [-rate N] [-parallel N]
 package main
 
 import (
@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,14 +38,44 @@ func main() {
 	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
 	checkSeeds := flag.Int("check-seeds", 0, "with -check: faulted runs per platform (0 = default)")
+	parallel := flag.Int("parallel", 0, "concurrent simulation kernels (0 = one per CPU, 1 = sequential); outputs are identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	if *checkRun {
-		runSafety(*seed, *checkSeeds, *chromeOut)
+		runSafety(*seed, *checkSeeds, *parallel, *chromeOut)
 		return
 	}
 	if *faultsRun {
-		runResilience(*seed, *clients, *chromeOut)
+		runResilience(*seed, *clients, *parallel, *chromeOut)
 		return
 	}
 
@@ -53,6 +85,7 @@ func main() {
 	cfg.BigQueryQueries = *bigqueryQ
 	cfg.Clients = *clients
 	cfg.TraceRate = *rate
+	cfg.Parallel = *parallel
 
 	ch, err := hyperprof.Characterize(cfg)
 	if err != nil {
@@ -132,12 +165,13 @@ func main() {
 // invariants. Any violation prints its reproducing seed and minimal
 // violating history and the process exits nonzero. With -chrome-trace,
 // violations are exported as instant marks on the timeline.
-func runSafety(seed uint64, seeds int, chromeOut string) {
+func runSafety(seed uint64, seeds, parallel int, chromeOut string) {
 	cfg := hyperprof.DefaultSafetyConfig()
 	cfg.BaseSeed = seed
 	if seeds > 0 {
 		cfg.Seeds = seeds
 	}
+	cfg.Parallel = parallel
 	s, err := hyperprof.SafetyStudy(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -168,10 +202,11 @@ func runSafety(seed uint64, seeds int, chromeOut string) {
 // runResilience executes the fault-injection study and prints the
 // availability/goodput/latency comparison. With -chrome-trace, the faulted
 // arms' traces are exported with the applied fault events as instant marks.
-func runResilience(seed uint64, clients int, chromeOut string) {
+func runResilience(seed uint64, clients, parallel int, chromeOut string) {
 	cfg := hyperprof.DefaultResilienceConfig()
 	cfg.Seed = seed
 	cfg.Clients = clients
+	cfg.Parallel = parallel
 	res, err := hyperprof.ResilienceStudy(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -34,6 +34,10 @@ type CharConfig struct {
 	// TraceRate keeps 1/TraceRate of traces (the paper samples 1/1000 of a
 	// day's queries; our runs are smaller, so the default keeps all).
 	TraceRate int
+	// Parallel bounds how many platform simulations run concurrently:
+	// 0 = one worker per CPU, 1 = sequential. Results are identical either
+	// way; each platform owns its kernel and is merged in platform order.
+	Parallel int
 }
 
 // DefaultCharConfig returns a configuration that runs in a few seconds and
@@ -62,11 +66,33 @@ type Characterization struct {
 	Elapsed map[taxonomy.Platform]time.Duration
 }
 
+// platformRun is one platform's completed simulated day, self-contained so
+// the three platforms can run on concurrent goroutines and be merged into
+// the Characterization afterwards in fixed platform order.
+type platformRun struct {
+	env        *platform.Env
+	traces     []*trace.Trace
+	elapsed    time.Duration
+	queryBytes float64
+	stores     []*storage.TieredStore
+}
+
 // RunCharacterization builds all three platforms, drives their calibrated
-// workloads, and collects traces, profiles and inventory.
+// workloads, and collects traces, profiles and inventory. The platforms are
+// independent simulations; they run concurrently (bounded by cfg.Parallel)
+// and merge deterministically, so the result is byte-for-byte identical to a
+// sequential run with the same seed.
 func RunCharacterization(cfg CharConfig) (*Characterization, error) {
 	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
 		return nil, fmt.Errorf("experiments: invalid characterization config %+v", cfg)
+	}
+	runs, err := runJobs(cfg.Parallel, []func() (platformRun, error){
+		func() (platformRun, error) { return runSpannerChar(cfg) },
+		func() (platformRun, error) { return runBigTableChar(cfg) },
+		func() (platformRun, error) { return runBigQueryChar(cfg) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	ch := &Characterization{
 		Cfg:        cfg,
@@ -76,98 +102,93 @@ func RunCharacterization(cfg CharConfig) (*Characterization, error) {
 		QueryBytes: map[taxonomy.Platform]float64{},
 		Elapsed:    map[taxonomy.Platform]time.Duration{},
 	}
-	if err := ch.runSpanner(); err != nil {
-		return nil, err
-	}
-	if err := ch.runBigTable(); err != nil {
-		return nil, err
-	}
-	if err := ch.runBigQuery(); err != nil {
-		return nil, err
+	for i, p := range taxonomy.Platforms() {
+		run := runs[i]
+		ch.Envs[p] = run.env
+		ch.Traces[p] = run.traces
+		ch.Elapsed[p] = run.elapsed
+		ch.QueryBytes[p] = run.queryBytes
+		for _, s := range run.stores {
+			ch.Inventory.AddStore(p, s)
+		}
 	}
 	return ch, nil
 }
 
-func (ch *Characterization) runSpanner() error {
-	env := platform.NewEnv(ch.Cfg.Seed, ch.Cfg.TraceRate)
+func runSpannerChar(cfg CharConfig) (platformRun, error) {
+	env := platform.NewEnv(cfg.Seed, cfg.TraceRate)
 	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
 	db, err := spanner.New(env, spanner.DefaultConfig())
 	if err != nil {
-		return err
+		return platformRun{}, err
 	}
-	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), ch.Cfg.Clients, ch.Cfg.SpannerQueries)
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), cfg.Clients, cfg.SpannerQueries)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
-		return fmt.Errorf("spanner workload: %w", err)
+		return platformRun{}, fmt.Errorf("spanner workload: %w", err)
 	}
-	ch.Envs[taxonomy.Spanner] = env
-	ch.Traces[taxonomy.Spanner] = env.Tracer.Sampled()
-	ch.Elapsed[taxonomy.Spanner] = end
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
 	var bytesRead int64
 	for _, m := range db.Machines() {
-		ch.Inventory.AddStore(taxonomy.Spanner, m.Store)
+		out.stores = append(out.stores, m.Store)
 		for _, t := range storage.Tiers() {
 			bytesRead += m.Store.Stats(t).BytesRead
 		}
 	}
-	ch.QueryBytes[taxonomy.Spanner] = float64(bytesRead) / float64(ch.Cfg.SpannerQueries)
-	return nil
+	out.queryBytes = float64(bytesRead) / float64(cfg.SpannerQueries)
+	return out, nil
 }
 
-func (ch *Characterization) runBigTable() error {
-	env := platform.NewEnv(ch.Cfg.Seed+1, ch.Cfg.TraceRate)
+func runBigTableChar(cfg CharConfig) (platformRun, error) {
+	env := platform.NewEnv(cfg.Seed+1, cfg.TraceRate)
 	db, err := bigtable.New(env, bigtable.DefaultConfig())
 	if err != nil {
-		return err
+		return platformRun{}, err
 	}
-	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), ch.Cfg.Clients, ch.Cfg.BigTableQueries)
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), cfg.Clients, cfg.BigTableQueries)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
-		return fmt.Errorf("bigtable workload: %w", err)
+		return platformRun{}, fmt.Errorf("bigtable workload: %w", err)
 	}
-	ch.Envs[taxonomy.BigTable] = env
-	ch.Traces[taxonomy.BigTable] = env.Tracer.Sampled()
-	ch.Elapsed[taxonomy.BigTable] = end
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
 	var bytesRead int64
 	for _, m := range db.Machines() {
-		ch.Inventory.AddStore(taxonomy.BigTable, m.Store)
+		out.stores = append(out.stores, m.Store)
 	}
 	for _, s := range db.DFS().Servers() {
-		ch.Inventory.AddStore(taxonomy.BigTable, s)
+		out.stores = append(out.stores, s)
 		for _, t := range storage.Tiers() {
 			bytesRead += s.Stats(t).BytesRead
 		}
 	}
-	ch.QueryBytes[taxonomy.BigTable] = float64(bytesRead) / float64(ch.Cfg.BigTableQueries)
-	return nil
+	out.queryBytes = float64(bytesRead) / float64(cfg.BigTableQueries)
+	return out, nil
 }
 
-func (ch *Characterization) runBigQuery() error {
-	env := platform.NewEnv(ch.Cfg.Seed+2, ch.Cfg.TraceRate)
+func runBigQueryChar(cfg CharConfig) (platformRun, error) {
+	env := platform.NewEnv(cfg.Seed+2, cfg.TraceRate)
 	e, err := bigquery.New(env, bigquery.DefaultConfig())
 	if err != nil {
-		return err
+		return platformRun{}, err
 	}
-	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), ch.Cfg.Clients, ch.Cfg.BigQueryQueries)
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), cfg.Clients, cfg.BigQueryQueries)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
-		return fmt.Errorf("bigquery workload: %w", err)
+		return platformRun{}, fmt.Errorf("bigquery workload: %w", err)
 	}
-	ch.Envs[taxonomy.BigQuery] = env
-	ch.Traces[taxonomy.BigQuery] = env.Tracer.Sampled()
-	ch.Elapsed[taxonomy.BigQuery] = end
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
 	var bytesRead int64
 	for _, m := range e.Machines() {
-		ch.Inventory.AddStore(taxonomy.BigQuery, m.Store)
+		out.stores = append(out.stores, m.Store)
 	}
 	for _, s := range e.DFS().Servers() {
-		ch.Inventory.AddStore(taxonomy.BigQuery, s)
+		out.stores = append(out.stores, s)
 		for _, t := range storage.Tiers() {
 			bytesRead += s.Stats(t).BytesRead
 		}
 	}
-	ch.QueryBytes[taxonomy.BigQuery] = float64(bytesRead) / float64(ch.Cfg.BigQueryQueries)
-	return nil
+	out.queryBytes = float64(bytesRead) / float64(cfg.BigQueryQueries)
+	return out, nil
 }
 
 // Prof returns a platform's profiler.

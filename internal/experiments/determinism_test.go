@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// These tests pin the parallel runner's core guarantee: fanning independent
+// kernels out over worker goroutines must not change a single output byte
+// relative to the sequential path. They compare the rendered report text, the
+// machine-readable JSON and the exported Chrome-trace bytes between a
+// Parallel=1 run and a Parallel=4 run of the same seed.
+
+func determinismCharConfig() CharConfig {
+	cfg := DefaultCharConfig()
+	cfg.SpannerQueries = 300
+	cfg.BigTableQueries = 300
+	cfg.BigQueryQueries = 60
+	if testing.Short() {
+		cfg.SpannerQueries = 120
+		cfg.BigTableQueries = 120
+		cfg.BigQueryQueries = 24
+	}
+	return cfg
+}
+
+// charBytes renders every characterization artifact a byte-comparison can
+// cover: the full JSON report, the fixed-width tables, and the Chrome trace.
+func charBytes(t *testing.T, ch *Characterization) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	data, err := BuildReport(ch).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(data)
+	buf.WriteString(RenderTable1(Table1(ch)))
+	buf.WriteString(RenderFigure2(Figure2(ch)))
+	buf.WriteString(RenderFigure3(Figure3(ch)))
+	buf.WriteString(RenderTables67(ch))
+	var all []*trace.Trace
+	for _, p := range taxonomy.Platforms() {
+		all = append(all, ch.Traces[p]...)
+	}
+	chrome, err := trace.ExportChrome(all, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(chrome)
+	return buf.Bytes()
+}
+
+func TestCharacterizationParallelMatchesSequentialByteForByte(t *testing.T) {
+	seq := determinismCharConfig()
+	seq.Parallel = 1
+	par := determinismCharConfig()
+	par.Parallel = 4
+
+	chSeq, err := RunCharacterization(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chPar, err := RunCharacterization(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := charBytes(t, chSeq), charBytes(t, chPar)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel characterization diverged from sequential: %d vs %d bytes (first diff at %d)",
+			len(a), len(b), firstDiff(a, b))
+	}
+}
+
+func TestSafetyStudyParallelMatchesSequentialByteForByte(t *testing.T) {
+	mk := func(parallel int) SafetyConfig {
+		cfg := DefaultSafetyConfig()
+		cfg.Seeds = 2
+		cfg.SpannerOps = 120
+		cfg.BigTableOps = 120
+		cfg.BigQueryOps = 12
+		if testing.Short() {
+			cfg.SpannerOps = 60
+			cfg.BigTableOps = 60
+			cfg.BigQueryOps = 6
+		}
+		cfg.Parallel = parallel
+		return cfg
+	}
+	sSeq, err := RunSafetyStudy(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPar, err := RunSafetyStudy(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := []byte(RenderSafety(sSeq)), []byte(RenderSafety(sPar))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel safety study diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	// The violation marks feed the Chrome-trace export; they must match too.
+	for _, p := range taxonomy.Platforms() {
+		am, bm := sSeq.Marks[p], sPar.Marks[p]
+		if len(am) != len(bm) {
+			t.Fatalf("%s: mark counts differ: %d vs %d", p, len(am), len(bm))
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				t.Fatalf("%s: mark %d differs: %+v vs %+v", p, i, am[i], bm[i])
+			}
+		}
+	}
+}
+
+func TestResilienceStudyParallelMatchesSequentialByteForByte(t *testing.T) {
+	mk := func(parallel int) ResilienceConfig {
+		cfg := DefaultResilienceConfig()
+		cfg.SpannerOps = 200
+		cfg.BigTableOps = 200
+		cfg.BigQueryOps = 24
+		if testing.Short() {
+			cfg.SpannerOps = 100
+			cfg.BigTableOps = 100
+			cfg.BigQueryOps = 12
+		}
+		cfg.Parallel = parallel
+		return cfg
+	}
+	rSeq, err := RunResilienceStudy(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPar, err := RunResilienceStudy(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := []byte(RenderResilience(rSeq)), []byte(RenderResilience(rPar))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel resilience study diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for _, p := range taxonomy.Platforms() {
+		at, bt := rSeq.Traces[p], rPar.Traces[p]
+		ac, err := trace.ExportChrome(at, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := trace.ExportChrome(bt, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ac, bc) {
+			t.Fatalf("%s: faulted-arm Chrome traces differ (first diff at %d)", p, firstDiff(ac, bc))
+		}
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -23,31 +23,36 @@ type LatencyPoint struct {
 
 // LatencyStudy runs the Spanner open-loop workload at each offered rate
 // (operations per second of virtual time), building a fresh deployment per
-// point so the curve is not contaminated by carry-over queueing.
+// point so the curve is not contaminated by carry-over queueing. The points
+// are independent simulations, so they run concurrently (one worker per CPU)
+// and the curve comes back in rate order regardless of completion order.
 func LatencyStudy(seed uint64, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
 	if opsPerPoint <= 0 {
 		return nil, fmt.Errorf("experiments: opsPerPoint must be positive")
 	}
-	var out []LatencyPoint
-	for _, rate := range rates {
-		env := platform.NewEnv(seed, 1)
-		env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
-		db, err := spanner.New(env, spanner.DefaultConfig())
-		if err != nil {
-			return nil, err
+	jobs := make([]func() (LatencyPoint, error), len(rates))
+	for i, rate := range rates {
+		rate := rate
+		jobs[i] = func() (LatencyPoint, error) {
+			env := platform.NewEnv(seed, 1)
+			env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+			db, err := spanner.New(env, spanner.DefaultConfig())
+			if err != nil {
+				return LatencyPoint{}, err
+			}
+			res := workload.SpannerOpenLoop(env, db, workload.DefaultSpannerMix(), rate, opsPerPoint)
+			env.K.Run()
+			if err := res.Err(); err != nil {
+				return LatencyPoint{}, err
+			}
+			return LatencyPoint{
+				RatePerSec: rate,
+				P50Seconds: res.Latencies.Quantile(0.5),
+				P99Seconds: res.Latencies.Quantile(0.99),
+			}, nil
 		}
-		res := workload.SpannerOpenLoop(env, db, workload.DefaultSpannerMix(), rate, opsPerPoint)
-		env.K.Run()
-		if err := res.Err(); err != nil {
-			return nil, err
-		}
-		out = append(out, LatencyPoint{
-			RatePerSec: rate,
-			P50Seconds: res.Latencies.Quantile(0.5),
-			P99Seconds: res.Latencies.Quantile(0.99),
-		})
 	}
-	return out, nil
+	return runJobs(0, jobs)
 }
 
 // RenderLatency renders a latency-under-load curve.

@@ -47,6 +47,11 @@ type ResilienceConfig struct {
 	// TraceRate keeps 1/TraceRate of traces (latency quantiles are computed
 	// from sampled traces, so 1 keeps them exact).
 	TraceRate int
+	// Parallel bounds how many platforms run concurrently: 0 = one worker
+	// per CPU, 1 = sequential. A platform's faulted arm needs its baseline
+	// horizon, so the two arms stay sequential within a platform; the three
+	// platforms are independent and merge in fixed platform order.
+	Parallel int
 }
 
 // DefaultResilienceConfig returns the documented default fault rates: every
@@ -115,9 +120,21 @@ type Resilience struct {
 	Marks  map[taxonomy.Platform][]trace.Mark
 }
 
+// resilienceArm is one completed (platform, arm) measurement plus the traces
+// and fault marks the faulted arm exports, kept arm-local so platforms can
+// run on concurrent goroutines and merge afterwards in platform order.
+type resilienceArm struct {
+	row    ResilienceRow
+	traces []*trace.Trace
+	marks  []trace.Mark
+}
+
 // RunResilienceStudy measures each platform fault-free, generates a seeded
 // fault schedule spanning the measured horizon, and re-runs the identical
-// workload under injection. Equal configs replay bit-identically.
+// workload under injection. Equal configs replay bit-identically; the three
+// platforms run concurrently (bounded by cfg.Parallel) with each platform's
+// baseline→faulted pair kept sequential, since the fault schedule spans the
+// measured baseline horizon.
 func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
 	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
 		return nil, fmt.Errorf("experiments: invalid resilience config %+v", cfg)
@@ -127,17 +144,34 @@ func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
 		Traces: map[taxonomy.Platform][]*trace.Trace{},
 		Marks:  map[taxonomy.Platform][]trace.Mark{},
 	}
-	for _, p := range taxonomy.Platforms() {
-		base, err := r.runArm(p, 0)
-		if err != nil {
-			return nil, err
+	platforms := taxonomy.Platforms()
+	jobs := make([]func() ([2]resilienceArm, error), len(platforms))
+	for i, p := range platforms {
+		p := p
+		jobs[i] = func() ([2]resilienceArm, error) {
+			base, err := r.runArm(p, 0)
+			if err != nil {
+				return [2]resilienceArm{}, err
+			}
+			faulted, err := r.runArm(p, base.row.Elapsed)
+			if err != nil {
+				return [2]resilienceArm{}, err
+			}
+			return [2]resilienceArm{base, faulted}, nil
 		}
-		r.Rows = append(r.Rows, base)
-		faulted, err := r.runArm(p, base.Elapsed)
-		if err != nil {
-			return nil, err
+	}
+	pairs, err := runJobs(cfg.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range platforms {
+		for _, arm := range pairs[i] {
+			r.Rows = append(r.Rows, arm.row)
+			if arm.row.Faulted {
+				r.Traces[p] = arm.traces
+				r.Marks[p] = arm.marks
+			}
 		}
-		r.Rows = append(r.Rows, faulted)
 	}
 	return r, nil
 }
@@ -173,8 +207,10 @@ func (r *Resilience) scheduleConfig(horizon time.Duration, seed uint64, straggle
 }
 
 // runArm runs one platform arm. A zero horizon is the baseline (no faults);
-// a positive horizon is the faulted arm with a schedule spanning it.
-func (r *Resilience) runArm(p taxonomy.Platform, horizon time.Duration) (ResilienceRow, error) {
+// a positive horizon is the faulted arm with a schedule spanning it. The arm
+// builds its own environment and kernel and touches no study state, so
+// distinct platforms may run concurrently.
+func (r *Resilience) runArm(p taxonomy.Platform, horizon time.Duration) (resilienceArm, error) {
 	switch p {
 	case taxonomy.Spanner:
 		return r.runSpanner(horizon)
@@ -183,17 +219,17 @@ func (r *Resilience) runArm(p taxonomy.Platform, horizon time.Duration) (Resilie
 	case taxonomy.BigQuery:
 		return r.runBigQuery(horizon)
 	}
-	return ResilienceRow{}, fmt.Errorf("experiments: unknown platform %q", p)
+	return resilienceArm{}, fmt.Errorf("experiments: unknown platform %q", p)
 }
 
-func (r *Resilience) runSpanner(horizon time.Duration) (ResilienceRow, error) {
+func (r *Resilience) runSpanner(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed, r.Cfg.TraceRate)
 	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
 	scfg := spanner.DefaultConfig()
 	scfg.RPC = resilienceRPCPolicy()
 	db, err := spanner.New(env, scfg)
 	if err != nil {
-		return ResilienceRow{}, err
+		return resilienceArm{}, err
 	}
 	var eng *faults.Engine
 	if horizon > 0 {
@@ -217,11 +253,11 @@ func (r *Resilience) runSpanner(horizon time.Duration) (ResilienceRow, error) {
 	return r.measure(taxonomy.Spanner, env, run, eng)
 }
 
-func (r *Resilience) runBigTable(horizon time.Duration) (ResilienceRow, error) {
+func (r *Resilience) runBigTable(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed+1, r.Cfg.TraceRate)
 	db, err := bigtable.New(env, bigtable.DefaultConfig())
 	if err != nil {
-		return ResilienceRow{}, err
+		return resilienceArm{}, err
 	}
 	var eng *faults.Engine
 	if horizon > 0 {
@@ -247,13 +283,13 @@ func (r *Resilience) runBigTable(horizon time.Duration) (ResilienceRow, error) {
 	return r.measure(taxonomy.BigTable, env, run, eng)
 }
 
-func (r *Resilience) runBigQuery(horizon time.Duration) (ResilienceRow, error) {
+func (r *Resilience) runBigQuery(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed+2, r.Cfg.TraceRate)
 	qcfg := bigquery.DefaultConfig()
 	qcfg.RPC = resilienceRPCPolicy()
 	e, err := bigquery.New(env, qcfg)
 	if err != nil {
-		return ResilienceRow{}, err
+		return resilienceArm{}, err
 	}
 	var eng *faults.Engine
 	if horizon > 0 {
@@ -285,10 +321,11 @@ func (r *Resilience) registerNetwork(eng *faults.Engine, env *platform.Env) {
 	}, env.Net.Restore)
 }
 
-// measure drains the scheduled workload and condenses it into a row. Elapsed
-// is the instant the workload drains, not the kernel's final time: recovery
-// events from the fault schedule may fire after the last operation.
-func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *workload.Run, eng *faults.Engine) (ResilienceRow, error) {
+// measure drains the scheduled workload and condenses it into an arm-local
+// result. Elapsed is the instant the workload drains, not the kernel's final
+// time: recovery events from the fault schedule may fire after the last
+// operation.
+func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *workload.Run, eng *faults.Engine) (resilienceArm, error) {
 	var elapsed time.Duration
 	env.K.Go("resilience-measure", func(mp *sim.Proc) {
 		mp.Wait(run.Done)
@@ -318,17 +355,17 @@ func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *worklo
 		row.P99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
 		row.P999 = time.Duration(lat.Quantile(0.999) * float64(time.Second))
 	}
+	arm := resilienceArm{row: row}
 	if eng != nil {
-		row.FaultsApplied = len(eng.Applied)
-		row.FaultEvents = eng.Applied
-		r.Traces[p] = traces
-		marks := make([]trace.Mark, 0, len(eng.Applied))
+		arm.row.FaultsApplied = len(eng.Applied)
+		arm.row.FaultEvents = eng.Applied
+		arm.traces = traces
+		arm.marks = make([]trace.Mark, 0, len(eng.Applied))
 		for _, a := range eng.Applied {
-			marks = append(marks, trace.Mark{At: a.At, Name: a.Label()})
+			arm.marks = append(arm.marks, trace.Mark{At: a.At, Name: a.Label()})
 		}
-		r.Marks[p] = marks
 	}
-	return row, nil
+	return arm, nil
 }
 
 // RenderResilience renders the study as a fixed-width table with a per-row

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunJobsPreservesOrder(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8, 0} {
+		jobs := make([]func() (int, error), 50)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) { return i * i, nil }
+		}
+		got, err := runJobs(parallel, jobs)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: result[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunJobsDeterministicError(t *testing.T) {
+	// Multiple jobs fail; the error of the lowest-indexed failure must win so
+	// parallel and sequential runs report the same error.
+	for _, parallel := range []int{1, 4} {
+		jobs := make([]func() (int, error), 20)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) {
+				if i%3 == 1 {
+					return 0, fmt.Errorf("job %d failed", i)
+				}
+				return i, nil
+			}
+		}
+		_, err := runJobs(parallel, jobs)
+		if err == nil || err.Error() != "job 1 failed" {
+			t.Fatalf("parallel=%d: err = %v, want job 1's error", parallel, err)
+		}
+	}
+}
+
+func TestRunJobsSequentialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	jobs := []func() (int, error){
+		func() (int, error) { ran.Add(1); return 0, nil },
+		func() (int, error) { ran.Add(1); return 0, sentinel },
+		func() (int, error) { ran.Add(1); return 0, nil },
+	}
+	_, err := runJobs(1, jobs)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("sequential run executed %d jobs after error, want stop after 2", ran.Load())
+	}
+}
+
+func TestRunJobsBoundsWorkers(t *testing.T) {
+	const parallel = 3
+	var inFlight, peak atomic.Int32
+	jobs := make([]func() (struct{}, error), 24)
+	gate := make(chan struct{}, parallel)
+	for i := range jobs {
+		jobs[i] = func() (struct{}, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			gate <- struct{}{}
+			<-gate
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, err := runJobs(parallel, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > parallel {
+		t.Fatalf("peak concurrent jobs = %d, want <= %d", got, parallel)
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	if Parallelism(1) != 1 || Parallelism(7) != 7 {
+		t.Fatal("positive parallelism must pass through")
+	}
+	if Parallelism(0) < 1 || Parallelism(-3) < 1 {
+		t.Fatal("non-positive parallelism must resolve to at least one worker")
+	}
+}

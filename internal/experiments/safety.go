@@ -47,6 +47,11 @@ type SafetyConfig struct {
 	NetDegradeProb     float64
 	NetExtraDelay      time.Duration
 	NetDropProb        float64
+	// Parallel bounds how many (platform, seed) arms run concurrently:
+	// 0 = one worker per CPU, 1 = sequential. Every arm owns its kernel and
+	// results merge in fixed (platform, seed) order, so the study output is
+	// identical either way.
+	Parallel int
 }
 
 // DefaultSafetyConfig returns the documented torture defaults: six clients
@@ -110,50 +115,82 @@ type Safety struct {
 // Ok reports whether the study finished with zero violations.
 func (s *Safety) Ok() bool { return len(s.Violations) == 0 }
 
+// safetyArm is one completed (platform, seed) torture run, self-contained so
+// arms can execute on concurrent goroutines and merge afterwards in fixed
+// (platform, seed) order.
+type safetyArm struct {
+	row        SafetyRow
+	violations []SafetyViolation
+	marks      []trace.Mark
+}
+
 // RunSafetyStudy runs the torture harness: per platform, one fault-free
 // calibration run (whose elapsed time becomes the fault-schedule horizon)
-// followed by Seeds faulted runs. Equal configs replay bit-identically.
+// followed by Seeds faulted runs. Equal configs replay bit-identically, and
+// the parallel runner fans the arms out in two waves — the three calibration
+// runs, then every faulted (platform, seed) arm — merging results in the
+// same order the sequential loop produced.
 func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
 	if cfg.Clients <= 0 || cfg.Seeds <= 0 || cfg.HotRows <= 0 {
 		return nil, fmt.Errorf("experiments: invalid safety config %+v", cfg)
 	}
 	s := &Safety{Cfg: cfg, Marks: map[taxonomy.Platform][]trace.Mark{}}
-	for _, p := range taxonomy.Platforms() {
-		base, err := s.runOne(p, cfg.BaseSeed, 0)
-		if err != nil {
-			return nil, err
+	platforms := taxonomy.Platforms()
+	calJobs := make([]func() (safetyArm, error), len(platforms))
+	for i, p := range platforms {
+		p := p
+		calJobs[i] = func() (safetyArm, error) { return s.runOne(p, cfg.BaseSeed, 0) }
+	}
+	cals, err := runJobs(cfg.Parallel, calJobs)
+	if err != nil {
+		return nil, err
+	}
+	var tortureJobs []func() (safetyArm, error)
+	for i, p := range platforms {
+		horizon := cals[i].row.Elapsed
+		for j := 0; j < cfg.Seeds; j++ {
+			p, seed := p, cfg.BaseSeed+uint64(j)
+			tortureJobs = append(tortureJobs, func() (safetyArm, error) {
+				return s.runOne(p, seed, horizon)
+			})
 		}
-		horizon := base.Elapsed
-		for i := 0; i < cfg.Seeds; i++ {
-			if _, err := s.runOne(p, cfg.BaseSeed+uint64(i), horizon); err != nil {
-				return nil, err
-			}
+	}
+	tortured, err := runJobs(cfg.Parallel, tortureJobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range platforms {
+		s.merge(p, cals[i])
+		for j := 0; j < cfg.Seeds; j++ {
+			s.merge(p, tortured[i*cfg.Seeds+j])
 		}
 	}
 	return s, nil
 }
 
+// merge folds one arm's results into the study. It is the only place study
+// state mutates, and it runs sequentially after the arms complete.
+func (s *Safety) merge(p taxonomy.Platform, arm safetyArm) {
+	s.Rows = append(s.Rows, arm.row)
+	s.Violations = append(s.Violations, arm.violations...)
+	s.Marks[p] = append(s.Marks[p], arm.marks...)
+}
+
 // runOne runs one (platform, seed) arm. A zero horizon is the fault-free
 // calibration run; a positive horizon is a torture run with a fault schedule
-// spanning it.
-func (s *Safety) runOne(p taxonomy.Platform, seed uint64, horizon time.Duration) (SafetyRow, error) {
-	var row SafetyRow
-	var err error
+// spanning it. The arm builds its own environment and kernel and touches no
+// study state, so distinct arms may run concurrently.
+func (s *Safety) runOne(p taxonomy.Platform, seed uint64, horizon time.Duration) (safetyArm, error) {
 	switch p {
 	case taxonomy.Spanner:
-		row, err = s.runSpanner(seed, horizon)
+		return s.runSpanner(seed, horizon)
 	case taxonomy.BigTable:
-		row, err = s.runBigTable(seed, horizon)
+		return s.runBigTable(seed, horizon)
 	case taxonomy.BigQuery:
-		row, err = s.runBigQuery(seed, horizon)
+		return s.runBigQuery(seed, horizon)
 	default:
-		return SafetyRow{}, fmt.Errorf("experiments: unknown platform %q", p)
+		return safetyArm{}, fmt.Errorf("experiments: unknown platform %q", p)
 	}
-	if err != nil {
-		return SafetyRow{}, err
-	}
-	s.Rows = append(s.Rows, row)
-	return row, nil
 }
 
 // scheduleFor converts the fractional fault rates into an absolute schedule
@@ -208,21 +245,24 @@ func (s *Safety) drive(env *platform.Env, name string, seed uint64, totalOps int
 
 // collect drains every checker after a run — linearizability over the
 // recorded history, structural violations, and the standing invariants —
-// into the study, tagging findings with platform and seed.
-func (s *Safety) collect(p taxonomy.Platform, seed uint64, h *check.History, reg *check.Registry, at time.Duration) int {
+// tagging findings with platform and seed. It returns the arm-local findings
+// and marks; the caller folds them into the study during the ordered merge.
+func collect(p taxonomy.Platform, seed uint64, h *check.History, reg *check.Registry, at time.Duration) ([]SafetyViolation, []trace.Mark) {
 	var vs []check.Violation
 	vs = append(vs, h.CheckLinearizability()...)
 	vs = append(vs, h.Structural()...)
 	vs = append(vs, reg.Check(at)...)
+	var out []SafetyViolation
+	var marks []trace.Mark
 	for _, v := range vs {
 		v.Platform = string(p)
-		s.Violations = append(s.Violations, SafetyViolation{Seed: seed, Violation: v})
-		s.Marks[p] = append(s.Marks[p], trace.Mark{
+		out = append(out, SafetyViolation{Seed: seed, Violation: v})
+		marks = append(marks, trace.Mark{
 			At:   v.At,
 			Name: fmt.Sprintf("VIOLATION %s %s (seed %d)", v.Kind, v.Key, seed),
 		})
 	}
-	return len(vs)
+	return out, marks
 }
 
 func (s *Safety) registerNet(eng *faults.Engine, env *platform.Env, seed uint64) {
@@ -231,14 +271,14 @@ func (s *Safety) registerNet(eng *faults.Engine, env *platform.Env, seed uint64)
 	}, env.Net.Restore)
 }
 
-func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (SafetyRow, error) {
+func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (safetyArm, error) {
 	env := platform.NewEnv(seed, 1)
 	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
 	scfg := spanner.DefaultConfig()
 	scfg.RPC = resilienceRPCPolicy()
 	db, err := spanner.New(env, scfg)
 	if err != nil {
-		return SafetyRow{}, err
+		return safetyArm{}, err
 	}
 	h := check.NewHistory(env.K)
 	db.SetRecorder(h)
@@ -273,21 +313,22 @@ func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (SafetyRow, erro
 			}
 			return db.Commit(p, nil, g, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
 		})
-	row := SafetyRow{Platform: taxonomy.Spanner, Seed: seed, Faulted: eng != nil,
-		Ops: ops, Errors: errs, Elapsed: elapsed}
+	arm := safetyArm{row: SafetyRow{Platform: taxonomy.Spanner, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		row.FaultsApplied = len(eng.Applied)
+		arm.row.FaultsApplied = len(eng.Applied)
 	}
-	row.Violations = s.collect(taxonomy.Spanner, seed, h, reg, env.K.Now())
-	return row, nil
+	arm.violations, arm.marks = collect(taxonomy.Spanner, seed, h, reg, env.K.Now())
+	arm.row.Violations = len(arm.violations)
+	return arm, nil
 }
 
-func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (SafetyRow, error) {
+func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (safetyArm, error) {
 	env := platform.NewEnv(seed+1000, 1)
 	bcfg := bigtable.DefaultConfig()
 	db, err := bigtable.New(env, bcfg)
 	if err != nil {
-		return SafetyRow{}, err
+		return safetyArm{}, err
 	}
 	h := check.NewHistory(env.K)
 	db.SetRecorder(h)
@@ -323,22 +364,23 @@ func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (SafetyRow, err
 			}
 			return db.Put(p, nil, t, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
 		})
-	row := SafetyRow{Platform: taxonomy.BigTable, Seed: seed, Faulted: eng != nil,
-		Ops: ops, Errors: errs, Elapsed: elapsed}
+	arm := safetyArm{row: SafetyRow{Platform: taxonomy.BigTable, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		row.FaultsApplied = len(eng.Applied)
+		arm.row.FaultsApplied = len(eng.Applied)
 	}
-	row.Violations = s.collect(taxonomy.BigTable, seed, h, reg, env.K.Now())
-	return row, nil
+	arm.violations, arm.marks = collect(taxonomy.BigTable, seed, h, reg, env.K.Now())
+	arm.row.Violations = len(arm.violations)
+	return arm, nil
 }
 
-func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (SafetyRow, error) {
+func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (safetyArm, error) {
 	env := platform.NewEnv(seed+2000, 1)
 	qcfg := bigquery.DefaultConfig()
 	qcfg.RPC = resilienceRPCPolicy()
 	e, err := bigquery.New(env, qcfg)
 	if err != nil {
-		return SafetyRow{}, err
+		return safetyArm{}, err
 	}
 	h := check.NewHistory(env.K)
 	e.SetRecorder(h)
@@ -370,13 +412,14 @@ func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (SafetyRow, err
 			_, err := e.Run(p, nil, q)
 			return err
 		})
-	row := SafetyRow{Platform: taxonomy.BigQuery, Seed: seed, Faulted: eng != nil,
-		Ops: ops, Errors: errs, Elapsed: elapsed}
+	arm := safetyArm{row: SafetyRow{Platform: taxonomy.BigQuery, Seed: seed, Faulted: eng != nil,
+		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		row.FaultsApplied = len(eng.Applied)
+		arm.row.FaultsApplied = len(eng.Applied)
 	}
-	row.Violations = s.collect(taxonomy.BigQuery, seed, h, reg, env.K.Now())
-	return row, nil
+	arm.violations, arm.marks = collect(taxonomy.BigQuery, seed, h, reg, env.K.Now())
+	arm.row.Violations = len(arm.violations)
+	return arm, nil
 }
 
 // RenderSafety renders the study as a fixed-width table followed by every

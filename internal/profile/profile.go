@@ -203,11 +203,18 @@ func (p *Profiler) TotalCPU(platform taxonomy.Platform) time.Duration {
 // BroadBreakdown returns the fraction of a platform's cycles in each broad
 // class (the content of Figure 3).
 func (p *Profiler) BroadBreakdown(platform taxonomy.Platform) map[taxonomy.Broad]float64 {
-	w := map[taxonomy.Broad]float64{}
+	// Accumulate integer durations first: Duration addition is associative, so
+	// the totals are identical regardless of map iteration order, and the
+	// float conversion happens once per key.
+	cpu := map[taxonomy.Broad]time.Duration{}
 	for k, a := range p.byCategory {
 		if k.platform == platform {
-			w[taxonomy.BroadOf(k.category)] += a.cpu.Seconds()
+			cpu[taxonomy.BroadOf(k.category)] += a.cpu
 		}
+	}
+	w := make(map[taxonomy.Broad]float64, len(cpu))
+	for b, d := range cpu {
+		w[b] = d.Seconds()
 	}
 	return stats.Fractions(w)
 }
@@ -215,26 +222,44 @@ func (p *Profiler) BroadBreakdown(platform taxonomy.Platform) map[taxonomy.Broad
 // CategoryBreakdown returns, for one platform and broad class, each fine
 // category's fraction of that class's cycles (the content of Figures 4–6).
 func (p *Profiler) CategoryBreakdown(platform taxonomy.Platform, broad taxonomy.Broad) map[taxonomy.Category]float64 {
-	w := map[taxonomy.Category]float64{}
+	cpu := map[taxonomy.Category]time.Duration{}
 	for k, a := range p.byCategory {
 		if k.platform == platform && taxonomy.BroadOf(k.category) == broad {
-			w[k.category] += a.cpu.Seconds()
+			cpu[k.category] += a.cpu
 		}
 	}
+	w := make(map[taxonomy.Category]float64, len(cpu))
+	for c, d := range cpu {
+		w[c] = d.Seconds()
+	}
 	return stats.Fractions(w)
+}
+
+// sortedKeys returns the byCategory keys for one platform in category order.
+// The instruction and miss totals are float64, and float addition is not
+// associative, so summing in Go's randomized map order would drift by an ulp
+// between otherwise identical runs. A fixed order makes the stats bit-exact.
+func (p *Profiler) sortedKeys(platform taxonomy.Platform) []key {
+	var ks []key
+	for k := range p.byCategory {
+		if k.platform == platform {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].category < ks[j].category })
+	return ks
 }
 
 // PlatformStats returns the platform-wide microarchitecture statistics
 // (one column of Table 6).
 func (p *Profiler) PlatformStats(platform taxonomy.Platform) Stats {
 	var total agg
-	for k, a := range p.byCategory {
-		if k.platform == platform {
-			total.cpu += a.cpu
-			total.instr += a.instr
-			for i := range total.misses {
-				total.misses[i] += a.misses[i]
-			}
+	for _, k := range p.sortedKeys(platform) {
+		a := p.byCategory[k]
+		total.cpu += a.cpu
+		total.instr += a.instr
+		for i := range total.misses {
+			total.misses[i] += a.misses[i]
 		}
 	}
 	return total.stats(p.hz)
@@ -244,10 +269,8 @@ func (p *Profiler) PlatformStats(platform taxonomy.Platform) Stats {
 // platform's columns of Table 7).
 func (p *Profiler) BroadStats(platform taxonomy.Platform) map[taxonomy.Broad]Stats {
 	accs := map[taxonomy.Broad]*agg{}
-	for k, a := range p.byCategory {
-		if k.platform != platform {
-			continue
-		}
+	for _, k := range p.sortedKeys(platform) {
+		a := p.byCategory[k]
 		b := taxonomy.BroadOf(k.category)
 		t := accs[b]
 		if t == nil {

@@ -6,10 +6,14 @@
 // in strict alternation with the kernel: at any instant exactly one goroutine
 // (either the kernel or a single process) is executing, so simulations are
 // reproducible bit-for-bit and need no locking.
+//
+// A Kernel is single-threaded by construction, but distinct kernels share no
+// state, so independent simulations may run on concurrent goroutines (the
+// experiments runner exploits this; see DESIGN.md "Performance
+// architecture").
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -19,7 +23,7 @@ import (
 type Kernel struct {
 	now    time.Duration
 	seq    int64
-	events eventHeap
+	events eventQueue
 	yield  chan struct{}
 	live   int // processes started and not yet terminated
 	parked int // processes currently blocked on a primitive
@@ -50,7 +54,17 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) {
 
 func (k *Kernel) push(at time.Duration, fn func()) {
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	k.events.push(event{at: at, seq: k.seq, fn: fn})
+}
+
+// wake enqueues a resume of process p at virtual time `at`. It is the
+// allocation-free fast path behind Sleep and the primitive wakeups: unlike
+// Schedule it carries the process in the event value itself instead of a
+// heap-allocated closure, so the steady-state park/resume cycle performs no
+// allocation at all.
+func (k *Kernel) wake(at time.Duration, p *Proc) {
+	k.seq++
+	k.events.push(event{at: at, seq: k.seq, proc: p})
 }
 
 // Go starts a new process executing fn. The process begins at the current
@@ -65,7 +79,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		k.live--
 		k.yield <- struct{}{}
 	}()
-	k.Schedule(0, func() { k.step(p) })
+	k.wake(k.now, p)
 	return p
 }
 
@@ -75,13 +89,22 @@ func (k *Kernel) step(p *Proc) {
 	<-k.yield
 }
 
+// dispatch executes one popped event in kernel context.
+func (k *Kernel) dispatch(e event) {
+	if e.proc != nil {
+		k.step(e.proc)
+		return
+	}
+	e.fn()
+}
+
 // Run executes events until the event queue is empty. It returns the virtual
 // time of the last event executed.
 func (k *Kernel) Run() time.Duration {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
+	for k.events.len() > 0 {
+		e := k.events.pop()
 		k.now = e.at
-		e.fn()
+		k.dispatch(e)
 	}
 	return k.now
 }
@@ -89,40 +112,104 @@ func (k *Kernel) Run() time.Duration {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled after t remain queued.
 func (k *Kernel) RunUntil(t time.Duration) {
-	for len(k.events) > 0 && k.events[0].at <= t {
-		e := heap.Pop(&k.events).(*event)
+	for k.events.len() > 0 && k.events.min().at <= t {
+		e := k.events.pop()
 		k.now = e.at
-		e.fn()
+		k.dispatch(e)
 	}
 	if k.now < t {
 		k.now = t
 	}
 }
 
+// event is one queue entry, held by value inside the heap's backing slice so
+// scheduling never performs a per-event allocation (the old container/heap
+// queue boxed a pointer per event). Exactly one of fn and proc is set: fn is
+// a kernel-context callback, proc a process to resume. Value-typed events
+// subsume a timer free-list — popped slots are reused in place by later
+// pushes.
 type event struct {
-	at  time.Duration
-	seq int64
-	fn  func()
+	at   time.Duration
+	seq  int64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, schedule sequence); seq is unique per
+// kernel, making this a total order, so the pop sequence — and therefore the
+// simulation — is identical regardless of heap arity or layout.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventQueue is an inlined 4-ary min-heap over value-typed events. Arity 4
+// halves the tree depth of a binary heap, which matters because sift-down
+// dominates: DES queues pop from the root far more often than they percolate
+// from the leaves ("hold" operations land near the bottom).
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// min returns the earliest event without removing it. It must not be called
+// on an empty queue.
+func (q *eventQueue) min() event { return q.ev[0] }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	// Sift up: hole-based, writing the new event once at its final slot.
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.before(q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = e
+}
+
+// pop removes and returns the earliest event. It must not be called on an
+// empty queue.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{} // release fn/proc references for GC
+	q.ev = q.ev[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift down: hole-based from the root, writing `last` once at the end.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.ev[c].before(q.ev[min]) {
+				min = c
+			}
+		}
+		if !q.ev[min].before(last) {
+			break
+		}
+		q.ev[i] = q.ev[min]
+		i = min
+	}
+	q.ev[i] = last
+	return top
 }
 
 // Proc is a simulated process. All Proc methods must be called from within
@@ -150,13 +237,15 @@ func (p *Proc) park() {
 	p.k.parked--
 }
 
-// Sleep blocks the process for virtual duration d.
+// Sleep blocks the process for virtual duration d. It rides the wake fast
+// path: the timer is a value-typed event carrying p itself, so a
+// Sleep→park→resume cycle allocates nothing in steady state.
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	k := p.k
-	k.push(k.now+d, func() { k.step(p) })
+	k.wake(k.now+d, p)
 	p.park()
 }
 

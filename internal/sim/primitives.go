@@ -84,8 +84,7 @@ func (r *Resource) Release(n int) {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
 		r.inUse += w.n
-		k := r.k
-		k.Schedule(0, func() { k.step(w.p) })
+		r.k.wake(r.k.now, w.p)
 	}
 }
 
@@ -118,8 +117,7 @@ func (s *Signal) Fire() {
 	}
 	s.fired = true
 	for _, w := range s.waiters {
-		w := w
-		s.k.Schedule(0, func() { s.k.step(w) })
+		s.k.wake(s.k.now, w)
 	}
 	s.waiters = nil
 	for _, fn := range s.hooks {
@@ -209,7 +207,7 @@ func (q *Queue[T]) Put(v T) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		w.item = v
-		q.k.Schedule(0, func() { q.k.step(w.p) })
+		q.k.wake(q.k.now, w.p)
 		return
 	}
 	q.items = append(q.items, v)

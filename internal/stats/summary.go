@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -90,11 +92,18 @@ func (s *Summary) String() string {
 }
 
 // Fractions normalizes a map of non-negative weights into fractions that sum
-// to 1. A zero-total map returns all zeros.
-func Fractions[K comparable](weights map[K]float64) map[K]float64 {
+// to 1. A zero-total map returns all zeros. The total is accumulated in sorted
+// key order so the result is bit-identical across runs; float addition is not
+// associative, so summing in Go's randomized map order can drift by an ulp.
+func Fractions[K cmp.Ordered](weights map[K]float64) map[K]float64 {
+	keys := make([]K, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
 	total := 0.0
-	for _, w := range weights {
-		total += w
+	for _, k := range keys {
+		total += weights[k]
 	}
 	out := make(map[K]float64, len(weights))
 	for k, w := range weights {

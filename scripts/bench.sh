@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run the substrate microbenchmarks and write the results as a
+# small JSON file (BENCH_0.json by default, or $1). Used by `make bench` and
+# the non-blocking CI bench job, so regressions in the DES kernel fast path
+# (ns/op and allocs/op) leave a machine-readable trail per commit.
+#
+# Only POSIX sh + awk + the go toolchain; no external dependencies.
+set -e
+
+out="${1:-BENCH_0.json}"
+benchtime="${BENCHTIME:-20000x}"
+pattern='^BenchmarkSim(KernelEvents|KernelSchedule|KernelRun|ProcSwitch)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" .)"
+printf '%s\n' "$raw"
+
+goversion="$(go env GOVERSION)"
+
+printf '%s\n' "$raw" | awk -v out="$out" -v gover="$goversion" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, ns, bytes, allocs)
+}
+END {
+    printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", gover > out
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+}'
+
+echo "wrote $out"
