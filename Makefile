@@ -4,7 +4,7 @@ GO ?= go
 # safety torture harness (linearizability + invariant checking under chaos).
 SAFETY_SEEDS ?= 20
 
-.PHONY: check build vet fmt test race check-safety bench
+.PHONY: check build vet fmt test race check-safety check-obs bench
 
 check: build vet fmt race
 
@@ -28,6 +28,16 @@ race:
 
 check-safety:
 	$(GO) run ./cmd/hyperprof -check -check-seeds $(SAFETY_SEEDS)
+
+# check-obs proves the observability plane: unit tests with zero-allocation
+# assertions on the metric record paths, the byte-for-byte sequential-vs-
+# parallel export determinism test, and an end-to-end -obs run emitting the
+# JSON time series and Chrome counter tracks.
+check-obs:
+	$(GO) test ./internal/obs/ ./internal/trace/
+	$(GO) test ./internal/experiments/ -run TestObsStudyParallelMatchesSequentialByteForByte
+	$(GO) run ./cmd/hyperprof -obs -spanner 200 -bigtable 200 -bigquery 30 \
+		-obs-out obs-series.json -chrome-trace obs-trace.json
 
 # bench runs the DES-kernel substrate microbenchmarks and writes BENCH_0.json
 # (ns/op, B/op, allocs/op per bench) for the CI artifact trail.

@@ -1,10 +1,14 @@
-// Command hyperprof runs the full characterization study — the equivalents
-// of the paper's Table 1, Figures 2–6 and Tables 6–7 — over the simulated
-// Spanner, BigTable and BigQuery platforms, and prints each artifact.
+// Command hyperprof runs the paper's studies over the simulated Spanner,
+// BigTable and BigQuery platforms. The default mode is the characterization
+// study — the equivalents of Table 1, Figures 2–6 and Tables 6–7 — and the
+// mode flags select the others: -faults (resilience), -check (safety
+// torture) and -obs (observability). All modes share one flag group that
+// overlays the unified StudyConfig.
 //
 // Usage:
 //
-//	hyperprof [-seed N] [-spanner N] [-bigtable N] [-bigquery N] [-clients N] [-rate N] [-parallel N]
+//	hyperprof [-faults|-check|-obs] [-seed N] [-spanner N] [-bigtable N]
+//	          [-bigquery N] [-clients N] [-rate N] [-parallel N] [...]
 package main
 
 import (
@@ -18,27 +22,84 @@ import (
 	"time"
 
 	"hyperprof"
-	"hyperprof/internal/trace"
 )
+
+// studyFlags is the single flag group every study mode shares. Numeric flags
+// default to 0 meaning "keep the selected study's own default", so one group
+// serves studies with different documented defaults (characterization runs
+// 1500 Spanner ops, the safety torture 400) without re-declaring flags per
+// mode.
+type studyFlags struct {
+	seed                        *uint64
+	spanner, bigtable, bigquery *int
+	clients                     *int
+	rate                        *int
+	parallel                    *int
+	checkSeeds                  *int
+	obs                         *bool
+	obsInterval                 *time.Duration
+	obsOut                      *string
+}
+
+// registerStudyFlags declares the shared flag group on the default FlagSet.
+func registerStudyFlags() *studyFlags {
+	return &studyFlags{
+		seed:        flag.Uint64("seed", 1, "deterministic run seed"),
+		spanner:     flag.Int("spanner", 0, "Spanner operation count (0 = study default)"),
+		bigtable:    flag.Int("bigtable", 0, "BigTable operation count (0 = study default)"),
+		bigquery:    flag.Int("bigquery", 0, "BigQuery query count (0 = study default)"),
+		clients:     flag.Int("clients", 0, "closed-loop clients per platform (0 = study default)"),
+		rate:        flag.Int("rate", 0, "trace sampling rate, keep 1/rate (0 = study default)"),
+		parallel:    flag.Int("parallel", 0, "concurrent simulation kernels (0 = one per CPU, 1 = sequential); outputs are identical either way"),
+		checkSeeds:  flag.Int("check-seeds", 0, "with -check: faulted runs per platform (0 = default)"),
+		obs:         flag.Bool("obs", false, "enable the observability plane (sim-clock metrics + continuous profiling); standalone it selects the observability study, with -faults it instruments the faulted arms"),
+		obsInterval: flag.Duration("obs-interval", 0, "virtual-time metrics sampling period (0 = study default)"),
+		obsOut:      flag.String("obs-out", "obs-series.json", "with -obs: write the metric time series as JSON to this file"),
+	}
+}
+
+// apply overlays the flag values onto a study's default configuration. Flags
+// left at zero keep the study's documented defaults.
+func (f *studyFlags) apply(cfg hyperprof.StudyConfig) hyperprof.StudyConfig {
+	cfg.Seed = *f.seed
+	cfg.Parallel = *f.parallel
+	if *f.clients > 0 {
+		cfg.Clients = *f.clients
+	}
+	if *f.rate > 0 {
+		cfg.TraceRate = *f.rate
+	}
+	if *f.spanner > 0 {
+		cfg.Ops.Spanner = *f.spanner
+	}
+	if *f.bigtable > 0 {
+		cfg.Ops.BigTable = *f.bigtable
+	}
+	if *f.bigquery > 0 {
+		cfg.Ops.BigQuery = *f.bigquery
+	}
+	if *f.checkSeeds > 0 {
+		cfg.Check.Seeds = *f.checkSeeds
+	}
+	if *f.obs {
+		cfg.Obs.Enabled = true
+	}
+	if *f.obsInterval > 0 {
+		cfg.Obs.Interval = *f.obsInterval
+	}
+	return cfg
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperprof: ")
-	cfg := hyperprof.DefaultCharacterizationConfig()
-	seed := flag.Uint64("seed", cfg.Seed, "deterministic run seed")
-	spannerQ := flag.Int("spanner", cfg.SpannerQueries, "Spanner operation count")
-	bigtableQ := flag.Int("bigtable", cfg.BigTableQueries, "BigTable operation count")
-	bigqueryQ := flag.Int("bigquery", cfg.BigQueryQueries, "BigQuery query count")
-	clients := flag.Int("clients", cfg.Clients, "closed-loop clients per platform")
-	rate := flag.Int("rate", cfg.TraceRate, "trace sampling rate (keep 1/rate)")
+	sf := registerStudyFlags()
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text tables")
 	chromeOut := flag.String("chrome-trace", "", "also write sampled traces to this file in Chrome trace-event format (view in Perfetto)")
 	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
 	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
 	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
-	checkSeeds := flag.Int("check-seeds", 0, "with -check: faulted runs per platform (0 = default)")
-	parallel := flag.Int("parallel", 0, "concurrent simulation kernels (0 = one per CPU, 1 = sequential); outputs are identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
 	flag.Parse()
@@ -70,29 +131,27 @@ func main() {
 		}()
 	}
 
-	if *checkRun {
-		runSafety(*seed, *checkSeeds, *parallel, *chromeOut)
-		return
+	switch {
+	case *checkRun:
+		runSafety(sf.apply(hyperprof.DefaultSafetyStudyConfig()), *chromeOut)
+	case *faultsRun:
+		runResilience(sf.apply(hyperprof.DefaultResilienceStudyConfig()), *chromeOut, *sf.obsOut)
+	case *sf.obs:
+		runObserve(sf.apply(hyperprof.DefaultObsStudyConfig()), *chromeOut, *sf.obsOut)
+	default:
+		runCharacterize(sf.apply(hyperprof.DefaultCharStudyConfig()), *jsonOut, *chromeOut, *topN, *pprofPrefix)
 	}
-	if *faultsRun {
-		runResilience(*seed, *clients, *parallel, *chromeOut)
-		return
-	}
+}
 
-	cfg.Seed = *seed
-	cfg.SpannerQueries = *spannerQ
-	cfg.BigTableQueries = *bigtableQ
-	cfg.BigQueryQueries = *bigqueryQ
-	cfg.Clients = *clients
-	cfg.TraceRate = *rate
-	cfg.Parallel = *parallel
-
-	ch, err := hyperprof.Characterize(cfg)
+// runCharacterize executes the characterization study and prints every §3–§5
+// artifact (or the machine-readable report with -json).
+func runCharacterize(cfg hyperprof.StudyConfig, jsonOut bool, chromeOut string, topN int, pprofPrefix string) {
+	ch, err := cfg.Characterize()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *jsonOut {
+	if jsonOut {
 		data, err := hyperprof.BuildReport(ch).JSON()
 		if err != nil {
 			log.Fatal(err)
@@ -119,23 +178,23 @@ func main() {
 			p, len(ch.Traces[p]), ch.Elapsed[p].Round(1e6), ch.QueryBytes[p]/1024)
 	}
 
-	if *topN > 0 {
+	if topN > 0 {
 		fmt.Fprintln(out, "\nHottest leaf functions (GWP view):")
 		for _, p := range hyperprof.Platforms() {
 			fmt.Fprintf(out, "  %s:\n", p)
-			for _, fn := range ch.Prof(p).TopFunctions(p, *topN) {
+			for _, fn := range ch.Prof(p).TopFunctions(p, topN) {
 				fmt.Fprintf(out, "    %-34s %-18s %v\n", fn.Function, fn.Category, fn.CPU.Round(1e6))
 			}
 		}
 	}
 
-	if *pprofPrefix != "" {
+	if pprofPrefix != "" {
 		for _, p := range hyperprof.Platforms() {
 			data, err := ch.Prof(p).ExportPprof(p)
 			if err != nil {
 				log.Fatal(err)
 			}
-			name := fmt.Sprintf("%s-%s.pb.gz", *pprofPrefix, strings.ToLower(string(p)))
+			name := fmt.Sprintf("%s-%s.pb.gz", pprofPrefix, strings.ToLower(string(p)))
 			if err := os.WriteFile(name, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
@@ -143,19 +202,35 @@ func main() {
 		}
 	}
 
-	if *chromeOut != "" {
-		var all []*trace.Trace
-		for _, p := range hyperprof.Platforms() {
-			all = append(all, ch.Traces[p]...)
-		}
-		data, err := trace.ExportChrome(all, 2000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*chromeOut, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(out, "\nWrote %d bytes of Chrome trace events to %s (open in Perfetto)\n", len(data), *chromeOut)
+	if chromeOut != "" {
+		b := hyperprof.NewChromeBuilder()
+		b.AddTraces(allTraces(ch.Traces), 2000)
+		writeChrome(b, chromeOut, "")
+	}
+}
+
+// runObserve executes the observability study: the characterization workload
+// with the metrics plane on, exported as JSON time series and (with
+// -chrome-trace) counter tracks beside the query intervals.
+func runObserve(cfg hyperprof.StudyConfig, chromeOut, obsOut string) {
+	o, err := hyperprof.Observe(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hyperprof.RenderObs(o))
+	data, err := o.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(obsOut, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wrote %d bytes of metric time series to %s\n", len(data), obsOut)
+	if chromeOut != "" {
+		b := hyperprof.NewChromeBuilder()
+		b.AddTraces(allTraces(o.Char.Traces), 2000)
+		b.AddCounters(o.CounterTracks())
+		writeChrome(b, chromeOut, "with counter tracks")
 	}
 }
 
@@ -165,19 +240,13 @@ func main() {
 // invariants. Any violation prints its reproducing seed and minimal
 // violating history and the process exits nonzero. With -chrome-trace,
 // violations are exported as instant marks on the timeline.
-func runSafety(seed uint64, seeds, parallel int, chromeOut string) {
-	cfg := hyperprof.DefaultSafetyConfig()
-	cfg.BaseSeed = seed
-	if seeds > 0 {
-		cfg.Seeds = seeds
-	}
-	cfg.Parallel = parallel
-	s, err := hyperprof.SafetyStudy(cfg)
+func runSafety(cfg hyperprof.StudyConfig, chromeOut string) {
+	s, err := cfg.Safety()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(hyperprof.RenderSafety(s))
-	var marks []trace.Mark
+	var marks []hyperprof.TraceMark
 	for _, p := range hyperprof.Platforms() {
 		marks = append(marks, s.Marks[p]...)
 	}
@@ -185,14 +254,9 @@ func runSafety(seed uint64, seeds, parallel int, chromeOut string) {
 		fmt.Printf("\nNo violations, so no trace events to mark — skipping %s\n", chromeOut)
 	}
 	if chromeOut != "" && len(marks) > 0 {
-		data, err := trace.ExportChromeMarks(nil, 2000, marks)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nWrote %d bytes of Chrome trace events (%d violation marks) to %s\n", len(data), len(marks), chromeOut)
+		b := hyperprof.NewChromeBuilder()
+		b.AddMarks(marks)
+		writeChrome(b, chromeOut, fmt.Sprintf("%d violation marks", len(marks)))
 	}
 	if !s.Ok() {
 		os.Exit(1)
@@ -201,13 +265,11 @@ func runSafety(seed uint64, seeds, parallel int, chromeOut string) {
 
 // runResilience executes the fault-injection study and prints the
 // availability/goodput/latency comparison. With -chrome-trace, the faulted
-// arms' traces are exported with the applied fault events as instant marks.
-func runResilience(seed uint64, clients, parallel int, chromeOut string) {
-	cfg := hyperprof.DefaultResilienceConfig()
-	cfg.Seed = seed
-	cfg.Clients = clients
-	cfg.Parallel = parallel
-	res, err := hyperprof.ResilienceStudy(cfg)
+// arms' traces are exported with the applied fault events as instant marks;
+// adding -obs interleaves metric counter tracks into the same document and
+// writes the JSON time series beside it.
+func runResilience(cfg hyperprof.StudyConfig, chromeOut, obsOut string) {
+	res, err := cfg.Resilience()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -221,20 +283,53 @@ func runResilience(seed uint64, clients, parallel int, chromeOut string) {
 			fmt.Println()
 		}
 	}
-	if chromeOut != "" {
-		var all []*trace.Trace
-		var marks []trace.Mark
-		for _, p := range hyperprof.Platforms() {
-			all = append(all, res.Traces[p]...)
-			marks = append(marks, res.Marks[p]...)
-		}
-		data, err := trace.ExportChromeMarks(all, 2000, marks)
+	if cfg.Obs.Enabled {
+		data, err := hyperprof.MarshalMetricSeries(res.Series)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
+		if err := os.WriteFile(obsOut, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nWrote %d bytes of Chrome trace events (with %d fault marks) to %s\n", len(data), len(marks), chromeOut)
+		fmt.Printf("Wrote %d bytes of metric time series (faulted arms) to %s\n", len(data), obsOut)
 	}
+	if chromeOut != "" {
+		var marks []hyperprof.TraceMark
+		for _, p := range hyperprof.Platforms() {
+			marks = append(marks, res.Marks[p]...)
+		}
+		b := hyperprof.NewChromeBuilder()
+		b.AddMarks(marks)
+		b.AddTraces(allTraces(res.Traces), 2000)
+		detail := fmt.Sprintf("with %d fault marks", len(marks))
+		if cfg.Obs.Enabled {
+			b.AddCounters(hyperprof.MetricCounterTracks(res.Series))
+			detail += " and counter tracks"
+		}
+		writeChrome(b, chromeOut, detail)
+	}
+}
+
+// allTraces flattens a per-platform trace map in presentation order.
+func allTraces(m map[hyperprof.Platform][]*hyperprof.QueryTrace) []*hyperprof.QueryTrace {
+	var all []*hyperprof.QueryTrace
+	for _, p := range hyperprof.Platforms() {
+		all = append(all, m[p]...)
+	}
+	return all
+}
+
+// writeChrome marshals a built Chrome trace-event document to path.
+func writeChrome(b *hyperprof.ChromeBuilder, path, detail string) {
+	data, err := b.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if detail != "" {
+		detail = " (" + detail + ")"
+	}
+	fmt.Printf("\nWrote %d bytes of Chrome trace events%s to %s (open in Perfetto)\n", len(data), detail, path)
 }

@@ -21,11 +21,91 @@ import (
 	"hyperprof/internal/experiments"
 	"hyperprof/internal/faults"
 	"hyperprof/internal/model"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/profile"
 	"hyperprof/internal/soc"
 	"hyperprof/internal/taxonomy"
 	"hyperprof/internal/trace"
 )
+
+// Unified Study API. StudyConfig is the shared core every study runs from:
+// construct one with a Default*StudyConfig helper, adjust the grouped knobs
+// (Ops, Faults, Check, Obs), and call the study's method entry point —
+// Characterize, Safety, Resilience or Observe. The per-study config types
+// below (CharacterizationConfig, SafetyConfig, ResilienceConfig) are
+// deprecated views that convert via their Study() method.
+type (
+	// StudyConfig is the unified study configuration.
+	StudyConfig = experiments.StudyConfig
+	// PlatformOps is the per-platform operation budget.
+	PlatformOps = experiments.PlatformOps
+	// FaultConfig groups the fault-injection rates.
+	FaultConfig = experiments.FaultConfig
+	// CheckConfig sizes the safety checker sweep.
+	CheckConfig = experiments.CheckConfig
+	// ObsConfig switches on the observability plane and sizes its sampling.
+	ObsConfig = experiments.ObsConfig
+)
+
+// Default study configurations, one per entry point.
+var (
+	// DefaultCharStudyConfig sizes the characterization study.
+	DefaultCharStudyConfig = experiments.DefaultCharStudyConfig
+	// DefaultSafetyStudyConfig sizes the safety torture study.
+	DefaultSafetyStudyConfig = experiments.DefaultSafetyStudyConfig
+	// DefaultResilienceStudyConfig sizes the resilience study.
+	DefaultResilienceStudyConfig = experiments.DefaultResilienceStudyConfig
+	// DefaultObsStudyConfig sizes the observability study.
+	DefaultObsStudyConfig = experiments.DefaultObsStudyConfig
+)
+
+// Observability study: the characterization workload with the sim-clock
+// metrics plane and continuous-profiling hook enabled.
+type (
+	// ObsStudy is the observability study result.
+	ObsStudy = experiments.ObsStudy
+	// MetricSeries is one exported metric time series.
+	MetricSeries = obs.Series
+	// MetricPoint is one (virtual time, value) sample.
+	MetricPoint = obs.Point
+)
+
+// Observe runs the observability study: a characterization with the metrics
+// plane forced on, yielding per-platform time series exportable as JSON or
+// Chrome-trace counter tracks. Equal configs replay bit-identically and the
+// exports are byte-identical between sequential and parallel runs.
+func Observe(cfg StudyConfig) (*ObsStudy, error) {
+	return cfg.Observe()
+}
+
+// RenderObs renders a per-platform summary of an observability study.
+var RenderObs = experiments.RenderObs
+
+// MarshalMetricSeries renders per-platform metric series as one compact JSON
+// document in Platforms() order.
+var MarshalMetricSeries = experiments.MarshalPlatformSeries
+
+// MetricCounterTracks converts per-platform metric series into Chrome-trace
+// counter tracks.
+var MetricCounterTracks = experiments.CounterTracks
+
+// QueryTrace is one sampled query trace.
+type QueryTrace = trace.Trace
+
+// Chrome-trace export surface, so callers can combine query intervals, fault
+// marks and metric counter tracks into one document without importing
+// internal packages.
+type (
+	// ChromeBuilder accumulates one Chrome trace-event document.
+	ChromeBuilder = trace.ChromeBuilder
+	// CounterTrack is one metric time series destined for a counter track.
+	CounterTrack = trace.CounterTrack
+	// CounterPoint is one sample of a counter track.
+	CounterPoint = trace.CounterPoint
+)
+
+// NewChromeBuilder returns an empty Chrome trace-event document builder.
+var NewChromeBuilder = trace.NewChromeBuilder
 
 // Platform identifies one of the three profiled platforms.
 type Platform = taxonomy.Platform

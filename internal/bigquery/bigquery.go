@@ -17,6 +17,7 @@ import (
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/columnar"
 	"hyperprof/internal/netsim"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/stats"
@@ -158,6 +159,13 @@ type Engine struct {
 	// can prove the exactly-once checker catches it.
 	rec               *check.History
 	brokenDoubleMerge bool
+
+	// Observability handles (nil when env.Obs is disabled; see enableObs).
+	mShuffleBytes *obs.Counter
+	mSpeculative  *obs.Counter
+	mStage1Active *obs.Gauge
+	mStage2Active *obs.Gauge
+	mQueryLat     *obs.Histogram
 }
 
 type partition struct {
@@ -246,7 +254,23 @@ func New(env *platform.Env, cfg Config) (*Engine, error) {
 	if err := e.load(); err != nil {
 		return nil, err
 	}
+	e.enableObs(env.Obs)
 	return e, nil
+}
+
+// enableObs registers the deployment's series with the environment's
+// observability plane. A nil registry leaves all handles nil, so every
+// record site is a single-branch no-op.
+func (e *Engine) enableObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.dfs.EnableMetrics(r)
+	e.mShuffleBytes = r.Counter("bigquery.shuffle.bytes")
+	e.mSpeculative = r.Counter("bigquery.speculative")
+	e.mStage1Active = r.Gauge("bigquery.stage1.active")
+	e.mStage2Active = r.Gauge("bigquery.stage2.active")
+	e.mQueryLat = r.Histogram("bigquery.query.latency")
 }
 
 func (e *Engine) registerClassifier() {
@@ -446,6 +470,7 @@ func (e *Engine) shufflePut(p *sim.Proc, from *netsim.Node, qid, pi int, bytes i
 // shuffle state — the inputs are durable even when the intermediates are not.
 func (e *Engine) recomputePartial(p *sim.Proc, tr *trace.Trace, reducer *cluster.Machine, q Query, pi int) (map[int64]int64, error) {
 	e.Speculative++
+	e.mSpeculative.Inc()
 	part := e.fact[pi]
 	ioStart := p.Now()
 	d, _, err := e.dfs.Read(part.file, 0, e.cfg.PartitionFileBytes)
@@ -507,6 +532,8 @@ func (e *Engine) RPCClient() *netsim.Client { return e.client }
 // Run executes a query end-to-end from the calling (coordinator) process and
 // returns its real result.
 func (e *Engine) Run(p *sim.Proc, tr *trace.Trace, q Query) (*Result, error) {
+	start := p.Now()
+	defer func() { e.mQueryLat.RecordSince(start, p.Now()) }()
 	qid := e.nextQID
 	e.nextQID++
 	e.env.ExecRecipe(p, taxonomy.BigQuery, e.coord.Node, tr, e.planR)
@@ -550,6 +577,8 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 		worker := e.workers[w]
 		e.env.K.Go(fmt.Sprintf("bq-s1-w%d", w), func(wp *sim.Proc) {
 			defer bar.Done()
+			e.mStage1Active.Add(1)
+			defer e.mStage1Active.Add(-1)
 			for pi := w; pi < nParts; pi += nW {
 				part := e.fact[pi]
 				ioStart := wp.Now()
@@ -590,6 +619,7 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 					return
 				}
 				e.ShuffleBytes += bytes
+				e.mShuffleBytes.Add(bytes)
 			}
 		})
 	}
@@ -605,6 +635,8 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 	// speculatively re-executed from the durable fact partition instead of
 	// failing the query.
 	reducer := e.workers[qid%nW]
+	e.mStage2Active.Add(1)
+	defer e.mStage2Active.Add(-1)
 	merged := map[int64]int64{}
 	// contrib counts how many times each stage-1 shard lands in the merge; the
 	// exactly-once checker asserts every shard contributes exactly once,

@@ -16,6 +16,7 @@ import (
 	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/compress"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/stats"
@@ -114,6 +115,14 @@ type DB struct {
 	// RawBytes/CompressedBytes account flush compression.
 	BloomSkips                int
 	RawBytes, CompressedBytes int64
+
+	// Observability handles (nil when env.Obs is disabled; see enableObs).
+	mMinorCompactions *obs.Counter
+	mMajorCompactions *obs.Counter
+	mTabletMoves      *obs.Counter
+	mRecoveries       *obs.Counter
+	mGetLat           *obs.Histogram
+	mPutLat           *obs.Histogram
 }
 
 type sstable struct {
@@ -250,7 +259,24 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 	if err := db.load(); err != nil {
 		return nil, err
 	}
+	db.enableObs(env.Obs)
 	return db, nil
+}
+
+// enableObs registers the deployment's series with the environment's
+// observability plane. A nil registry leaves all handles nil, so every
+// record site is a single-branch no-op.
+func (db *DB) enableObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	db.dfs.EnableMetrics(r)
+	db.mMinorCompactions = r.Counter("bigtable.compactions.minor")
+	db.mMajorCompactions = r.Counter("bigtable.compactions.major")
+	db.mTabletMoves = r.Counter("bigtable.tablet.moves")
+	db.mRecoveries = r.Counter("bigtable.recoveries")
+	db.mGetLat = r.Histogram("bigtable.get.latency")
+	db.mPutLat = r.Histogram("bigtable.put.latency")
 }
 
 func (db *DB) registerClassifier() {
@@ -568,6 +594,7 @@ func (db *DB) flush(tab *tablet) {
 		tab.ssts = append([]*sstable{snap}, tab.ssts...)
 		tab.flushes++
 		db.MinorCompactions++
+		db.mMinorCompactions.Inc()
 		// The snapshot is durable: advance durableSeq over the completed
 		// prefix of pending flushes (they can finish out of order) and
 		// truncate the replay log up to it.
@@ -652,6 +679,7 @@ func (db *DB) major(tab *tablet) {
 		}
 		tab.ssts = append(kept, merged)
 		db.MajorCompactions++
+		db.mMajorCompactions.Inc()
 		tab.compacting.Fire()
 		tab.compacting = nil
 	})
@@ -722,6 +750,7 @@ func (db *DB) FailTabletServer(i int) error {
 		tab.serverIdx = ni
 		tab.server = machines[ni]
 		db.Reassignments++
+		db.mTabletMoves.Inc()
 		db.rebuildFromLog(tab)
 		db.recoverTablet(tab)
 	}
@@ -793,6 +822,7 @@ func (db *DB) recoverTablet(tab *tablet) {
 		}
 		db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, nil, db.minorRecipe)
 		db.Recoveries++
+		db.mRecoveries.Inc()
 		sig.Fire()
 		if tab.recovering == sig {
 			tab.recovering = nil

@@ -29,7 +29,9 @@ func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
 		db.rec.Initial(key, check.Digest(bootstrapValue(t, row, int(db.cfg.ValueBytes))))
 		op = db.rec.Invoke(p.Name(), "read", key, 0)
 	}
+	start := p.Now()
 	val, err := db.get(p, tr, t, row)
+	db.mGetLat.RecordSince(start, p.Now())
 	if op != nil {
 		if err != nil {
 			db.rec.Fail(op)
@@ -49,7 +51,9 @@ func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 		db.rec.Initial(key, check.Digest(bootstrapValue(t, row, int(db.cfg.ValueBytes))))
 		op = db.rec.Invoke(p.Name(), "write", key, check.Digest(value))
 	}
+	start := p.Now()
 	err := db.put(p, tr, t, row, value)
+	db.mPutLat.RecordSince(start, p.Now())
 	if op != nil {
 		if err != nil {
 			// A put fails only before the memtable insert (range checks), so

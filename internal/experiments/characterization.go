@@ -2,6 +2,10 @@
 // paper's evaluation, built on the platform simulations, the profiling and
 // tracing substrates, and the analytical model. DESIGN.md's per-experiment
 // index maps each paper artifact to the function here that regenerates it.
+//
+// Every study runs from the unified StudyConfig core (study.go); the legacy
+// per-study config types remain as deprecated views that convert via
+// Study().
 package experiments
 
 import (
@@ -11,6 +15,7 @@ import (
 	"hyperprof/internal/bigquery"
 	"hyperprof/internal/bigtable"
 	"hyperprof/internal/netsim"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/profile"
 	"hyperprof/internal/spanner"
@@ -20,42 +25,9 @@ import (
 	"hyperprof/internal/workload"
 )
 
-// CharConfig sizes the characterization run (the stand-in for the paper's
-// "one representative day" of fleet profiles and traces).
-type CharConfig struct {
-	Seed uint64
-	// SpannerQueries, BigTableQueries and BigQueryQueries are per-platform
-	// operation budgets.
-	SpannerQueries  int
-	BigTableQueries int
-	BigQueryQueries int
-	// Clients is the closed-loop client count per platform.
-	Clients int
-	// TraceRate keeps 1/TraceRate of traces (the paper samples 1/1000 of a
-	// day's queries; our runs are smaller, so the default keeps all).
-	TraceRate int
-	// Parallel bounds how many platform simulations run concurrently:
-	// 0 = one worker per CPU, 1 = sequential. Results are identical either
-	// way; each platform owns its kernel and is merged in platform order.
-	Parallel int
-}
-
-// DefaultCharConfig returns a configuration that runs in a few seconds and
-// yields stable aggregates.
-func DefaultCharConfig() CharConfig {
-	return CharConfig{
-		Seed:            1,
-		SpannerQueries:  1500,
-		BigTableQueries: 1500,
-		BigQueryQueries: 250,
-		Clients:         8,
-		TraceRate:       1,
-	}
-}
-
 // Characterization holds everything the table/figure extractors consume.
 type Characterization struct {
-	Cfg       CharConfig
+	Cfg       StudyConfig
 	Envs      map[taxonomy.Platform]*platform.Env
 	Traces    map[taxonomy.Platform][]*trace.Trace
 	Inventory *storage.Inventory
@@ -64,6 +36,9 @@ type Characterization struct {
 	QueryBytes map[taxonomy.Platform]float64
 	// Elapsed is the wall-clock time of each platform's simulated day.
 	Elapsed map[taxonomy.Platform]time.Duration
+	// Series is each platform's observability snapshot; empty unless
+	// Cfg.Obs.Enabled.
+	Series map[taxonomy.Platform][]obs.Series
 }
 
 // platformRun is one platform's completed simulated day, self-contained so
@@ -75,14 +50,24 @@ type platformRun struct {
 	elapsed    time.Duration
 	queryBytes float64
 	stores     []*storage.TieredStore
+	series     []obs.Series
 }
 
 // RunCharacterization builds all three platforms, drives their calibrated
-// workloads, and collects traces, profiles and inventory. The platforms are
-// independent simulations; they run concurrently (bounded by cfg.Parallel)
-// and merge deterministically, so the result is byte-for-byte identical to a
-// sequential run with the same seed.
+// workloads, and collects traces, profiles and inventory.
+//
+// Deprecated: construct a StudyConfig and call its Characterize method; this
+// wrapper converts and delegates.
 func RunCharacterization(cfg CharConfig) (*Characterization, error) {
+	return cfg.Study().Characterize()
+}
+
+// Characterize builds all three platforms, drives their calibrated
+// workloads, and collects traces, profiles, inventory and (when enabled)
+// observability series. The platforms are independent simulations; they run
+// concurrently (bounded by cfg.Parallel) and merge deterministically, so the
+// result is byte-for-byte identical to a sequential run with the same seed.
+func (cfg StudyConfig) Characterize() (*Characterization, error) {
 	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
 		return nil, fmt.Errorf("experiments: invalid characterization config %+v", cfg)
 	}
@@ -101,6 +86,7 @@ func RunCharacterization(cfg CharConfig) (*Characterization, error) {
 		Inventory:  storage.NewInventory(),
 		QueryBytes: map[taxonomy.Platform]float64{},
 		Elapsed:    map[taxonomy.Platform]time.Duration{},
+		Series:     map[taxonomy.Platform][]obs.Series{},
 	}
 	for i, p := range taxonomy.Platforms() {
 		run := runs[i]
@@ -108,6 +94,9 @@ func RunCharacterization(cfg CharConfig) (*Characterization, error) {
 		ch.Traces[p] = run.traces
 		ch.Elapsed[p] = run.elapsed
 		ch.QueryBytes[p] = run.queryBytes
+		if run.series != nil {
+			ch.Series[p] = run.series
+		}
 		for _, s := range run.stores {
 			ch.Inventory.AddStore(p, s)
 		}
@@ -115,19 +104,30 @@ func RunCharacterization(cfg CharConfig) (*Characterization, error) {
 	return ch, nil
 }
 
-func runSpannerChar(cfg CharConfig) (platformRun, error) {
+// enableStudyObs wires the environment's observability plane when the study
+// asks for it. Must run after any env.Net replacement and before the
+// platform constructor (see platform.Env.EnableObs).
+func enableStudyObs(cfg StudyConfig, env *platform.Env) {
+	if cfg.Obs.Enabled {
+		env.EnableObs(cfg.Obs.registry())
+	}
+}
+
+func runSpannerChar(cfg StudyConfig) (platformRun, error) {
 	env := platform.NewEnv(cfg.Seed, cfg.TraceRate)
 	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	enableStudyObs(cfg, env)
 	db, err := spanner.New(env, spanner.DefaultConfig())
 	if err != nil {
 		return platformRun{}, err
 	}
-	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), cfg.Clients, cfg.SpannerQueries)
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), cfg.Clients, cfg.Ops.Spanner)
+	env.Obs.Start(env.K)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
 		return platformRun{}, fmt.Errorf("spanner workload: %w", err)
 	}
-	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end, series: env.Obs.Snapshot()}
 	var bytesRead int64
 	for _, m := range db.Machines() {
 		out.stores = append(out.stores, m.Store)
@@ -135,22 +135,24 @@ func runSpannerChar(cfg CharConfig) (platformRun, error) {
 			bytesRead += m.Store.Stats(t).BytesRead
 		}
 	}
-	out.queryBytes = float64(bytesRead) / float64(cfg.SpannerQueries)
+	out.queryBytes = float64(bytesRead) / float64(cfg.Ops.Spanner)
 	return out, nil
 }
 
-func runBigTableChar(cfg CharConfig) (platformRun, error) {
+func runBigTableChar(cfg StudyConfig) (platformRun, error) {
 	env := platform.NewEnv(cfg.Seed+1, cfg.TraceRate)
+	enableStudyObs(cfg, env)
 	db, err := bigtable.New(env, bigtable.DefaultConfig())
 	if err != nil {
 		return platformRun{}, err
 	}
-	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), cfg.Clients, cfg.BigTableQueries)
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), cfg.Clients, cfg.Ops.BigTable)
+	env.Obs.Start(env.K)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
 		return platformRun{}, fmt.Errorf("bigtable workload: %w", err)
 	}
-	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end, series: env.Obs.Snapshot()}
 	var bytesRead int64
 	for _, m := range db.Machines() {
 		out.stores = append(out.stores, m.Store)
@@ -161,22 +163,24 @@ func runBigTableChar(cfg CharConfig) (platformRun, error) {
 			bytesRead += s.Stats(t).BytesRead
 		}
 	}
-	out.queryBytes = float64(bytesRead) / float64(cfg.BigTableQueries)
+	out.queryBytes = float64(bytesRead) / float64(cfg.Ops.BigTable)
 	return out, nil
 }
 
-func runBigQueryChar(cfg CharConfig) (platformRun, error) {
+func runBigQueryChar(cfg StudyConfig) (platformRun, error) {
 	env := platform.NewEnv(cfg.Seed+2, cfg.TraceRate)
+	enableStudyObs(cfg, env)
 	e, err := bigquery.New(env, bigquery.DefaultConfig())
 	if err != nil {
 		return platformRun{}, err
 	}
-	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), cfg.Clients, cfg.BigQueryQueries)
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), cfg.Clients, cfg.Ops.BigQuery)
+	env.Obs.Start(env.K)
 	end := env.K.Run()
 	if err := run.Err(); err != nil {
 		return platformRun{}, fmt.Errorf("bigquery workload: %w", err)
 	}
-	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end}
+	out := platformRun{env: env, traces: env.Tracer.Sampled(), elapsed: end, series: env.Obs.Snapshot()}
 	var bytesRead int64
 	for _, m := range e.Machines() {
 		out.stores = append(out.stores, m.Store)
@@ -187,7 +191,7 @@ func runBigQueryChar(cfg CharConfig) (platformRun, error) {
 			bytesRead += s.Stats(t).BytesRead
 		}
 	}
-	out.queryBytes = float64(bytesRead) / float64(cfg.BigQueryQueries)
+	out.queryBytes = float64(bytesRead) / float64(cfg.Ops.BigQuery)
 	return out, nil
 }
 

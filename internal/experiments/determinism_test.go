@@ -157,6 +157,55 @@ func TestResilienceStudyParallelMatchesSequentialByteForByte(t *testing.T) {
 	}
 }
 
+// TestObsStudyParallelMatchesSequentialByteForByte pins the observability
+// export: both the JSON time series and the Chrome counter-track document
+// must be byte-identical between a sequential and a parallel run. The series
+// include every sampled counter, gauge, windowed quantile and
+// continuous-profiling snapshot, so any scheduling nondeterminism in the
+// metrics plane shows up here.
+func TestObsStudyParallelMatchesSequentialByteForByte(t *testing.T) {
+	mk := func(parallel int) StudyConfig {
+		cfg := DefaultObsStudyConfig()
+		cfg.Ops = PlatformOps{Spanner: 200, BigTable: 200, BigQuery: 30}
+		if testing.Short() {
+			cfg.Ops = PlatformOps{Spanner: 100, BigTable: 100, BigQuery: 12}
+		}
+		cfg.Parallel = parallel
+		return cfg
+	}
+	obsBytes := func(o *ObsStudy) []byte {
+		data, err := o.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := trace.NewChromeBuilder()
+		b.AddCounters(o.CounterTracks())
+		chrome, err := b.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(data, chrome...)
+	}
+	oSeq, err := mk(1).Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oPar, err := mk(4).Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range taxonomy.Platforms() {
+		if len(oSeq.Series[p]) == 0 {
+			t.Fatalf("%s: no observability series collected", p)
+		}
+	}
+	a, b := obsBytes(oSeq), obsBytes(oPar)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel observability export diverged from sequential: %d vs %d bytes (first diff at %d)",
+			len(a), len(b), firstDiff(a, b))
+	}
+}
+
 func firstDiff(a, b []byte) int {
 	n := len(a)
 	if len(b) < n {

@@ -9,6 +9,7 @@ import (
 	"hyperprof/internal/bigtable"
 	"hyperprof/internal/faults"
 	"hyperprof/internal/netsim"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/spanner"
@@ -17,65 +18,6 @@ import (
 	"hyperprof/internal/trace"
 	"hyperprof/internal/workload"
 )
-
-// ResilienceConfig sizes the resilience study: each platform runs its
-// calibrated workload twice — a fault-free baseline arm and a faulted arm
-// driven by a seeded fault schedule — and the study compares availability,
-// goodput and tail latency between the two.
-type ResilienceConfig struct {
-	Seed uint64
-	// Per-platform operation budgets (shared by both arms).
-	SpannerOps, BigTableOps, BigQueryOps int
-	// Clients is the closed-loop client count per platform.
-	Clients int
-	// MTBFFrac is the per-target mean time between failures as a fraction of
-	// the platform's baseline elapsed time (0.5 means each target expects
-	// roughly two crash or straggler windows per run).
-	MTBFFrac float64
-	// MTTRFrac is the mean repair time as a fraction of baseline elapsed.
-	MTTRFrac float64
-	// StragglerProb is the chance a generated fault window is a straggler
-	// (service-time multiplier StragglerFactor) instead of a crash.
-	StragglerProb   float64
-	StragglerFactor float64
-	// NetDegradeProb is the chance of one network-degradation window per
-	// platform run, adding NetExtraDelay per message and dropping requests
-	// with probability NetDropProb while it lasts.
-	NetDegradeProb float64
-	NetExtraDelay  time.Duration
-	NetDropProb    float64
-	// TraceRate keeps 1/TraceRate of traces (latency quantiles are computed
-	// from sampled traces, so 1 keeps them exact).
-	TraceRate int
-	// Parallel bounds how many platforms run concurrently: 0 = one worker
-	// per CPU, 1 = sequential. A platform's faulted arm needs its baseline
-	// horizon, so the two arms stay sequential within a platform; the three
-	// platforms are independent and merge in fixed platform order.
-	Parallel int
-}
-
-// DefaultResilienceConfig returns the documented default fault rates: every
-// registered target expects about two fault windows per run, repairs take a
-// few percent of the run, a quarter of windows are 4x stragglers, and a
-// network brown-out (extra 200us per message, 2% drops) occurs in about half
-// the runs. At these rates all three platforms stay above 99% availability.
-func DefaultResilienceConfig() ResilienceConfig {
-	return ResilienceConfig{
-		Seed:            1,
-		SpannerOps:      1200,
-		BigTableOps:     1200,
-		BigQueryOps:     96,
-		Clients:         8,
-		MTBFFrac:        0.5,
-		MTTRFrac:        0.03,
-		StragglerProb:   0.25,
-		StragglerFactor: 4,
-		NetDegradeProb:  0.5,
-		NetExtraDelay:   200 * time.Microsecond,
-		NetDropProb:     0.02,
-		TraceRate:       1,
-	}
-}
 
 // resilienceRPCPolicy is the client-side policy both arms run with: a few
 // quick retries so transient faults (crashed replica, dropped message, shed
@@ -111,31 +53,46 @@ type ResilienceRow struct {
 }
 
 // Resilience holds the full study: two rows per platform (baseline then
-// faulted, in taxonomy.Platforms() order) plus the faulted arm's traces and
-// fault marks for timeline export.
+// faulted, in taxonomy.Platforms() order) plus the faulted arm's traces,
+// fault marks and (when enabled) observability series for timeline export.
 type Resilience struct {
-	Cfg    ResilienceConfig
+	Cfg    StudyConfig
 	Rows   []ResilienceRow
 	Traces map[taxonomy.Platform][]*trace.Trace
 	Marks  map[taxonomy.Platform][]trace.Mark
+	// Series is the faulted arm's observability snapshot per platform; empty
+	// unless Cfg.Obs.Enabled.
+	Series map[taxonomy.Platform][]obs.Series
 }
 
-// resilienceArm is one completed (platform, arm) measurement plus the traces
-// and fault marks the faulted arm exports, kept arm-local so platforms can
-// run on concurrent goroutines and merge afterwards in platform order.
+// resilienceArm is one completed (platform, arm) measurement plus the traces,
+// fault marks and observability series the faulted arm exports, kept
+// arm-local so platforms can run on concurrent goroutines and merge
+// afterwards in platform order.
 type resilienceArm struct {
 	row    ResilienceRow
 	traces []*trace.Trace
 	marks  []trace.Mark
+	series []obs.Series
 }
 
 // RunResilienceStudy measures each platform fault-free, generates a seeded
 // fault schedule spanning the measured horizon, and re-runs the identical
-// workload under injection. Equal configs replay bit-identically; the three
-// platforms run concurrently (bounded by cfg.Parallel) with each platform's
+// workload under injection.
+//
+// Deprecated: construct a StudyConfig and call its Resilience method; this
+// wrapper converts and delegates.
+func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
+	return cfg.Study().Resilience()
+}
+
+// Resilience measures each platform fault-free, generates a seeded fault
+// schedule spanning the measured horizon, and re-runs the identical workload
+// under injection. Equal configs replay bit-identically; the three platforms
+// run concurrently (bounded by cfg.Parallel) with each platform's
 // baseline→faulted pair kept sequential, since the fault schedule spans the
 // measured baseline horizon.
-func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
+func (cfg StudyConfig) Resilience() (*Resilience, error) {
 	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
 		return nil, fmt.Errorf("experiments: invalid resilience config %+v", cfg)
 	}
@@ -143,6 +100,7 @@ func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
 		Cfg:    cfg,
 		Traces: map[taxonomy.Platform][]*trace.Trace{},
 		Marks:  map[taxonomy.Platform][]trace.Mark{},
+		Series: map[taxonomy.Platform][]obs.Series{},
 	}
 	platforms := taxonomy.Platforms()
 	jobs := make([]func() ([2]resilienceArm, error), len(platforms))
@@ -170,6 +128,9 @@ func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
 			if arm.row.Faulted {
 				r.Traces[p] = arm.traces
 				r.Marks[p] = arm.marks
+				if arm.series != nil {
+					r.Series[p] = arm.series
+				}
 			}
 		}
 	}
@@ -195,13 +156,13 @@ func (r *Resilience) Row(p taxonomy.Platform, faulted bool) *ResilienceRow {
 func (r *Resilience) scheduleConfig(horizon time.Duration, seed uint64, stragglerProb float64) faults.ScheduleConfig {
 	return faults.ScheduleConfig{
 		Horizon:         time.Duration(float64(horizon) * 0.8),
-		MTBF:            time.Duration(float64(horizon) * r.Cfg.MTBFFrac),
-		MTTR:            time.Duration(float64(horizon) * r.Cfg.MTTRFrac),
+		MTBF:            time.Duration(float64(horizon) * r.Cfg.Faults.MTBFFrac),
+		MTTR:            time.Duration(float64(horizon) * r.Cfg.Faults.MTTRFrac),
 		StragglerProb:   stragglerProb,
-		StragglerFactor: r.Cfg.StragglerFactor,
-		NetDegradeProb:  r.Cfg.NetDegradeProb,
-		NetExtraDelay:   r.Cfg.NetExtraDelay,
-		NetDropProb:     r.Cfg.NetDropProb,
+		StragglerFactor: r.Cfg.Faults.StragglerFactor,
+		NetDegradeProb:  r.Cfg.Faults.NetDegradeProb,
+		NetExtraDelay:   r.Cfg.Faults.NetExtraDelay,
+		NetDropProb:     r.Cfg.Faults.NetDropProb,
 		Seed:            seed,
 	}
 }
@@ -225,6 +186,7 @@ func (r *Resilience) runArm(p taxonomy.Platform, horizon time.Duration) (resilie
 func (r *Resilience) runSpanner(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed, r.Cfg.TraceRate)
 	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	enableStudyObs(r.Cfg, env)
 	scfg := spanner.DefaultConfig()
 	scfg.RPC = resilienceRPCPolicy()
 	db, err := spanner.New(env, scfg)
@@ -247,14 +209,15 @@ func (r *Resilience) runSpanner(horizon time.Duration) (resilienceArm, error) {
 			})
 		}
 		r.registerNetwork(eng, env)
-		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed, r.Cfg.StragglerProb)))
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed, r.Cfg.Faults.StragglerProb)))
 	}
-	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), r.Cfg.Clients, r.Cfg.SpannerOps)
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), r.Cfg.Clients, r.Cfg.Ops.Spanner)
 	return r.measure(taxonomy.Spanner, env, run, eng)
 }
 
 func (r *Resilience) runBigTable(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed+1, r.Cfg.TraceRate)
+	enableStudyObs(r.Cfg, env)
 	db, err := bigtable.New(env, bigtable.DefaultConfig())
 	if err != nil {
 		return resilienceArm{}, err
@@ -279,12 +242,13 @@ func (r *Resilience) runBigTable(horizon time.Duration) (resilienceArm, error) {
 		r.registerNetwork(eng, env)
 		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+1, 0)))
 	}
-	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), r.Cfg.Clients, r.Cfg.BigTableOps)
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), r.Cfg.Clients, r.Cfg.Ops.BigTable)
 	return r.measure(taxonomy.BigTable, env, run, eng)
 }
 
 func (r *Resilience) runBigQuery(horizon time.Duration) (resilienceArm, error) {
 	env := platform.NewEnv(r.Cfg.Seed+2, r.Cfg.TraceRate)
+	enableStudyObs(r.Cfg, env)
 	qcfg := bigquery.DefaultConfig()
 	qcfg.RPC = resilienceRPCPolicy()
 	e, err := bigquery.New(env, qcfg)
@@ -309,9 +273,9 @@ func (r *Resilience) runBigQuery(horizon time.Duration) (resilienceArm, error) {
 			Recover: func() { _ = e.DFS().RecoverServer(0) },
 		})
 		r.registerNetwork(eng, env)
-		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+2, r.Cfg.StragglerProb)))
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+2, r.Cfg.Faults.StragglerProb)))
 	}
-	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), r.Cfg.Clients, r.Cfg.BigQueryOps)
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), r.Cfg.Clients, r.Cfg.Ops.BigQuery)
 	return r.measure(taxonomy.BigQuery, env, run, eng)
 }
 
@@ -331,6 +295,7 @@ func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *worklo
 		mp.Wait(run.Done)
 		elapsed = mp.Now()
 	})
+	env.Obs.Start(env.K)
 	env.K.Run()
 	row := ResilienceRow{
 		Platform: p,
@@ -355,7 +320,7 @@ func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *worklo
 		row.P99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
 		row.P999 = time.Duration(lat.Quantile(0.999) * float64(time.Second))
 	}
-	arm := resilienceArm{row: row}
+	arm := resilienceArm{row: row, series: env.Obs.Snapshot()}
 	if eng != nil {
 		arm.row.FaultsApplied = len(eng.Applied)
 		arm.row.FaultEvents = eng.Applied

@@ -18,63 +18,13 @@ import (
 	"hyperprof/internal/trace"
 )
 
-// SafetyConfig sizes the safety torture study: each platform runs a
-// contended read/write workload with history recording enabled, first
-// fault-free (to calibrate the horizon and prove the checkers pass on a
-// clean run), then once per seed under an injected fault schedule. After
-// every run the recorded history is checked for linearizability, the
-// structural violations are drained, and the platform's standing invariants
-// (consensus, tablets, shuffle, DFS replica consistency) are asserted.
-type SafetyConfig struct {
-	// BaseSeed seeds the calibration run; faulted runs use BaseSeed..
-	// BaseSeed+Seeds-1.
-	BaseSeed uint64
-	// Seeds is the number of faulted runs per platform.
-	Seeds int
-	// Per-platform operation budgets per run.
-	SpannerOps, BigTableOps, BigQueryOps int
-	// Clients is the closed-loop torture client count per platform.
-	Clients int
-	// HotRows bounds the contended row range so concurrent clients collide
-	// on the same registers, which is what gives the linearizability checker
-	// real overlap to reason about.
-	HotRows int
-	// Fault rates, as fractions of the calibrated horizon (see
-	// ResilienceConfig for the semantics).
-	MTBFFrac, MTTRFrac float64
-	StragglerProb      float64
-	StragglerFactor    float64
-	NetDegradeProb     float64
-	NetExtraDelay      time.Duration
-	NetDropProb        float64
-	// Parallel bounds how many (platform, seed) arms run concurrently:
-	// 0 = one worker per CPU, 1 = sequential. Every arm owns its kernel and
-	// results merge in fixed (platform, seed) order, so the study output is
-	// identical either way.
-	Parallel int
-}
-
-// DefaultSafetyConfig returns the documented torture defaults: six clients
-// hammering eight hot rows per platform, roughly two fault windows per
-// target per run, and network brown-outs in half the runs.
-func DefaultSafetyConfig() SafetyConfig {
-	return SafetyConfig{
-		BaseSeed:        1,
-		Seeds:           5,
-		SpannerOps:      400,
-		BigTableOps:     400,
-		BigQueryOps:     24,
-		Clients:         6,
-		HotRows:         8,
-		MTBFFrac:        0.5,
-		MTTRFrac:        0.03,
-		StragglerProb:   0.25,
-		StragglerFactor: 4,
-		NetDegradeProb:  0.5,
-		NetExtraDelay:   200 * time.Microsecond,
-		NetDropProb:     0.02,
-	}
-}
+// This file is the safety torture study: each platform runs a contended
+// read/write workload with history recording enabled, first fault-free (to
+// calibrate the horizon and prove the checkers pass on a clean run), then
+// once per seed under an injected fault schedule. After every run the
+// recorded history is checked for linearizability, the structural violations
+// are drained, and the platform's standing invariants (consensus, tablets,
+// shuffle, DFS replica consistency) are asserted.
 
 // SafetyViolation is one checker finding, tagged with the seed that
 // reproduces it (rerun the study with that seed to replay the violating
@@ -104,7 +54,7 @@ type SafetyRow struct {
 
 // Safety holds the full study.
 type Safety struct {
-	Cfg        SafetyConfig
+	Cfg        StudyConfig
 	Rows       []SafetyRow
 	Violations []SafetyViolation
 	// Marks carries one timeline mark per violation (plus nothing else), for
@@ -125,13 +75,22 @@ type safetyArm struct {
 }
 
 // RunSafetyStudy runs the torture harness: per platform, one fault-free
-// calibration run (whose elapsed time becomes the fault-schedule horizon)
-// followed by Seeds faulted runs. Equal configs replay bit-identically, and
-// the parallel runner fans the arms out in two waves — the three calibration
+// calibration run followed by Seeds faulted runs.
+//
+// Deprecated: construct a StudyConfig and call its Safety method; this
+// wrapper converts and delegates.
+func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
+	return cfg.Study().Safety()
+}
+
+// Safety runs the torture harness: per platform, one fault-free calibration
+// run (whose elapsed time becomes the fault-schedule horizon) followed by
+// Check.Seeds faulted runs. Equal configs replay bit-identically, and the
+// parallel runner fans the arms out in two waves — the three calibration
 // runs, then every faulted (platform, seed) arm — merging results in the
 // same order the sequential loop produced.
-func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
-	if cfg.Clients <= 0 || cfg.Seeds <= 0 || cfg.HotRows <= 0 {
+func (cfg StudyConfig) Safety() (*Safety, error) {
+	if cfg.Clients <= 0 || cfg.Check.Seeds <= 0 || cfg.Check.HotRows <= 0 {
 		return nil, fmt.Errorf("experiments: invalid safety config %+v", cfg)
 	}
 	s := &Safety{Cfg: cfg, Marks: map[taxonomy.Platform][]trace.Mark{}}
@@ -139,7 +98,7 @@ func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
 	calJobs := make([]func() (safetyArm, error), len(platforms))
 	for i, p := range platforms {
 		p := p
-		calJobs[i] = func() (safetyArm, error) { return s.runOne(p, cfg.BaseSeed, 0) }
+		calJobs[i] = func() (safetyArm, error) { return s.runOne(p, cfg.Seed, 0) }
 	}
 	cals, err := runJobs(cfg.Parallel, calJobs)
 	if err != nil {
@@ -148,8 +107,8 @@ func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
 	var tortureJobs []func() (safetyArm, error)
 	for i, p := range platforms {
 		horizon := cals[i].row.Elapsed
-		for j := 0; j < cfg.Seeds; j++ {
-			p, seed := p, cfg.BaseSeed+uint64(j)
+		for j := 0; j < cfg.Check.Seeds; j++ {
+			p, seed := p, cfg.Seed+uint64(j)
 			tortureJobs = append(tortureJobs, func() (safetyArm, error) {
 				return s.runOne(p, seed, horizon)
 			})
@@ -161,8 +120,8 @@ func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
 	}
 	for i, p := range platforms {
 		s.merge(p, cals[i])
-		for j := 0; j < cfg.Seeds; j++ {
-			s.merge(p, tortured[i*cfg.Seeds+j])
+		for j := 0; j < cfg.Check.Seeds; j++ {
+			s.merge(p, tortured[i*cfg.Check.Seeds+j])
 		}
 	}
 	return s, nil
@@ -199,13 +158,13 @@ func (s *Safety) runOne(p taxonomy.Platform, seed uint64, horizon time.Duration)
 func (s *Safety) scheduleFor(horizon time.Duration, seed uint64, stragglerProb float64) faults.ScheduleConfig {
 	return faults.ScheduleConfig{
 		Horizon:         time.Duration(float64(horizon) * 0.8),
-		MTBF:            time.Duration(float64(horizon) * s.Cfg.MTBFFrac),
-		MTTR:            time.Duration(float64(horizon) * s.Cfg.MTTRFrac),
+		MTBF:            time.Duration(float64(horizon) * s.Cfg.Faults.MTBFFrac),
+		MTTR:            time.Duration(float64(horizon) * s.Cfg.Faults.MTTRFrac),
 		StragglerProb:   stragglerProb,
-		StragglerFactor: s.Cfg.StragglerFactor,
-		NetDegradeProb:  s.Cfg.NetDegradeProb,
-		NetExtraDelay:   s.Cfg.NetExtraDelay,
-		NetDropProb:     s.Cfg.NetDropProb,
+		StragglerFactor: s.Cfg.Faults.StragglerFactor,
+		NetDegradeProb:  s.Cfg.Faults.NetDegradeProb,
+		NetExtraDelay:   s.Cfg.Faults.NetExtraDelay,
+		NetDropProb:     s.Cfg.Faults.NetDropProb,
 		Seed:            seed,
 	}
 }
@@ -302,11 +261,11 @@ func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (safetyArm, erro
 			}
 		}
 		s.registerNet(eng, env, seed)
-		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed, s.Cfg.StragglerProb)))
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed, s.Cfg.Faults.StragglerProb)))
 	}
-	ops, errs, elapsed := s.drive(env, "spanner", seed, s.Cfg.SpannerOps,
+	ops, errs, elapsed := s.drive(env, "spanner", seed, s.Cfg.Ops.Spanner,
 		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
-			g, r := rng.Intn(scfg.Groups), rng.Intn(s.Cfg.HotRows)
+			g, r := rng.Intn(scfg.Groups), rng.Intn(s.Cfg.Check.HotRows)
 			if rng.Bool(0.5) {
 				_, err := db.Read(p, nil, g, r, rng.Bool(0.15))
 				return err
@@ -355,9 +314,9 @@ func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (safetyArm, err
 		s.registerNet(eng, env, seed)
 		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed+1000, 0)))
 	}
-	ops, errs, elapsed := s.drive(env, "bigtable", seed, s.Cfg.BigTableOps,
+	ops, errs, elapsed := s.drive(env, "bigtable", seed, s.Cfg.Ops.BigTable,
 		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
-			t, r := rng.Intn(bcfg.Tablets), rng.Intn(s.Cfg.HotRows)
+			t, r := rng.Intn(bcfg.Tablets), rng.Intn(s.Cfg.Check.HotRows)
 			if rng.Bool(0.5) {
 				_, err := db.Get(p, nil, t, r)
 				return err
@@ -403,10 +362,10 @@ func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (safetyArm, err
 			Recover: func() { _ = e.DFS().RecoverServer(0) },
 		})
 		s.registerNet(eng, env, seed)
-		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed+2000, s.Cfg.StragglerProb)))
+		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), s.scheduleFor(horizon, seed+2000, s.Cfg.Faults.StragglerProb)))
 	}
 	kinds := []bigquery.Kind{bigquery.ScanAgg, bigquery.JoinQuery}
-	ops, errs, elapsed := s.drive(env, "bigquery", seed, s.Cfg.BigQueryOps,
+	ops, errs, elapsed := s.drive(env, "bigquery", seed, s.Cfg.Ops.BigQuery,
 		func(p *sim.Proc, rng *stats.RNG, c, i int) error {
 			q := bigquery.Query{Kind: kinds[rng.Intn(len(kinds))], Threshold: int64(rng.Intn(1000))}
 			_, err := e.Run(p, nil, q)
@@ -427,7 +386,7 @@ func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (safetyArm, err
 func RenderSafety(s *Safety) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Safety torture study (base seed %d, %d seeds/platform; checks: linearizability, structural, invariants)\n",
-		s.Cfg.BaseSeed, s.Cfg.Seeds)
+		s.Cfg.Seed, s.Cfg.Check.Seeds)
 	fmt.Fprintf(&b, "%-10s %6s %-9s %6s %5s %10s %7s %10s\n",
 		"platform", "seed", "arm", "ops", "errs", "elapsed", "faults", "violations")
 	for _, row := range s.Rows {

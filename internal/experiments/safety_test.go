@@ -28,7 +28,7 @@ func TestSafetyStudyFindsNoViolations(t *testing.T) {
 		t.Fatalf("safety study found violations:\n%s", RenderSafety(s))
 	}
 	// One calibration row plus Seeds faulted rows per platform.
-	wantRows := len(taxonomy.Platforms()) * (1 + s.Cfg.Seeds)
+	wantRows := len(taxonomy.Platforms()) * (1 + s.Cfg.Check.Seeds)
 	if len(s.Rows) != wantRows {
 		t.Fatalf("rows = %d, want %d", len(s.Rows), wantRows)
 	}

@@ -1,0 +1,347 @@
+package experiments
+
+// This file is the unified Study API. Four PRs of growth left the package
+// with three divergent config structs (CharConfig, SafetyConfig,
+// ResilienceConfig) that repeated the same seeds/parallelism/clients knobs
+// under different names. StudyConfig is the shared core: one struct of
+// grouped knobs (operation budgets, fault rates, checker sizing,
+// observability) with one method entry point per study. The legacy config
+// types survive as thin deprecated views that convert via Study(), so every
+// pre-existing caller — including the facade's re-exports — compiles and
+// behaves identically.
+
+import (
+	"time"
+
+	"hyperprof/internal/obs"
+)
+
+// PlatformOps is the per-platform operation budget of a study.
+type PlatformOps struct {
+	Spanner, BigTable, BigQuery int
+}
+
+// FaultConfig groups the fault-injection rates shared by the safety and
+// resilience studies. Rates are fractions of the measured fault-free horizon
+// (MTBFFrac 0.5 means each target expects roughly two fault windows per
+// run); the zero value disables injection-specific behaviour but studies
+// that inject always set it explicitly.
+type FaultConfig struct {
+	// MTBFFrac is the per-target mean time between failures as a fraction
+	// of the platform's baseline elapsed time.
+	MTBFFrac float64
+	// MTTRFrac is the mean repair time as a fraction of baseline elapsed.
+	MTTRFrac float64
+	// StragglerProb is the chance a generated fault window is a straggler
+	// (service-time multiplier StragglerFactor) instead of a crash.
+	StragglerProb   float64
+	StragglerFactor float64
+	// NetDegradeProb is the chance of one network-degradation window per
+	// platform run, adding NetExtraDelay per message and dropping requests
+	// with probability NetDropProb while it lasts.
+	NetDegradeProb float64
+	NetExtraDelay  time.Duration
+	NetDropProb    float64
+}
+
+// CheckConfig sizes the safety checker: how many faulted seeds to sweep and
+// how hot the contended row range is.
+type CheckConfig struct {
+	// Seeds is the number of faulted runs per platform.
+	Seeds int
+	// HotRows bounds the contended row range so concurrent clients collide
+	// on the same registers, giving the linearizability checker real overlap.
+	HotRows int
+}
+
+// ObsConfig switches on the observability plane and sizes its sampling.
+type ObsConfig struct {
+	// Enabled turns the metrics plane on; when false the other fields are
+	// ignored and instrumented code pays one nil-check branch per record.
+	Enabled bool
+	// Interval is the virtual-time sampling period (0 = obs.DefaultConfig).
+	Interval time.Duration
+	// Window is the histogram window capacity (0 = obs.DefaultConfig).
+	Window int
+}
+
+// registry builds the obs registry config for this study.
+func (o ObsConfig) registry() obs.Config {
+	return obs.Config{Interval: o.Interval, Window: o.Window}
+}
+
+// StudyConfig is the shared core every study runs from. Construct one with a
+// Default*StudyConfig helper (or convert a legacy config via Study()) and
+// call the study's method entry point: Characterize, Safety, Resilience or
+// Observe.
+type StudyConfig struct {
+	// Seed drives all randomness. Studies derive per-platform and per-arm
+	// seeds from it, so equal configs replay bit-identically.
+	Seed uint64
+	// Parallel bounds how many independent simulations run concurrently:
+	// 0 = one worker per CPU, 1 = sequential. Results are byte-identical
+	// either way (see runner.go).
+	Parallel int
+	// Clients is the closed-loop client count per platform.
+	Clients int
+	// TraceRate keeps 1/TraceRate of traces.
+	TraceRate int
+	// Ops is the per-platform operation budget.
+	Ops PlatformOps
+	// Faults configures injection for the safety and resilience studies.
+	Faults FaultConfig
+	// Check sizes the safety checker sweep.
+	Check CheckConfig
+	// Obs configures the observability plane.
+	Obs ObsConfig
+}
+
+// defaultFaults are the documented fault rates both injecting studies share:
+// roughly two fault windows per target per run, repairs a few percent of the
+// run, a quarter of windows 4x stragglers, and a network brown-out (extra
+// 200µs per message, 2% drops) in about half the runs.
+func defaultFaults() FaultConfig {
+	return FaultConfig{
+		MTBFFrac:        0.5,
+		MTTRFrac:        0.03,
+		StragglerProb:   0.25,
+		StragglerFactor: 4,
+		NetDegradeProb:  0.5,
+		NetExtraDelay:   200 * time.Microsecond,
+		NetDropProb:     0.02,
+	}
+}
+
+// DefaultCharStudyConfig returns the characterization defaults: the
+// stand-in for the paper's "one representative day".
+func DefaultCharStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   8,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: 1500, BigTable: 1500, BigQuery: 250},
+	}
+}
+
+// DefaultSafetyStudyConfig returns the torture defaults: six clients
+// hammering eight hot rows per platform across five faulted seeds.
+func DefaultSafetyStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   6,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: 400, BigTable: 400, BigQuery: 24},
+		Faults:    defaultFaults(),
+		Check:     CheckConfig{Seeds: 5, HotRows: 8},
+	}
+}
+
+// DefaultResilienceStudyConfig returns the resilience defaults: baseline vs
+// faulted arms at rates where all three platforms stay above 99%
+// availability.
+func DefaultResilienceStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   8,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: 1200, BigTable: 1200, BigQuery: 96},
+		Faults:    defaultFaults(),
+	}
+}
+
+// DefaultObsStudyConfig returns the observability-study defaults: a
+// moderate workload with the metrics plane on at 1ms virtual-time
+// resolution, sized so the exported time series stay readable.
+func DefaultObsStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   8,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: 600, BigTable: 600, BigQuery: 90},
+		Obs:       ObsConfig{Enabled: true, Interval: time.Millisecond, Window: 1024},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated legacy views. Each converts to the unified core via Study();
+// the Run* entry points accept them unchanged.
+
+// CharConfig sizes the characterization run.
+//
+// Deprecated: use StudyConfig (DefaultCharStudyConfig) with the Characterize
+// method. CharConfig remains as a compatibility view.
+type CharConfig struct {
+	Seed uint64
+	// SpannerQueries, BigTableQueries and BigQueryQueries are per-platform
+	// operation budgets.
+	SpannerQueries  int
+	BigTableQueries int
+	BigQueryQueries int
+	// Clients is the closed-loop client count per platform.
+	Clients int
+	// TraceRate keeps 1/TraceRate of traces.
+	TraceRate int
+	// Parallel bounds concurrent platform simulations (0 = CPUs, 1 = seq).
+	Parallel int
+}
+
+// Study converts the legacy view to the unified core.
+func (c CharConfig) Study() StudyConfig {
+	return StudyConfig{
+		Seed:      c.Seed,
+		Parallel:  c.Parallel,
+		Clients:   c.Clients,
+		TraceRate: c.TraceRate,
+		Ops:       PlatformOps{Spanner: c.SpannerQueries, BigTable: c.BigTableQueries, BigQuery: c.BigQueryQueries},
+	}
+}
+
+// DefaultCharConfig returns the legacy-shaped characterization defaults.
+//
+// Deprecated: use DefaultCharStudyConfig.
+func DefaultCharConfig() CharConfig {
+	return CharConfig{
+		Seed:            1,
+		SpannerQueries:  1500,
+		BigTableQueries: 1500,
+		BigQueryQueries: 250,
+		Clients:         8,
+		TraceRate:       1,
+	}
+}
+
+// SafetyConfig sizes the safety torture study.
+//
+// Deprecated: use StudyConfig (DefaultSafetyStudyConfig) with the Safety
+// method. SafetyConfig remains as a compatibility view.
+type SafetyConfig struct {
+	// BaseSeed seeds the calibration run; faulted runs use BaseSeed..
+	// BaseSeed+Seeds-1.
+	BaseSeed uint64
+	// Seeds is the number of faulted runs per platform.
+	Seeds int
+	// Per-platform operation budgets per run.
+	SpannerOps, BigTableOps, BigQueryOps int
+	// Clients is the closed-loop torture client count per platform.
+	Clients int
+	// HotRows bounds the contended row range.
+	HotRows int
+	// Fault rates, as fractions of the calibrated horizon.
+	MTBFFrac, MTTRFrac float64
+	StragglerProb      float64
+	StragglerFactor    float64
+	NetDegradeProb     float64
+	NetExtraDelay      time.Duration
+	NetDropProb        float64
+	// Parallel bounds concurrent (platform, seed) arms.
+	Parallel int
+}
+
+// Study converts the legacy view to the unified core. The torture harness
+// always records full histories, so TraceRate pins to 1.
+func (c SafetyConfig) Study() StudyConfig {
+	return StudyConfig{
+		Seed:      c.BaseSeed,
+		Parallel:  c.Parallel,
+		Clients:   c.Clients,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: c.SpannerOps, BigTable: c.BigTableOps, BigQuery: c.BigQueryOps},
+		Check:     CheckConfig{Seeds: c.Seeds, HotRows: c.HotRows},
+		Faults: FaultConfig{
+			MTBFFrac:        c.MTBFFrac,
+			MTTRFrac:        c.MTTRFrac,
+			StragglerProb:   c.StragglerProb,
+			StragglerFactor: c.StragglerFactor,
+			NetDegradeProb:  c.NetDegradeProb,
+			NetExtraDelay:   c.NetExtraDelay,
+			NetDropProb:     c.NetDropProb,
+		},
+	}
+}
+
+// DefaultSafetyConfig returns the legacy-shaped torture defaults.
+//
+// Deprecated: use DefaultSafetyStudyConfig.
+func DefaultSafetyConfig() SafetyConfig {
+	return SafetyConfig{
+		BaseSeed:        1,
+		Seeds:           5,
+		SpannerOps:      400,
+		BigTableOps:     400,
+		BigQueryOps:     24,
+		Clients:         6,
+		HotRows:         8,
+		MTBFFrac:        0.5,
+		MTTRFrac:        0.03,
+		StragglerProb:   0.25,
+		StragglerFactor: 4,
+		NetDegradeProb:  0.5,
+		NetExtraDelay:   200 * time.Microsecond,
+		NetDropProb:     0.02,
+	}
+}
+
+// ResilienceConfig sizes the resilience study.
+//
+// Deprecated: use StudyConfig (DefaultResilienceStudyConfig) with the
+// Resilience method. ResilienceConfig remains as a compatibility view.
+type ResilienceConfig struct {
+	Seed uint64
+	// Per-platform operation budgets (shared by both arms).
+	SpannerOps, BigTableOps, BigQueryOps int
+	// Clients is the closed-loop client count per platform.
+	Clients int
+	// Fault rates (see FaultConfig for semantics).
+	MTBFFrac        float64
+	MTTRFrac        float64
+	StragglerProb   float64
+	StragglerFactor float64
+	NetDegradeProb  float64
+	NetExtraDelay   time.Duration
+	NetDropProb     float64
+	// TraceRate keeps 1/TraceRate of traces.
+	TraceRate int
+	// Parallel bounds concurrent platforms.
+	Parallel int
+}
+
+// Study converts the legacy view to the unified core.
+func (c ResilienceConfig) Study() StudyConfig {
+	return StudyConfig{
+		Seed:      c.Seed,
+		Parallel:  c.Parallel,
+		Clients:   c.Clients,
+		TraceRate: c.TraceRate,
+		Ops:       PlatformOps{Spanner: c.SpannerOps, BigTable: c.BigTableOps, BigQuery: c.BigQueryOps},
+		Faults: FaultConfig{
+			MTBFFrac:        c.MTBFFrac,
+			MTTRFrac:        c.MTTRFrac,
+			StragglerProb:   c.StragglerProb,
+			StragglerFactor: c.StragglerFactor,
+			NetDegradeProb:  c.NetDegradeProb,
+			NetExtraDelay:   c.NetExtraDelay,
+			NetDropProb:     c.NetDropProb,
+		},
+	}
+}
+
+// DefaultResilienceConfig returns the legacy-shaped resilience defaults.
+//
+// Deprecated: use DefaultResilienceStudyConfig.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Seed:            1,
+		SpannerOps:      1200,
+		BigTableOps:     1200,
+		BigQueryOps:     96,
+		Clients:         8,
+		MTBFFrac:        0.5,
+		MTTRFrac:        0.03,
+		StragglerProb:   0.25,
+		StragglerFactor: 4,
+		NetDegradeProb:  0.5,
+		NetExtraDelay:   200 * time.Microsecond,
+		NetDropProb:     0.02,
+		TraceRate:       1,
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"hyperprof/internal/obs"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/stats"
 )
@@ -63,6 +64,41 @@ type Network struct {
 	// keeping the counter on the network (not a package global) preserves
 	// determinism across independent simulations.
 	nextClientID uint32
+
+	// m aggregates RPC outcomes network-wide into the observability plane.
+	// The zero value (all-nil handles) is the disabled state: every record
+	// site costs one nil check.
+	m netMetrics
+}
+
+// netMetrics holds the network's obs series handles. Per-network (not
+// per-client/server) aggregation keeps the series set small and stable while
+// still separating platforms, which each own their Network.
+type netMetrics struct {
+	calls, attempts, retries, failovers *obs.Counter
+	hedges, hedgeWins, deadlines        *obs.Counter
+	sheds, drops, dedupSuppressed       *obs.Counter
+}
+
+// EnableMetrics registers the network's RPC-outcome counters ("rpc.*") with
+// an observability registry. Calling it with a nil registry is a no-op (the
+// handles stay nil and record sites remain single-branch no-ops).
+func (n *Network) EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	n.m = netMetrics{
+		calls:           r.Counter("rpc.calls"),
+		attempts:        r.Counter("rpc.attempts"),
+		retries:         r.Counter("rpc.retries"),
+		failovers:       r.Counter("rpc.failovers"),
+		hedges:          r.Counter("rpc.hedges"),
+		hedgeWins:       r.Counter("rpc.hedge_wins"),
+		deadlines:       r.Counter("rpc.deadlines"),
+		sheds:           r.Counter("rpc.sheds"),
+		drops:           r.Counter("rpc.drops"),
+		dedupSuppressed: r.Counter("rpc.dedup_suppressed"),
+	}
 }
 
 // deliveryKey identifies one logical call's deliveries to one server.
@@ -175,6 +211,7 @@ func (n *Network) dropRequest(from, to *Node) bool {
 	}
 	if n.dropRNG.Bool(n.dropProb) {
 		n.Dropped++
+		n.m.drops.Inc()
 		return true
 	}
 	return false
@@ -497,6 +534,7 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 		// Duplicate delivery of a finished call: replay the cached success.
 		if resp, ok := s.doneByID[req.CallID]; ok {
 			s.DupSuppressed++
+			net.m.dedupSuppressed.Inc()
 			p.Sleep(net.messageDelay(s.Node, from, resp.Bytes))
 			return resp, p.Now() - start
 		}
@@ -504,6 +542,7 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 		// executing the handler a second time.
 		if prev, ok := s.pendingByID[req.CallID]; ok {
 			s.DupSuppressed++
+			net.m.dedupSuppressed.Inc()
 			p.Wait(prev.done)
 			p.Sleep(net.messageDelay(s.Node, from, prev.resp.Bytes))
 			return prev.resp, p.Now() - start
@@ -511,6 +550,7 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 	}
 	if s.maxQueue > 0 && s.queue.Len() >= s.maxQueue {
 		s.Shed++
+		net.m.sheds.Inc()
 		return Response{Err: fmt.Errorf("%w: %s (queue depth %d)", ErrOverloaded, s.Node.Name, s.queue.Len())}, p.Now() - start
 	}
 	if net.accounting && tracked {

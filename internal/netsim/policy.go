@@ -143,6 +143,7 @@ func (c *Client) hedgeDelay() time.Duration {
 // response, so helpers never leak).
 func (c *Client) attempt(p *sim.Proc, from *Node, s *Server, req Request) Response {
 	c.Attempts++
+	s.Node.net.m.attempts.Inc()
 	if c.policy.Deadline <= 0 {
 		resp, _ := s.Call(p, from, req)
 		return resp
@@ -161,6 +162,7 @@ func (c *Client) attempt(p *sim.Proc, from *Node, s *Server, req Request) Respon
 	p.Wait(gate)
 	if !done.Fired() {
 		c.Deadlines++
+		s.Node.net.m.deadlines.Inc()
 		return Response{Err: fmt.Errorf("%w: %s after %v", ErrDeadlineExceeded, req.Method, c.policy.Deadline)}
 	}
 	return resp
@@ -179,9 +181,11 @@ func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request
 	if len(targets) == 0 {
 		return Response{Err: fmt.Errorf("netsim: no targets for %s", req.Method)}, 0
 	}
+	net := targets[0].Node.net
 	c.Calls++
+	net.m.calls.Inc()
 	if req.CallID == 0 {
-		req.CallID = c.callID(targets[0].Node.net)
+		req.CallID = c.callID(net)
 	}
 	start := p.Now()
 	attempts := c.policy.MaxAttempts
@@ -192,8 +196,10 @@ func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.Retries++
+			net.m.retries.Inc()
 			if targets[i%len(targets)] != targets[(i-1)%len(targets)] {
 				c.Failovers++
+				net.m.failovers.Inc()
 			}
 			p.Sleep(c.backoff(i))
 		}
@@ -219,17 +225,20 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 	if hd <= 0 || len(targets) < 2 {
 		return c.CallAny(p, from, targets, req)
 	}
+	net := targets[0].Node.net
 	c.Calls++
+	net.m.calls.Inc()
 	if req.CallID == 0 {
-		req.CallID = c.callID(targets[0].Node.net)
+		req.CallID = c.callID(net)
 	}
 	start := p.Now()
-	k := targets[0].Node.net.k
+	k := net.k
 
 	launch := func(s *Server) (*Response, *sim.Signal) {
 		var resp Response
 		done := sim.NewSignal(k)
 		c.Attempts++
+		net.m.attempts.Inc()
 		k.Go(fmt.Sprintf("rpc-hedge/%s", req.Method), func(ap *sim.Proc) {
 			r, _ := s.Call(ap, from, req)
 			resp = r
@@ -249,6 +258,7 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 	if !priDone.Fired() {
 		// Primary is straggling: send the backup and take the first answer.
 		c.Hedges++
+		net.m.hedges.Inc()
 		bakResp, bakDone := launch(targets[1])
 		first := sim.NewSignal(k)
 		priDone.OnFire(first.Fire)
@@ -288,6 +298,7 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 		// primary's success was ultimately adopted — is not a win.
 		if fromBackup && resp.Err == nil {
 			c.HedgeWins++
+			net.m.hedgeWins.Inc()
 		}
 	}
 	elapsed := p.Now() - start

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"time"
+
+	"hyperprof/internal/sim"
+)
+
+// Start schedules the registry's sampling tick on the kernel. The first
+// sample is taken at virtual time zero (after same-instant events already
+// scheduled), then every Interval for as long as the simulation has pending
+// work.
+//
+// Termination: the tick reschedules itself only while the kernel still has
+// pending events *besides* the tick itself. Processes are woken exclusively
+// by queued events, so an otherwise-empty queue means the workload is
+// finished (or deadlocked) — the final tick records one last sample and
+// stops, and Kernel.Run terminates as it would without observability. Note
+// this is deliberately not a Live()-based test: server worker processes park
+// on their request queues for the whole run, so live-process count never
+// reaches zero in a healthy simulation.
+func (r *Registry) Start(k *sim.Kernel) {
+	if r == nil {
+		return
+	}
+	k.Schedule(0, func() { r.tick(k) })
+}
+
+func (r *Registry) tick(k *sim.Kernel) {
+	r.sample(k.Now())
+	if k.PendingEvents() > 0 {
+		k.Schedule(r.cfg.Interval, func() { r.tick(k) })
+	}
+}
+
+// SampleAt takes one explicit sample at virtual time t, for callers that
+// want a final post-run data point in addition to the periodic ticks.
+func (r *Registry) SampleAt(t time.Duration) {
+	if r == nil {
+		return
+	}
+	r.sample(t)
+}

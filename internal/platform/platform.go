@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hyperprof/internal/netsim"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/profile"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/stats"
@@ -33,6 +34,9 @@ type Env struct {
 	RNG    *stats.RNG
 	// Jitter is the relative noise applied to every step duration.
 	Jitter float64
+	// Obs is the environment's observability plane; nil (the default) means
+	// disabled, and every instrumentation site degrades to a nil-check no-op.
+	Obs *obs.Registry
 }
 
 // NewEnv builds an environment with its own kernel and network, a tracer at
@@ -47,6 +51,30 @@ func NewEnv(seed uint64, traceRate int) *Env {
 		RNG:    stats.NewRNG(seed ^ 0x9e3779b97f4a7c15),
 		Jitter: 0.25,
 	}
+}
+
+// EnableObs attaches an observability registry to the environment and wires
+// the shared layers into it: RPC outcome counters on the network, the
+// kernel's run-queue depth, and the continuous-profiling hook that snapshots
+// per-category cycle attribution ("profile.<platform>.<category>") at every
+// sampling tick. Platform constructors add their own series when they see a
+// non-nil env.Obs, so EnableObs must run before the platform is built — and
+// after any env.Net replacement, since the network holds its own handles.
+// The sampler itself starts when the caller invokes env.Obs.Start(env.K)
+// (typically right before Run), so quiescent setup work is not sampled.
+func (e *Env) EnableObs(cfg obs.Config) *obs.Registry {
+	r := obs.NewRegistry(cfg)
+	e.Obs = r
+	e.Net.EnableMetrics(r)
+	r.GaugeFunc("sim.runqueue.depth", func() int64 { return int64(e.K.PendingEvents()) })
+	r.AttachProfile("profile.", func(emit func(name string, v int64)) {
+		for _, plat := range taxonomy.Platforms() {
+			e.Prof.EachCategoryCPU(plat, func(cat taxonomy.Category, cpu time.Duration) {
+				emit(string(plat)+"."+string(cat), int64(cpu))
+			})
+		}
+	})
+	return r
 }
 
 // Step is one leaf-function CPU work item within a recipe.

@@ -250,6 +250,17 @@ func (p *Profiler) sortedKeys(platform taxonomy.Platform) []key {
 	return ks
 }
 
+// EachCategoryCPU invokes emit for every taxonomy category the platform has
+// accumulated CPU time in, in ascending category order. It is the
+// continuous-profiling hook: the obs sampling tick calls it to snapshot the
+// live per-category cycle attribution, so the deterministic iteration order
+// here directly determines the obs series creation order.
+func (p *Profiler) EachCategoryCPU(platform taxonomy.Platform, emit func(cat taxonomy.Category, cpu time.Duration)) {
+	for _, k := range p.sortedKeys(platform) {
+		emit(k.category, p.byCategory[k].cpu)
+	}
+}
+
 // PlatformStats returns the platform-wide microarchitecture statistics
 // (one column of Table 6).
 func (p *Profiler) PlatformStats(platform taxonomy.Platform) Stats {

@@ -42,6 +42,14 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // deadlocked waiting on primitives nobody will fire.
 func (k *Kernel) Live() int { return k.live }
 
+// PendingEvents returns the number of events currently queued. Under strict
+// alternation, events are the only thing that wakes a parked process, so a
+// zero count observed from inside an executing event means no further work
+// can occur after it returns. Periodic self-rescheduling activities (the obs
+// sampling tick) use this to stop exactly when the workload drains instead
+// of keeping the kernel alive forever.
+func (k *Kernel) PendingEvents() int { return k.events.len() }
+
 // Schedule runs fn in kernel context after delay d. A negative delay is
 // treated as zero. Events scheduled for the same instant run in the order
 // they were scheduled.

@@ -237,6 +237,7 @@ func (db *DB) elect(grp *group) (int, error) {
 	grp.leader = best
 	grp.term++
 	db.Elections++
+	db.mElections.Inc()
 	if !db.brokenElectAnyReplica {
 		// The winner may hold committed entries it has not applied yet (it
 		// acked them before their commit was known). Catch its row state up to

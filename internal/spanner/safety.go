@@ -35,7 +35,9 @@ func (db *DB) Read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byt
 		db.rec.Initial(key, check.Digest(db.bootstrapValue(g, row)))
 		op = db.rec.Invoke(p.Name(), "read", key, 0)
 	}
+	start := p.Now()
 	val, err := db.read(p, tr, g, row, strong)
+	db.mReadLat.RecordSince(start, p.Now())
 	if op != nil {
 		if err != nil {
 			db.rec.Fail(op)
@@ -57,7 +59,9 @@ func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) err
 		db.rec.Initial(key, check.Digest(db.bootstrapValue(g, row)))
 		op = db.rec.Invoke(p.Name(), "write", key, check.Digest(value))
 	}
+	start := p.Now()
 	appended, err := db.commit(p, tr, g, row, value)
+	db.mCommitLat.RecordSince(start, p.Now())
 	if op != nil {
 		switch {
 		case err == nil:

@@ -15,6 +15,7 @@ import (
 	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/netsim"
+	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/sim"
 	"hyperprof/internal/stats"
@@ -102,6 +103,13 @@ type DB struct {
 
 	// Counters for tests and reports.
 	Reads, Writes, Queries, Compactions, Elections int
+
+	// Observability handles (nil when env.Obs is disabled; see enableObs).
+	mConsensusRounds *obs.Counter
+	mElections       *obs.Counter
+	mCompactions     *obs.Counter
+	mReadLat         *obs.Histogram
+	mCommitLat       *obs.Histogram
 }
 
 type group struct {
@@ -202,7 +210,34 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.load()
+	db.enableObs(env.Obs)
 	return db, nil
+}
+
+// enableObs registers the deployment's series with the environment's
+// observability plane. A nil registry leaves all handles nil, so every
+// record site is a single-branch no-op.
+func (db *DB) enableObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	db.mConsensusRounds = r.Counter("spanner.consensus.rounds")
+	db.mElections = r.Counter("spanner.elections")
+	db.mCompactions = r.Counter("spanner.compactions")
+	db.mReadLat = r.Histogram("spanner.read.latency")
+	db.mCommitLat = r.Histogram("spanner.commit.latency")
+	// Apply lag: committed entries the current leaders have not applied to
+	// their row state yet, summed over groups — the replication plane's
+	// freshness debt at each sampling instant.
+	r.GaugeFunc("spanner.apply.lag", func() int64 {
+		var lag int64
+		for _, grp := range db.groups {
+			if d := grp.committed - grp.leaderRep().applied; d > 0 {
+				lag += int64(d)
+			}
+		}
+		return lag
+	})
 }
 
 func machinesPerRegion(cfg Config) int {
@@ -477,6 +512,7 @@ func (db *DB) quorumRound(p *sim.Proc, tr *trace.Trace, grp *group, method strin
 // majority (with the leader) has succeeded, annotating the wait as remote
 // work. It errors out as soon as a majority becomes impossible.
 func (db *DB) quorum(p *sim.Proc, tr *trace.Trace, grp *group, fn func(rep *replica, cp *sim.Proc) error) error {
+	db.mConsensusRounds.Inc()
 	start := p.Now()
 	followers := make([]*replica, 0, len(grp.replicas)-1)
 	for i, rep := range grp.replicas {
@@ -626,5 +662,6 @@ func (db *DB) startCompaction(grp *group) {
 		db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, nil, db.compactRecipe)
 		p.Sleep(leader.machine.Store.RawAccess(storage.HDD, size, true))
 		db.Compactions++
+		db.mCompactions.Inc()
 	})
 }

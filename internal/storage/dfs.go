@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"hyperprof/internal/obs"
 )
 
 // DFS is a chunked, replicated distributed file system in the mold of
@@ -17,6 +19,21 @@ type DFS struct {
 	replication int
 	chunkSize   int64
 	files       map[string]int64 // file sizes
+
+	// Observability handles (nil when disabled): replicaReads counts chunk
+	// reads served, replicaFailovers counts replicas skipped on the way (down
+	// or stale) before a chunk was served.
+	replicaReads, replicaFailovers *obs.Counter
+}
+
+// EnableMetrics registers the DFS's replica-read counters ("dfs.replica.*")
+// with an observability registry. A nil registry is a no-op.
+func (d *DFS) EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	d.replicaReads = r.Counter("dfs.replica.reads")
+	d.replicaFailovers = r.Counter("dfs.replica.failovers")
 }
 
 // ErrAllReplicasDown is returned when every replica of a chunk sits on a
@@ -206,6 +223,7 @@ func (d *DFS) Read(name string, offset, length int64) (time.Duration, Tier, erro
 		served := false
 		for _, cand := range d.replicaServers(name, idx) {
 			if d.down[cand] {
+				d.replicaFailovers.Inc()
 				continue
 			}
 			var err error
@@ -217,10 +235,12 @@ func (d *DFS) Read(name string, offset, length int64) (time.Duration, Tier, erro
 			if !errors.Is(err, ErrNotFound) {
 				return 0, HDD, err
 			}
+			d.replicaFailovers.Inc() // stale replica: fall through to the next
 		}
 		if !served {
 			return 0, HDD, fmt.Errorf("%w: %s chunk %d", ErrAllReplicasDown, name, idx)
 		}
+		d.replicaReads.Inc()
 		total += dur
 		if tier > worstTier {
 			worstTier = tier

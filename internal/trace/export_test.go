@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// TestChromeBuilderUnifiedPIDs pins the single-allocator property: a
+// document combining timeline marks, query traces and counter tracks must
+// give every process row a distinct pid, with marks on their own "timeline"
+// row rather than interleaved into a platform's. (Marks used to hardcode
+// pid 1, which collided with the first platform AddTraces allocated.)
+func TestChromeBuilderUnifiedPIDs(t *testing.T) {
+	tracer := NewTracer(1)
+	tr := tracer.Start(taxonomy.Spanner, 0)
+	tr.Annotate(0, time.Millisecond, CPU)
+	tracer.Finish(tr, time.Millisecond)
+
+	b := NewChromeBuilder()
+	b.AddMarks([]Mark{{At: time.Millisecond, Name: "fault"}})
+	b.AddTraces([]*Trace{tr}, 0)
+	b.AddCounters([]CounterTrack{{
+		Process: "Spanner",
+		Name:    "rpc.calls",
+		Points:  []CounterPoint{{At: 0, Value: 1}, {At: time.Millisecond, Value: 2}},
+	}})
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		PID   int            `json:"pid"`
+		Args  map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+
+	procPID := map[string]int{}
+	for _, ev := range events {
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			name := ev.Args["name"].(string)
+			if prev, ok := procPID[name]; ok {
+				t.Fatalf("process %q announced twice (pids %d and %d)", name, prev, ev.PID)
+			}
+			procPID[name] = ev.PID
+		}
+	}
+	if len(procPID) != 2 {
+		t.Fatalf("got %d process rows %v, want 2 (timeline + spanner)", len(procPID), procPID)
+	}
+	if procPID["timeline"] == procPID["Spanner"] {
+		t.Fatalf("timeline and spanner share pid %d", procPID["timeline"])
+	}
+
+	// Every event must live on the row its emitter named: instants on
+	// timeline, intervals and counters on spanner.
+	seen := map[string]int{}
+	for _, ev := range events {
+		switch ev.Phase {
+		case "i":
+			if ev.PID != procPID["timeline"] {
+				t.Errorf("mark %q on pid %d, want timeline pid %d", ev.Name, ev.PID, procPID["timeline"])
+			}
+		case "X", "C":
+			if ev.PID != procPID["Spanner"] {
+				t.Errorf("%s event %q on pid %d, want Spanner pid %d", ev.Phase, ev.Name, ev.PID, procPID["Spanner"])
+			}
+		}
+		seen[ev.Phase]++
+	}
+	if seen["i"] != 1 || seen["X"] != 1 || seen["C"] != 2 {
+		t.Fatalf("event mix = %v, want 1 instant, 1 interval, 2 counter samples", seen)
+	}
+	// Counter events carry their value in args.
+	for _, ev := range events {
+		if ev.Phase == "C" {
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter event missing args.value: %+v", ev)
+			}
+		}
+	}
+}
