@@ -4,7 +4,7 @@ GO ?= go
 # safety torture harness (linearizability + invariant checking under chaos).
 SAFETY_SEEDS ?= 20
 
-.PHONY: check build vet fmt test race check-safety check-obs bench
+.PHONY: check build vet fmt test race check-safety check-obs check-overload bench bench-baseline
 
 check: build vet fmt race
 
@@ -39,7 +39,25 @@ check-obs:
 	$(GO) run ./cmd/hyperprof -obs -spanner 200 -bigtable 200 -bigquery 30 \
 		-obs-out obs-series.json -chrome-trace obs-trace.json
 
-# bench runs the DES-kernel substrate microbenchmarks and writes BENCH_0.json
-# (ns/op, B/op, allocs/op per bench) for the CI artifact trail.
+# check-overload proves the overload control plane: the admission, retry
+# budget, circuit breaker and tenant QoS unit tests (including the retry-storm
+# metastability reproduction) in netsim plus the trigger scenarios in faults,
+# the byte-for-byte sequential-vs-parallel overload study determinism test,
+# and an end-to-end -overload run emitting the JSON report.
+check-overload:
+	$(GO) test ./internal/netsim/ ./internal/faults/ ./internal/workload/
+	$(GO) test -race ./internal/netsim/ -run 'TestRetryStormMetastability|TestOverloadRunDeterministic'
+	$(GO) test ./internal/experiments/ -run TestOverloadStudy
+	$(GO) run ./cmd/hyperprof -overload -json > overload.json
+
+# bench runs the DES-kernel substrate microbenchmarks into BENCH_1.json and
+# diffs the result against the committed BENCH_0.json baseline — a soft gate
+# that warns on >10% ns/op growth or any allocs/op growth without failing
+# the build. Refresh the baseline with bench-baseline after an intentional
+# substrate change and commit the new BENCH_0.json.
 bench:
+	sh scripts/bench.sh BENCH_1.json
+	sh scripts/bench_diff.sh BENCH_0.json BENCH_1.json
+
+bench-baseline:
 	sh scripts/bench.sh BENCH_0.json

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hyperprof [-faults|-check|-obs] [-seed N] [-spanner N] [-bigtable N]
+//	hyperprof [-faults|-overload|-check|-obs] [-seed N] [-spanner N] [-bigtable N]
 //	          [-bigquery N] [-clients N] [-rate N] [-parallel N] [...]
 package main
 
@@ -99,6 +99,7 @@ func main() {
 	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
 	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
 	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
+	overloadRun := flag.Bool("overload", false, "run the overload study instead: naive vs protected arms of a multi-tenant open-loop workload through a retry-storm trigger")
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
@@ -136,6 +137,8 @@ func main() {
 		runSafety(sf.apply(hyperprof.DefaultSafetyStudyConfig()), *chromeOut)
 	case *faultsRun:
 		runResilience(sf.apply(hyperprof.DefaultResilienceStudyConfig()), *chromeOut, *sf.obsOut)
+	case *overloadRun:
+		runOverload(sf.apply(hyperprof.DefaultOverloadStudyConfig()), *jsonOut, *sf.obsOut)
 	case *sf.obs:
 		runObserve(sf.apply(hyperprof.DefaultObsStudyConfig()), *chromeOut, *sf.obsOut)
 	default:
@@ -307,6 +310,45 @@ func runResilience(cfg hyperprof.StudyConfig, chromeOut, obsOut string) {
 			detail += " and counter tracks"
 		}
 		writeChrome(b, chromeOut, detail)
+	}
+}
+
+// runOverload executes the overload study and prints the naive-vs-protected
+// comparison (or the machine-readable export with -json). With -obs, the
+// protected arms' metric time series are written beside it.
+func runOverload(cfg hyperprof.StudyConfig, jsonOut bool, obsOut string) {
+	o, err := hyperprof.OverloadControl(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		data, err := o.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	fmt.Print(hyperprof.RenderOverload(o))
+	for _, p := range hyperprof.Platforms() {
+		if row := o.Row(p, true); row != nil {
+			fmt.Printf("%s tenants (protected):", p)
+			for _, tn := range row.Tenants {
+				fmt.Printf(" [%s w%.0f ok=%d thr=%d]", tn.Name, tn.Weight, tn.Successes, tn.Throttled)
+			}
+			fmt.Println()
+		}
+	}
+	if cfg.Obs.Enabled {
+		data, err := hyperprof.MarshalMetricSeries(o.Series)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(obsOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Wrote %d bytes of metric time series (protected arms) to %s\n", len(data), obsOut)
 	}
 }
 

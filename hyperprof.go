@@ -45,6 +45,9 @@ type (
 	CheckConfig = experiments.CheckConfig
 	// ObsConfig switches on the observability plane and sizes its sampling.
 	ObsConfig = experiments.ObsConfig
+	// LoadConfig sizes the overload study: open-loop offered load, the
+	// retry-storm trigger, and the protected arm's control-plane knobs.
+	LoadConfig = experiments.LoadConfig
 )
 
 // Default study configurations, one per entry point.
@@ -57,7 +60,33 @@ var (
 	DefaultResilienceStudyConfig = experiments.DefaultResilienceStudyConfig
 	// DefaultObsStudyConfig sizes the observability study.
 	DefaultObsStudyConfig = experiments.DefaultObsStudyConfig
+	// DefaultOverloadStudyConfig sizes the overload study.
+	DefaultOverloadStudyConfig = experiments.DefaultOverloadStudyConfig
 )
+
+// Overload study: each platform's open-loop multi-tenant workload runs
+// through a retry-storm trigger twice — naive versus protected by the
+// overload control plane (admission control, retry budgets, circuit
+// breakers, per-tenant QoS).
+type (
+	// OverloadStudy is the full overload study result.
+	OverloadStudy = experiments.Overload
+	// OverloadRow is one (platform, arm) measurement.
+	OverloadRow = experiments.OverloadRow
+	// TenantOverload is one tenant's accounting within a row.
+	TenantOverload = experiments.TenantOverload
+)
+
+// OverloadControl runs the overload study. Equal configs replay
+// bit-identically; the JSON export and rendered table are byte-identical
+// between sequential and parallel runs.
+func OverloadControl(cfg StudyConfig) (*OverloadStudy, error) {
+	return cfg.Overload()
+}
+
+// RenderOverload renders the overload study as a fixed-width table with the
+// naive-vs-protected recovery comparison.
+var RenderOverload = experiments.RenderOverload
 
 // Observability study: the characterization workload with the sim-clock
 // metrics plane and continuous-profiling hook enabled.

@@ -10,6 +10,7 @@ package bigquery
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"time"
 
@@ -49,6 +50,9 @@ type Config struct {
 	// RPC is the client-side resilience policy applied to shuffle RPCs. The
 	// zero value is a plain call and changes nothing about fault-free runs.
 	RPC netsim.Policy
+	// Admission is the server-side overload admission control installed on
+	// every shuffle server. The zero value disables it.
+	Admission netsim.Admission
 }
 
 // DefaultConfig returns a laptop-scale deployment preserving the
@@ -422,6 +426,15 @@ func shuffleTier(bytes int64) storage.Tier {
 // It is used at construction time and by RecoverShuffleServer.
 func (e *Engine) startShuffleServer(ss *shuffleServer) {
 	ss.srv = netsim.NewServer(ss.machine.Node, 16)
+	if e.cfg.Admission != (netsim.Admission{}) {
+		// Decorrelate each server's shed stream by its node name, keeping
+		// the deployment a pure function of the config seed.
+		a := e.cfg.Admission
+		h := fnv.New64a()
+		h.Write([]byte(ss.machine.Node.Name))
+		a.Seed ^= h.Sum64()
+		ss.srv.SetAdmission(a)
+	}
 	// Shuffle handlers are not idempotent — a get consumes its slot — so the
 	// server deduplicates retried calls by CallID: a retry whose first attempt
 	// actually executed (the reply was lost, not the request) replays the
@@ -528,6 +541,18 @@ func (e *Engine) SetShuffleSlowdown(i int, factor float64) error {
 
 // RPCClient exposes the shuffle RPC client's counters for reports.
 func (e *Engine) RPCClient() *netsim.Client { return e.client }
+
+// OverloadStats sums the shuffle servers' admission-control counters:
+// requests shed at the hard queue bound, shed adaptively below it, and
+// expired by the CoDel queue deadline.
+func (e *Engine) OverloadStats() (shed, adaptive, expired int) {
+	for _, ss := range e.shuffle {
+		shed += ss.srv.Shed
+		adaptive += ss.srv.ShedAdaptive
+		expired += ss.srv.Expired
+	}
+	return
+}
 
 // Run executes a query end-to-end from the calling (coordinator) process and
 // returns its real result.
@@ -651,7 +676,12 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 		}
 		delete(e.slotLoc, key)
 		remStart := p.Now()
-		resp, _ := e.client.Call(p, reducer.Node, e.shuffle[idx].srv, netsim.Request{Method: "shuffle.get", Payload: key})
+		// Stage-2 gets ride the priority lane: they free shuffle slots and
+		// complete queries, so under overload they drain the system rather
+		// than feeding it — shedding them would only force speculative
+		// re-execution, amplifying load.
+		resp, _ := e.client.Call(p, reducer.Node, e.shuffle[idx].srv,
+			netsim.Request{Method: "shuffle.get", Payload: key, Priority: true})
 		platform.AnnotateRemote(tr, remStart, p.Now())
 		var partial map[int64]int64
 		if resp.Err != nil {

@@ -16,6 +16,7 @@ import (
 	"hyperprof/internal/check"
 	"hyperprof/internal/cluster"
 	"hyperprof/internal/compress"
+	"hyperprof/internal/netsim"
 	"hyperprof/internal/obs"
 	"hyperprof/internal/platform"
 	"hyperprof/internal/sim"
@@ -44,6 +45,12 @@ type Config struct {
 	ScanRows int
 	// Seed drives all randomness.
 	Seed uint64
+	// Admission arms the front-door overload gate (see overload.go):
+	// MaxQueue bounds concurrent operations per tablet server and
+	// ShedStartFrac sheds probabilistically as in-flight load approaches it.
+	// Target/Interval are unused — operations execute directly, there is no
+	// queue whose sojourn could be bounded. The zero value disables the gate.
+	Admission netsim.Admission
 }
 
 // DefaultConfig returns a laptop-scale deployment preserving the
@@ -92,6 +99,11 @@ type DB struct {
 	// downServers marks failed tablet servers by machine index.
 	downServers map[int]bool
 
+	// Front-door gate state (see overload.go): in-flight ops per tablet
+	// server and the adaptive-shed stream. Nil/zero when the gate is off.
+	gateInFlight map[int]int
+	gateRNG      *stats.RNG
+
 	// rec, when non-nil, records every Get/Put into an operation history for
 	// the safety checker (see safety.go).
 	rec *check.History
@@ -115,6 +127,9 @@ type DB struct {
 	// RawBytes/CompressedBytes account flush compression.
 	BloomSkips                int
 	RawBytes, CompressedBytes int64
+	// Shed and ShedAdaptive count operations refused by the front-door gate
+	// (hard bound vs. probabilistic; an op lands in at most one).
+	Shed, ShedAdaptive int
 
 	// Observability handles (nil when env.Obs is disabled; see enableObs).
 	mMinorCompactions *obs.Counter
@@ -123,6 +138,8 @@ type DB struct {
 	mRecoveries       *obs.Counter
 	mGetLat           *obs.Histogram
 	mPutLat           *obs.Histogram
+	mSheds            *obs.Counter
+	mShedsAdaptive    *obs.Counter
 }
 
 type sstable struct {
@@ -254,6 +271,7 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 		downServers: map[int]bool{},
 	}
 	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerTablet, 1.1)
+	db.initGate()
 	db.registerClassifier()
 	db.buildRecipes()
 	if err := db.load(); err != nil {
@@ -277,6 +295,7 @@ func (db *DB) enableObs(r *obs.Registry) {
 	db.mRecoveries = r.Counter("bigtable.recoveries")
 	db.mGetLat = r.Histogram("bigtable.get.latency")
 	db.mPutLat = r.Histogram("bigtable.put.latency")
+	db.enableGateObs(r)
 }
 
 func (db *DB) registerClassifier() {
@@ -489,6 +508,11 @@ func (db *DB) put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 // Scan merges rows [start, start+ScanRows) across memtable and SSTables and
 // returns the count matching a real predicate (first byte odd).
 func (db *DB) Scan(p *sim.Proc, tr *trace.Trace, t, start int) (int, error) {
+	release, admitErr := db.admitOp(t)
+	if admitErr != nil {
+		return 0, admitErr
+	}
+	defer release()
 	if t < 0 || t >= len(db.tablets) {
 		return 0, fmt.Errorf("bigtable: tablet %d out of range", t)
 	}

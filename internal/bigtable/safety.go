@@ -23,6 +23,13 @@ func (db *DB) Recorder() *check.History { return db.rec }
 
 // Get returns the current value of row `row` in tablet t.
 func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
+	// Front-door gate before anything else: a shed operation never executes
+	// and is never recorded, exactly like a request refused at a server.
+	release, admitErr := db.admitOp(t)
+	if admitErr != nil {
+		return nil, admitErr
+	}
+	defer release()
 	var op *check.Op
 	if db.rec != nil && t >= 0 && t < len(db.tablets) && row >= 0 && row < db.cfg.RowsPerTablet {
 		key := rowKey(t, row)
@@ -45,6 +52,11 @@ func (db *DB) Get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
 // Put writes value to row `row` of tablet t: commit-log append to the DFS,
 // memtable insert, and compaction triggers.
 func (db *DB) Put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error {
+	release, admitErr := db.admitOp(t)
+	if admitErr != nil {
+		return admitErr
+	}
+	defer release()
 	var op *check.Op
 	if db.rec != nil && t >= 0 && t < len(db.tablets) && row >= 0 && row < db.cfg.RowsPerTablet {
 		key := rowKey(t, row)

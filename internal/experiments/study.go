@@ -54,6 +54,42 @@ type CheckConfig struct {
 	HotRows int
 }
 
+// LoadConfig sizes the overload study: open-loop offered load per platform,
+// the retry-storm trigger window, and the protected arm's overload-control
+// knobs. Rates are total offered operations per virtual second, split across
+// the study's three tenants (interactive 50%, batch 30%, flash 20%).
+type LoadConfig struct {
+	// SpannerRate, BigTableRate and BigQueryRate are the total open-loop
+	// arrival rates (ops per virtual second) per platform.
+	SpannerRate, BigTableRate, BigQueryRate float64
+	// Duration is the arrival horizon; operations in flight still drain.
+	Duration time.Duration
+	// Window is the goodput accounting bucket width (0 = 50ms).
+	Window time.Duration
+	// TriggerAt and TriggerDur place the retry-storm trigger: a brownout
+	// (service times multiplied by SlowFactor) compounded by a flash crowd
+	// (the flash tenant's rate multiplied by FlashMult) over
+	// [TriggerAt, TriggerAt+TriggerDur).
+	TriggerAt, TriggerDur time.Duration
+	SlowFactor            float64
+	FlashMult             float64
+	// The remaining knobs arm the protected arm only; the naive arm runs
+	// with unbounded queues and eager retries.
+	// MaxQueue, Target, Interval and ShedStartFrac configure server-side
+	// admission (netsim.Admission semantics).
+	MaxQueue      int
+	Target        time.Duration
+	Interval      time.Duration
+	ShedStartFrac float64
+	// RetryBudget is the per-client retry token bucket; BreakerFailures and
+	// BreakerCooldown configure per-target circuit breakers.
+	RetryBudget     float64
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// QoSCapacity is the tenant governor's shared concurrency capacity.
+	QoSCapacity int
+}
+
 // ObsConfig switches on the observability plane and sizes its sampling.
 type ObsConfig struct {
 	// Enabled turns the metrics plane on; when false the other fields are
@@ -94,6 +130,9 @@ type StudyConfig struct {
 	Check CheckConfig
 	// Obs configures the observability plane.
 	Obs ObsConfig
+	// Load sizes the overload study (open-loop rates, trigger window and the
+	// protected arm's control-plane knobs).
+	Load LoadConfig
 }
 
 // defaultFaults are the documented fault rates both injecting studies share:
@@ -159,6 +198,39 @@ func DefaultObsStudyConfig() StudyConfig {
 		TraceRate: 1,
 		Ops:       PlatformOps{Spanner: 600, BigTable: 600, BigQuery: 90},
 		Obs:       ObsConfig{Enabled: true, Interval: time.Millisecond, Window: 1024},
+	}
+}
+
+// DefaultOverloadStudyConfig returns the overload-study defaults: open-loop
+// load each platform serves comfortably at baseline, a mid-run retry-storm
+// trigger (6x brownout plus a 4x flash crowd for 400ms), and
+// production-flavoured protections — bounded queues with CoDel expiry and
+// adaptive shedding, a 10-token retry budget, 5-failure circuit breakers, and
+// weighted tenant shares.
+func DefaultOverloadStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   8,
+		TraceRate: 1,
+		Load: LoadConfig{
+			SpannerRate:     2000,
+			BigTableRate:    3500,
+			BigQueryRate:    30,
+			Duration:        2 * time.Second,
+			Window:          50 * time.Millisecond,
+			TriggerAt:       500 * time.Millisecond,
+			TriggerDur:      400 * time.Millisecond,
+			SlowFactor:      10,
+			FlashMult:       4,
+			MaxQueue:        64,
+			Target:          2 * time.Millisecond,
+			Interval:        5 * time.Millisecond,
+			ShedStartFrac:   0.7,
+			RetryBudget:     10,
+			BreakerFailures: 5,
+			BreakerCooldown: 25 * time.Millisecond,
+			QoSCapacity:     96,
+		},
 	}
 }
 

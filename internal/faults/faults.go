@@ -35,6 +35,10 @@ const (
 	NetDegrade
 	// NetRestore clears network degradation.
 	NetRestore
+	// RateSurge multiplies the target's offered load by Event.Factor — the
+	// flash-crowd injection for open-loop overload scenarios; Factor <= 1
+	// restores the base rate.
+	RateSurge
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +54,8 @@ func (k Kind) String() string {
 		return "net-degrade"
 	case NetRestore:
 		return "net-restore"
+	case RateSurge:
+		return "rate-surge"
 	}
 	return "unknown"
 }
@@ -75,6 +81,9 @@ type Actions struct {
 	Crash       func()
 	Recover     func()
 	SetSlowdown func(factor float64)
+	// SetRate scales the target's offered load (RateSurge); targets that are
+	// not workload generators leave it nil.
+	SetRate func(mult float64)
 }
 
 // Applied records one fault that actually fired.
@@ -194,6 +203,11 @@ func (e *Engine) apply(ev Event) bool {
 			return false
 		}
 		t.SetSlowdown(ev.Factor)
+	case RateSurge:
+		if t.SetRate == nil {
+			return false
+		}
+		t.SetRate(ev.Factor)
 	default:
 		return false
 	}
@@ -215,20 +229,39 @@ type ScenarioStats struct {
 	Applied []Applied
 	// ByKind counts applied faults per kind.
 	ByKind map[Kind]int
+	// ByLabel aggregates repeated applications of the same action by
+	// Applied.Label(), so "straggler srv-2 fired 4 times" is one entry.
+	ByLabel map[string]int
 }
 
 func (st *ScenarioStats) record(a Applied) {
 	st.Applied = append(st.Applied, a)
 	st.ByKind[a.Kind]++
+	st.ByLabel[a.Label()]++
 }
 
-// String renders a compact per-scenario summary with deterministic ordering.
+// Labels returns the applied-fault labels in sorted order — the same
+// deterministic-key convention the obs exports use.
+func (st *ScenarioStats) Labels() []string {
+	out := make([]string, 0, len(st.ByLabel))
+	for l := range st.ByLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact per-scenario summary with deterministic ordering:
+// per-kind counts in kind order, then per-label counts in sorted label order.
 func (st *ScenarioStats) String() string {
 	s := fmt.Sprintf("scenario %q: %d scheduled, %d applied", st.Name, st.Scheduled, len(st.Applied))
-	for _, k := range []Kind{Crash, Recover, Straggler, NetDegrade, NetRestore} {
+	for _, k := range []Kind{Crash, Recover, Straggler, NetDegrade, NetRestore, RateSurge} {
 		if n := st.ByKind[k]; n > 0 {
 			s += fmt.Sprintf(", %d %s", n, k)
 		}
+	}
+	for _, l := range st.Labels() {
+		s += fmt.Sprintf("; %s x%d", l, st.ByLabel[l])
 	}
 	return s
 }
@@ -236,7 +269,7 @@ func (st *ScenarioStats) String() string {
 // RunScenario injects every event of the scenario and returns its stats
 // handle, which fills in as the simulation executes the events.
 func (e *Engine) RunScenario(s Scenario) *ScenarioStats {
-	st := &ScenarioStats{Name: s.Name, Scheduled: len(s.Events), ByKind: map[Kind]int{}}
+	st := &ScenarioStats{Name: s.Name, Scheduled: len(s.Events), ByKind: map[Kind]int{}, ByLabel: map[string]int{}}
 	for _, ev := range s.Events {
 		e.inject(ev, st)
 	}

@@ -113,7 +113,10 @@ func TestScenarioStats(t *testing.T) {
 	if st.ByKind[Crash] != 1 || st.ByKind[Recover] != 1 {
 		t.Fatalf("ByKind = %v", st.ByKind)
 	}
-	want := `scenario "bounce": 3 scheduled, 2 applied, 1 crash, 1 recover`
+	if st.ByLabel["crash a"] != 1 || st.ByLabel["recover a"] != 1 {
+		t.Fatalf("ByLabel = %v", st.ByLabel)
+	}
+	want := `scenario "bounce": 3 scheduled, 2 applied, 1 crash, 1 recover; crash a x1; recover a x1`
 	if got := st.String(); got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}

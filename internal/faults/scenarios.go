@@ -1,0 +1,50 @@
+package faults
+
+// Canned overload scenarios. Each is a deterministic event schedule against
+// named targets; the overload study pairs them with open-loop workloads to
+// reproduce the three canonical overload shapes: a flash crowd (one tenant's
+// offered load surges), a brownout (capacity quietly shrinks while load holds),
+// and a retry storm (a transient brownout whose retry amplification outlives
+// the trigger — the metastable failure).
+
+import "time"
+
+// FlashCrowd surges the named tenant's offered load by mult over [at, at+dur).
+func FlashCrowd(tenant string, at, dur time.Duration, mult float64) Scenario {
+	return Scenario{
+		Name: "flash-crowd",
+		Events: []Event{
+			{At: at, Kind: RateSurge, Target: tenant, Factor: mult},
+			{At: at + dur, Kind: RateSurge, Target: tenant, Factor: 1},
+		},
+	}
+}
+
+// Brownout multiplies the named servers' service times by factor over
+// [at, at+dur) — capacity shrinks while offered load holds.
+func Brownout(servers []string, at, dur time.Duration, factor float64) Scenario {
+	s := Scenario{Name: "brownout"}
+	for _, srv := range servers {
+		s.Events = append(s.Events,
+			Event{At: at, Kind: Straggler, Target: srv, Factor: factor},
+			Event{At: at + dur, Kind: Straggler, Target: srv, Factor: 1},
+		)
+	}
+	return s
+}
+
+// RetryStorm is the metastability trigger: a brownout on the named servers
+// compounded by a flash crowd on one tenant. Whether the system recovers
+// after both clear depends entirely on the overload control plane — with
+// naive eager retries the amplified load keeps the queues saturated forever.
+func RetryStorm(servers []string, tenant string, at, dur time.Duration, slowFactor, rateMult float64) Scenario {
+	s := Brownout(servers, at, dur, slowFactor)
+	s.Name = "retry-storm"
+	if tenant != "" {
+		s.Events = append(s.Events,
+			Event{At: at, Kind: RateSurge, Target: tenant, Factor: rateMult},
+			Event{At: at + dur, Kind: RateSurge, Target: tenant, Factor: 1},
+		)
+	}
+	return s
+}

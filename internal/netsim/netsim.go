@@ -78,6 +78,13 @@ type netMetrics struct {
 	calls, attempts, retries, failovers *obs.Counter
 	hedges, hedgeWins, deadlines        *obs.Counter
 	sheds, drops, dedupSuppressed       *obs.Counter
+	// Overload-control plane series: adaptive sheds, CoDel queue expiries,
+	// retry-budget exhaustions, breaker transitions, and the network-wide
+	// queued-request level.
+	shedsAdaptive, expired         *obs.Counter
+	budgetExhausted                *obs.Counter
+	breakerOpens, breakerFastFails *obs.Counter
+	queueDepth                     *obs.Gauge
 }
 
 // EnableMetrics registers the network's RPC-outcome counters ("rpc.*") with
@@ -88,16 +95,22 @@ func (n *Network) EnableMetrics(r *obs.Registry) {
 		return
 	}
 	n.m = netMetrics{
-		calls:           r.Counter("rpc.calls"),
-		attempts:        r.Counter("rpc.attempts"),
-		retries:         r.Counter("rpc.retries"),
-		failovers:       r.Counter("rpc.failovers"),
-		hedges:          r.Counter("rpc.hedges"),
-		hedgeWins:       r.Counter("rpc.hedge_wins"),
-		deadlines:       r.Counter("rpc.deadlines"),
-		sheds:           r.Counter("rpc.sheds"),
-		drops:           r.Counter("rpc.drops"),
-		dedupSuppressed: r.Counter("rpc.dedup_suppressed"),
+		calls:            r.Counter("rpc.calls"),
+		attempts:         r.Counter("rpc.attempts"),
+		retries:          r.Counter("rpc.retries"),
+		failovers:        r.Counter("rpc.failovers"),
+		hedges:           r.Counter("rpc.hedges"),
+		hedgeWins:        r.Counter("rpc.hedge_wins"),
+		deadlines:        r.Counter("rpc.deadlines"),
+		sheds:            r.Counter("rpc.sheds"),
+		drops:            r.Counter("rpc.drops"),
+		dedupSuppressed:  r.Counter("rpc.dedup_suppressed"),
+		shedsAdaptive:    r.Counter("rpc.sheds_adaptive"),
+		expired:          r.Counter("rpc.expired"),
+		budgetExhausted:  r.Counter("rpc.retry_budget_exhausted"),
+		breakerOpens:     r.Counter("rpc.breaker.opens"),
+		breakerFastFails: r.Counter("rpc.breaker.fast_fails"),
+		queueDepth:       r.Gauge("rpc.queue.depth"),
 	}
 }
 
@@ -274,6 +287,12 @@ type Request struct {
 	Bytes   int64
 	CallID  uint64
 	Payload interface{}
+	// Priority routes the request through the server's priority lane: it
+	// overtakes the normal-band backlog, bypasses adaptive shedding and CoDel
+	// expiry, and gets a doubled hard queue bound — the lane that keeps
+	// system and checker traffic (elections, recovery, lease confirmation)
+	// alive through a brownout.
+	Priority bool
 }
 
 // Response is an RPC response.
@@ -338,8 +357,22 @@ type Server struct {
 	// failure order deterministic: Crash wakes the waiters in the order the
 	// requests entered service.
 	inService []*inFlight
-	// Shed counts requests rejected by the queue bound.
+	// Shed counts requests rejected by the hard queue bound.
 	Shed int
+
+	// Overload admission control (see Admission). adm.enabled() gating keeps
+	// the unconfigured server on the pre-existing fast path.
+	adm     Admission
+	shedRNG *stats.RNG
+	// ShedAdaptive counts requests rejected by utilization-driven shedding
+	// (below the hard bound), Expired counts admitted requests discarded at
+	// dequeue by the CoDel sojourn rule. A request is counted in at most one
+	// of Shed/ShedAdaptive/Expired — the paths are mutually exclusive.
+	ShedAdaptive int
+	Expired      int
+	// CoDel state: the instant dequeues first went above the sojourn target.
+	aboveSince time.Duration
+	aboveSet   bool
 
 	// Duplicate suppression (at-most-once execution): with dedup enabled, a
 	// second delivery of the same nonzero CallID joins the in-flight execution
@@ -356,6 +389,8 @@ type inFlight struct {
 	req  Request
 	resp Response
 	done *sim.Signal
+	// enqueuedAt is the admission instant, the basis of the CoDel sojourn.
+	enqueuedAt time.Duration
 }
 
 // NewServer creates a server on a node with the given worker pool size.
@@ -414,6 +449,25 @@ func (s *Server) Start() {
 				if c == nil {
 					return // shutdown sentinel
 				}
+				s.Node.net.m.queueDepth.Add(-1)
+				if s.expireAtDequeue(p.Now(), c) {
+					// CoDel expiry: the request waited above target for a
+					// full interval — discard it instead of servicing it, so
+					// a deep backlog drains at dequeue speed rather than at
+					// service speed (the mechanism that breaks metastable
+					// queues).
+					s.Expired++
+					s.Node.net.m.expired.Inc()
+					if !c.done.Fired() {
+						c.resp = Response{Err: fmt.Errorf("%w: %s after %v queued",
+							ErrExpired, s.Node.Name, p.Now()-c.enqueuedAt)}
+						c.done.Fire()
+					}
+					continue
+				}
+				if s.Node.net.accounting && c.req.CallID != 0 {
+					s.Node.net.execs[deliveryKey{s.Node.Name, c.req.CallID}]++
+				}
 				s.inService = append(s.inService, c)
 				svcStart := p.Now()
 				var resp Response
@@ -471,9 +525,12 @@ func (s *Server) Crash() {
 	s.crashed = true
 	downErr := fmt.Errorf("%w: %s (crashed)", ErrServerDown, s.Node.Name)
 	for _, c := range s.queue.Drain() {
-		if c != nil && !c.done.Fired() {
-			c.resp = Response{Err: downErr}
-			c.done.Fire()
+		if c != nil {
+			s.Node.net.m.queueDepth.Add(-1)
+			if !c.done.Fired() {
+				c.resp = Response{Err: downErr}
+				c.done.Fire()
+			}
 		}
 	}
 	for _, c := range s.inService {
@@ -548,15 +605,10 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 			return prev.resp, p.Now() - start
 		}
 	}
-	if s.maxQueue > 0 && s.queue.Len() >= s.maxQueue {
-		s.Shed++
-		net.m.sheds.Inc()
-		return Response{Err: fmt.Errorf("%w: %s (queue depth %d)", ErrOverloaded, s.Node.Name, s.queue.Len())}, p.Now() - start
+	if err := s.admit(req); err != nil {
+		return Response{Err: err}, p.Now() - start
 	}
-	if net.accounting && tracked {
-		net.execs[deliveryKey{s.Node.Name, req.CallID}]++
-	}
-	c := &inFlight{req: req, done: sim.NewSignal(net.k)}
+	c := &inFlight{req: req, done: sim.NewSignal(net.k), enqueuedAt: p.Now()}
 	if s.dedup && tracked {
 		id := req.CallID
 		s.pendingByID[id] = c
@@ -569,7 +621,12 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 			}
 		})
 	}
-	s.queue.Put(c)
+	net.m.queueDepth.Add(1)
+	if req.Priority {
+		s.queue.PutHigh(c)
+	} else {
+		s.queue.Put(c)
+	}
 	p.Wait(c.done)
 	p.Sleep(net.messageDelay(s.Node, from, c.resp.Bytes))
 	return c.resp, p.Now() - start

@@ -46,6 +46,25 @@ type Policy struct {
 	// Retryable decides which errors are retried/failed-over; nil means
 	// DefaultRetryable.
 	Retryable func(error) bool
+
+	// RetryBudget arms the per-client retry token bucket: the bucket starts
+	// full at RetryBudget tokens, every retry spends one, and every
+	// successful call refills RetryRefill tokens (capped at RetryBudget).
+	// Retries therefore amplify only while the fleet is healthy — the
+	// defense against retry-storm metastability. 0 disables budgeting.
+	RetryBudget float64
+	// RetryRefill is the token refill per success; 0 with a nonzero
+	// RetryBudget means the default 0.1 (one retry earned per ten
+	// successes).
+	RetryRefill float64
+
+	// BreakerFailures arms per-target circuit breakers: after this many
+	// consecutive retryable failures against one target, the breaker opens
+	// and attempts fast-fail with ErrCircuitOpen (no network traffic) until
+	// BreakerCooldown has elapsed, when a single half-open probe decides
+	// whether to close it. 0 disables breakers.
+	BreakerFailures int
+	BreakerCooldown time.Duration
 }
 
 // hedgeMinSamples is how many completed calls the client needs before it
@@ -59,7 +78,8 @@ const hedgeMinSamples = 16
 func DefaultRetryable(err error) bool {
 	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrNotStarted) ||
 		errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadlineExceeded) ||
-		errors.Is(err, ErrNetDropped)
+		errors.Is(err, ErrNetDropped) || errors.Is(err, ErrExpired) ||
+		errors.Is(err, ErrCircuitOpen)
 }
 
 // Client issues RPCs under a resilience policy and accounts what the policy
@@ -76,16 +96,32 @@ type Client struct {
 	id      uint64
 	nextSeq uint64
 
+	// Retry-budget state: the token bucket, shared by every call through
+	// this client (see Policy.RetryBudget).
+	budget float64
+	// breakers holds one circuit breaker per target this client has called.
+	breakers map[*Server]*breaker
+
 	// Counters for reports and tests.
 	Calls, Attempts, Retries int
 	Hedges, HedgeWins        int
 	Deadlines, Failovers     int
+	// BudgetExhausted counts retries suppressed by an empty token bucket,
+	// BreakerOpens counts closed/half-open -> open transitions, and
+	// BreakerFastFails counts attempts answered with ErrCircuitOpen without
+	// touching the network.
+	BudgetExhausted  int
+	BreakerOpens     int
+	BreakerFastFails int
 }
 
 // NewClient creates a client with the given policy; seed drives backoff
 // jitter (and nothing else), so equal seeds give bit-identical behaviour.
 func NewClient(policy Policy, seed uint64) *Client {
-	return &Client{policy: policy, rng: stats.NewRNG(seed)}
+	if policy.RetryBudget > 0 && policy.RetryRefill <= 0 {
+		policy.RetryRefill = 0.1
+	}
+	return &Client{policy: policy, rng: stats.NewRNG(seed), budget: policy.RetryBudget}
 }
 
 // Policy returns the client's policy.
@@ -126,6 +162,111 @@ func (c *Client) backoff(retry int) time.Duration {
 
 // observe records a completed call latency for quantile-based hedging.
 func (c *Client) observe(d time.Duration) { c.lats.Add(float64(d)) }
+
+// spendRetryToken takes one token from the retry budget, reporting whether
+// the retry may proceed. With budgeting disabled it always allows. The check
+// happens after the backoff sleep, so a concurrent call through the shared
+// client can drain the bucket while this call backs off — exactly the
+// behaviour that stops a storm already in flight.
+func (c *Client) spendRetryToken(net *Network) bool {
+	if c.policy.RetryBudget <= 0 {
+		return true
+	}
+	if c.budget < 1 {
+		c.BudgetExhausted++
+		net.m.budgetExhausted.Inc()
+		return false
+	}
+	c.budget--
+	return true
+}
+
+// refillBudget credits the bucket for one successful call.
+func (c *Client) refillBudget() {
+	if c.policy.RetryBudget <= 0 {
+		return
+	}
+	c.budget += c.policy.RetryRefill
+	if c.budget > c.policy.RetryBudget {
+		c.budget = c.policy.RetryBudget
+	}
+}
+
+// RetryTokens returns the current retry-budget balance (tests/monitoring).
+func (c *Client) RetryTokens() float64 { return c.budget }
+
+// breakerFor returns the target's breaker, creating it on first use; nil
+// when breakers are disabled.
+func (c *Client) breakerFor(s *Server) *breaker {
+	if c.policy.BreakerFailures <= 0 {
+		return nil
+	}
+	if c.breakers == nil {
+		c.breakers = map[*Server]*breaker{}
+	}
+	b := c.breakers[s]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[s] = b
+	}
+	return b
+}
+
+// breakerAllows decides whether an attempt against s may go out now. An
+// open breaker whose cooldown has elapsed moves to half-open and admits this
+// one attempt as the probe; while half-open, every other attempt fast-fails.
+func (c *Client) breakerAllows(s *Server, now time.Duration) bool {
+	b := c.breakerFor(s)
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerOpen:
+		if now-b.openedAt >= c.policy.BreakerCooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		return false
+	}
+	return true
+}
+
+// noteResult feeds one definite attempt outcome into the target's breaker:
+// any success (or non-retryable application error — the server is healthy,
+// the request was wrong) closes it; consecutive retryable failures open it,
+// and a failed half-open probe re-opens it immediately.
+func (c *Client) noteResult(s *Server, err error, now time.Duration) {
+	b := c.breakerFor(s)
+	if b == nil {
+		return
+	}
+	if err == nil || !c.retryable(err) {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= c.policy.BreakerFailures {
+		if b.state != breakerOpen {
+			c.BreakerOpens++
+			s.Node.net.m.breakerOpens.Inc()
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// BreakerOpenFor reports whether the client's breaker for s is currently
+// open (tests/monitoring).
+func (c *Client) BreakerOpenFor(s *Server) bool {
+	if c.policy.BreakerFailures <= 0 || c.breakers == nil {
+		return false
+	}
+	b := c.breakers[s]
+	return b != nil && b.state == breakerOpen
+}
 
 // hedgeDelay returns the current hedge trigger delay, or 0 if hedging is
 // disabled.
@@ -195,15 +336,29 @@ func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request
 	var resp Response
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			// Sleep the backoff before spending the token: a concurrent call
+			// through the shared client may drain the bucket meanwhile, which
+			// is what cuts off a storm already in flight.
+			p.Sleep(c.backoff(i))
+			if !c.spendRetryToken(net) {
+				break
+			}
 			c.Retries++
 			net.m.retries.Inc()
 			if targets[i%len(targets)] != targets[(i-1)%len(targets)] {
 				c.Failovers++
 				net.m.failovers.Inc()
 			}
-			p.Sleep(c.backoff(i))
 		}
-		resp = c.attempt(p, from, targets[i%len(targets)], req)
+		target := targets[i%len(targets)]
+		if !c.breakerAllows(target, p.Now()) {
+			c.BreakerFastFails++
+			net.m.breakerFastFails.Inc()
+			resp = Response{Err: fmt.Errorf("%w: %s", ErrCircuitOpen, target.Node.Name)}
+		} else {
+			resp = c.attempt(p, from, target, req)
+			c.noteResult(target, resp.Err, p.Now())
+		}
 		if resp.Err == nil || !c.retryable(resp.Err) {
 			break
 		}
@@ -211,6 +366,7 @@ func (c *Client) CallAny(p *sim.Proc, from *Node, targets []*Server, req Request
 	elapsed := p.Now() - start
 	if resp.Err == nil {
 		c.observe(elapsed)
+		c.refillBudget()
 	}
 	return resp, elapsed
 }
@@ -242,6 +398,7 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 		k.Go(fmt.Sprintf("rpc-hedge/%s", req.Method), func(ap *sim.Proc) {
 			r, _ := s.Call(ap, from, req)
 			resp = r
+			c.noteResult(s, r.Err, ap.Now())
 			done.Fire()
 		})
 		return &resp, done
@@ -255,7 +412,14 @@ func (c *Client) CallHedged(p *sim.Proc, from *Node, targets []*Server, req Requ
 
 	resp := *priResp
 	fromBackup := false
-	if !priDone.Fired() {
+	if !priDone.Fired() && !c.breakerAllows(targets[1], p.Now()) {
+		// The backup's breaker is open: hedging would only hammer a target
+		// already deemed unhealthy, so wait out the primary instead.
+		c.BreakerFastFails++
+		net.m.breakerFastFails.Inc()
+		p.Wait(priDone)
+		resp = *priResp
+	} else if !priDone.Fired() {
 		// Primary is straggling: send the backup and take the first answer.
 		c.Hedges++
 		net.m.hedges.Inc()

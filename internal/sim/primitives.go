@@ -182,11 +182,17 @@ func (b *Barrier) Pending() int { return b.pending }
 func (p *Proc) WaitBarrier(b *Barrier) { p.Wait(b.sig) }
 
 // Queue is an unbounded FIFO queue of T with blocking Get, the mailbox
-// primitive for worker loops.
+// primitive for worker loops. It has two bands: items added with Put form
+// the normal FIFO band, and items added with PutHigh form a priority band
+// serviced first (FIFO among themselves) — the lane that lets system and
+// checker traffic overtake a brownout backlog.
 type Queue[T any] struct {
 	k       *Kernel
 	items   []T
 	waiters []*queueWaiter[T]
+	// high is the length of the priority band: items[0:high] were PutHigh,
+	// items[high:] were Put.
+	high int
 }
 
 type queueWaiter[T any] struct {
@@ -213,12 +219,30 @@ func (q *Queue[T]) Put(v T) {
 	q.items = append(q.items, v)
 }
 
+// PutHigh adds an item to the priority band: it is delivered before every
+// normal-band item but after earlier PutHigh items. With a blocked getter
+// waiting the bands are indistinguishable (the item is handed over directly).
+func (q *Queue[T]) PutHigh(v T) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.item = v
+		q.k.wake(q.k.now, w.p)
+		return
+	}
+	q.items = append(q.items, v)
+	copy(q.items[q.high+1:], q.items[q.high:])
+	q.items[q.high] = v
+	q.high++
+}
+
 // Drain removes and returns all queued items without waking blocked getters.
 // Callers use it to fail pending work wholesale (e.g. a crashed RPC server
 // erroring out its backlog).
 func (q *Queue[T]) Drain() []T {
 	items := q.items
 	q.items = nil
+	q.high = 0
 	return items
 }
 
@@ -227,6 +251,9 @@ func GetQueue[T any](p *Proc, q *Queue[T]) T {
 	if len(q.items) > 0 {
 		v := q.items[0]
 		q.items = q.items[1:]
+		if q.high > 0 {
+			q.high--
+		}
 		return v
 	}
 	w := &queueWaiter[T]{p: p}

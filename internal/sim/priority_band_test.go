@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// TestQueuePriorityBandOrdering checks the two-band Queue contract: PutHigh
+// items are delivered before every Put item, FIFO within each band, and a
+// blocked getter receives whichever item arrives first regardless of band.
+func TestQueuePriorityBandOrdering(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+
+	q.Put(1)
+	q.Put(2)
+	q.PutHigh(10)
+	q.Put(3)
+	q.PutHigh(11)
+
+	var got []int
+	k.Go("getter", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, GetQueue(p, q))
+		}
+	})
+	k.Run()
+
+	want := []int{10, 11, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeue order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueuePutHighHandsToBlockedGetter checks that a PutHigh with a getter
+// already parked hands the item over directly (bands only matter for the
+// backlog), and that Drain resets the priority cursor.
+func TestQueuePutHighHandsToBlockedGetter(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+
+	var got int
+	k.Go("getter", func(p *Proc) { got = GetQueue(p, q) })
+	k.Go("putter", func(p *Proc) { q.PutHigh(42) })
+	k.Run()
+	if got != 42 {
+		t.Fatalf("blocked getter got %d, want 42", got)
+	}
+
+	q.PutHigh(1)
+	q.Put(2)
+	if n := len(q.Drain()); n != 2 {
+		t.Fatalf("Drain returned %d items, want 2", n)
+	}
+	// After Drain the priority cursor must be reset: a plain Put followed by
+	// a PutHigh must still order the high item first.
+	q.Put(5)
+	q.PutHigh(6)
+	var order []int
+	k.Go("getter2", func(p *Proc) {
+		order = append(order, GetQueue(p, q), GetQueue(p, q))
+	})
+	k.Run()
+	if order[0] != 6 || order[1] != 5 {
+		t.Fatalf("post-Drain order = %v, want [6 5]", order)
+	}
+}

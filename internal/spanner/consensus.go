@@ -2,6 +2,7 @@ package spanner
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"hyperprof/internal/netsim"
 	"hyperprof/internal/sim"
@@ -50,6 +51,15 @@ type appendReply struct {
 // RestartReplica.
 func (db *DB) startServer(grp *group, rep *replica) {
 	rep.srv = netsim.NewServer(rep.machine.Node, 16)
+	if db.cfg.Admission != (netsim.Admission{}) {
+		// Decorrelate each replica's shed stream by its node name, keeping
+		// the whole deployment a pure function of the config seed.
+		a := db.cfg.Admission
+		h := fnv.New64a()
+		h.Write([]byte(rep.machine.Node.Name))
+		a.Seed ^= h.Sum64()
+		rep.srv.SetAdmission(a)
+	}
 	rep.srv.Handle("consensus.append", db.handleAppend(grp, rep))
 	rep.srv.Handle("consensus.lease", db.handleLease(rep))
 	rep.srv.Start()

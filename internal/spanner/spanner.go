@@ -46,6 +46,10 @@ type Config struct {
 	// (replication and lease rounds). The zero value is a plain call with no
 	// retries and changes nothing about fault-free runs.
 	RPC netsim.Policy
+	// Admission is the server-side overload admission control installed on
+	// every replica RPC server (bounded queue, CoDel expiry, adaptive shed).
+	// The zero value disables it and changes nothing about existing runs.
+	Admission netsim.Admission
 }
 
 // DefaultConfig returns a laptop-scale deployment that preserves the
@@ -503,7 +507,11 @@ var ErrNoQuorum = errors.New("spanner: quorum unavailable")
 // the round errors out as soon as a majority becomes impossible.
 func (db *DB) quorumRound(p *sim.Proc, tr *trace.Trace, grp *group, method string, bytes int64) error {
 	return db.quorum(p, tr, grp, func(rep *replica, cp *sim.Proc) error {
-		resp, _ := db.client.Call(cp, grp.leaderRep().machine.Node, rep.srv, netsim.Request{Method: method, Bytes: bytes})
+		// Lease/health rounds ride the priority lane: under a brownout they
+		// overtake the user-traffic backlog and bypass shedding, so the
+		// control plane keeps functioning while the data plane degrades.
+		resp, _ := db.client.Call(cp, grp.leaderRep().machine.Node, rep.srv,
+			netsim.Request{Method: method, Bytes: bytes, Priority: true})
 		return resp.Err
 	})
 }
@@ -598,6 +606,20 @@ func (db *DB) ReplicaDown(g, region int) bool {
 
 // RPCClient exposes the consensus RPC client's counters for reports.
 func (db *DB) RPCClient() *netsim.Client { return db.client }
+
+// OverloadStats sums the replica servers' admission-control counters:
+// requests shed at the hard queue bound, shed adaptively below it, and
+// expired by the CoDel queue deadline.
+func (db *DB) OverloadStats() (shed, adaptive, expired int) {
+	for _, grp := range db.groups {
+		for _, rep := range grp.replicas {
+			shed += rep.srv.Shed
+			adaptive += rep.srv.ShedAdaptive
+			expired += rep.srv.Expired
+		}
+	}
+	return
+}
 
 // ensureLeader returns the group's current leader, electing a new one first
 // if the incumbent's server is down — this is how client operations fail over

@@ -206,112 +206,143 @@ type OpenLoopResult struct {
 	Latencies *stats.Summary
 }
 
-// SpannerOpenLoop schedules an open-loop Spanner workload: operations
-// arrive as a Poisson process at ratePerSec regardless of completions, the
-// arrival model behind latency SLOs (queueing grows with load instead of
-// self-throttling as in the closed-loop drivers).
-func SpannerOpenLoop(env *platform.Env, db *spanner.DB, mix SpannerMix, ratePerSec float64, total int) *OpenLoopResult {
+// openLoop is the shared Poisson arrival helper behind the per-platform
+// open-loop drivers: operations arrive at ratePerSec regardless of
+// completions — the arrival model behind latency SLOs (queueing grows with
+// load instead of self-throttling as in the closed-loop drivers).
+//
+// setup receives the driver's forked RNG and returns the per-arrival prepare
+// function; prepare is called on the arrival process after each gap sleep (so
+// parameter draws interleave with gap draws in arrival order, keeping the
+// schedule a pure function of the seed) and returns the operation to run in
+// its own process. shutdown runs after the last operation completes.
+func openLoop(env *platform.Env, name string, ratePerSec float64, total int,
+	setup func(rng *stats.RNG) func() func(p *sim.Proc) error, shutdown func()) *OpenLoopResult {
 	res := &OpenLoopResult{
 		Run:       &Run{Done: sim.NewSignal(env.K)},
 		Latencies: &stats.Summary{},
 	}
 	if ratePerSec <= 0 || total <= 0 {
-		res.Run.fail("spanner-openloop", fmt.Errorf("invalid rate %v or total %d", ratePerSec, total))
+		res.Run.fail(name, fmt.Errorf("invalid rate %v or total %d", ratePerSec, total))
 		res.Done.Fire()
 		return res
 	}
 	rng := env.RNG.Fork()
-	picker := stats.NewWeighted(rng, []float64{mix.Reads, mix.Writes, mix.Queries})
+	prepare := setup(rng)
 	bar := sim.NewBarrier(env.K, total)
 	meanGap := float64(time.Second) / ratePerSec
 
-	env.K.Go("spanner-openloop-arrivals", func(p *sim.Proc) {
-		val := []byte("spanner-openloop-value-0123456789abcdef")
+	env.K.Go(name+"-arrivals", func(p *sim.Proc) {
 		for i := 0; i < total; i++ {
 			p.Sleep(time.Duration(rng.Exp(meanGap)))
-			g := rng.Intn(db.NumGroups())
-			row := db.PickRow()
-			op := picker.Next()
-			strong := rng.Bool(mix.StrongReadFrac)
-			env.K.Go("spanner-openloop-op", func(op2 *sim.Proc) {
+			op := prepare()
+			env.K.Go(name+"-op", func(op2 *sim.Proc) {
 				defer bar.Done()
 				start := op2.Now()
-				tr := env.Tracer.Start(taxonomy.Spanner, start)
-				var err error
-				switch op {
-				case 0:
-					_, err = db.Read(op2, tr, g, row, strong)
-				case 1:
-					err = db.Commit(op2, tr, g, row, val)
-				default:
-					_, err = db.Query(op2, tr, g, row)
-				}
-				env.Tracer.Finish(tr, op2.Now())
+				err := op(op2)
 				res.Completed++
 				if err != nil {
-					res.fail("spanner-openloop", err)
+					res.fail(name, err)
 				}
 				res.Latencies.Add((op2.Now() - start).Seconds())
 			})
 		}
 	})
-	env.K.Go("spanner-openloop-shutdown", func(p *sim.Proc) {
+	env.K.Go(name+"-shutdown", func(p *sim.Proc) {
 		p.WaitBarrier(bar)
-		db.Stop()
+		if shutdown != nil {
+			shutdown()
+		}
 		res.Done.Fire()
 	})
 	return res
 }
 
+// SpannerOpenLoop schedules an open-loop Spanner workload (Poisson arrivals
+// at ratePerSec).
+func SpannerOpenLoop(env *platform.Env, db *spanner.DB, mix SpannerMix, ratePerSec float64, total int) *OpenLoopResult {
+	return openLoop(env, "spanner-openloop", ratePerSec, total,
+		func(rng *stats.RNG) func() func(p *sim.Proc) error {
+			picker := stats.NewWeighted(rng, []float64{mix.Reads, mix.Writes, mix.Queries})
+			val := []byte("spanner-openloop-value-0123456789abcdef")
+			return func() func(p *sim.Proc) error {
+				g := rng.Intn(db.NumGroups())
+				row := db.PickRow()
+				op := picker.Next()
+				strong := rng.Bool(mix.StrongReadFrac)
+				return func(p *sim.Proc) error {
+					tr := env.Tracer.Start(taxonomy.Spanner, p.Now())
+					var err error
+					switch op {
+					case 0:
+						_, err = db.Read(p, tr, g, row, strong)
+					case 1:
+						err = db.Commit(p, tr, g, row, val)
+					default:
+						_, err = db.Query(p, tr, g, row)
+					}
+					env.Tracer.Finish(tr, p.Now())
+					return err
+				}
+			}
+		},
+		db.Stop)
+}
+
 // BigTableOpenLoop schedules an open-loop BigTable workload (Poisson
 // arrivals at ratePerSec).
 func BigTableOpenLoop(env *platform.Env, db *bigtable.DB, mix BigTableMix, ratePerSec float64, total int) *OpenLoopResult {
-	res := &OpenLoopResult{
-		Run:       &Run{Done: sim.NewSignal(env.K)},
-		Latencies: &stats.Summary{},
-	}
-	if ratePerSec <= 0 || total <= 0 {
-		res.Run.fail("bigtable-openloop", fmt.Errorf("invalid rate %v or total %d", ratePerSec, total))
-		res.Done.Fire()
-		return res
-	}
-	rng := env.RNG.Fork()
-	picker := stats.NewWeighted(rng, []float64{mix.Gets, mix.Puts, mix.Scans})
-	bar := sim.NewBarrier(env.K, total)
-	meanGap := float64(time.Second) / ratePerSec
+	return openLoop(env, "bigtable-openloop", ratePerSec, total,
+		func(rng *stats.RNG) func() func(p *sim.Proc) error {
+			picker := stats.NewWeighted(rng, []float64{mix.Gets, mix.Puts, mix.Scans})
+			val := []byte("bigtable-openloop-value-0123456789abcdef")
+			return func() func(p *sim.Proc) error {
+				tb := rng.Intn(db.NumTablets())
+				row := db.PickRow()
+				op := picker.Next()
+				return func(p *sim.Proc) error {
+					tr := env.Tracer.Start(taxonomy.BigTable, p.Now())
+					var err error
+					switch op {
+					case 0:
+						_, err = db.Get(p, tr, tb, row)
+					case 1:
+						err = db.Put(p, tr, tb, row, val)
+					default:
+						_, err = db.Scan(p, tr, tb, row)
+					}
+					env.Tracer.Finish(tr, p.Now())
+					return err
+				}
+			}
+		},
+		nil)
+}
 
-	env.K.Go("bigtable-openloop-arrivals", func(p *sim.Proc) {
-		val := []byte("bigtable-openloop-value-0123456789abcdef")
-		for i := 0; i < total; i++ {
-			p.Sleep(time.Duration(rng.Exp(meanGap)))
-			tb := rng.Intn(db.NumTablets())
-			row := db.PickRow()
-			op := picker.Next()
-			env.K.Go("bigtable-openloop-op", func(op2 *sim.Proc) {
-				defer bar.Done()
-				start := op2.Now()
-				tr := env.Tracer.Start(taxonomy.BigTable, start)
-				var err error
-				switch op {
+// BigQueryOpenLoop schedules an open-loop BigQuery workload (Poisson
+// arrivals at ratePerSec), completing the open-loop driver set across all
+// three platforms.
+func BigQueryOpenLoop(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, ratePerSec float64, total int) *OpenLoopResult {
+	return openLoop(env, "bigquery-openloop", ratePerSec, total,
+		func(rng *stats.RNG) func() func(p *sim.Proc) error {
+			picker := stats.NewWeighted(rng, []float64{mix.ScanAgg, mix.Join, mix.Report})
+			return func() func(p *sim.Proc) error {
+				q := bigquery.Query{Threshold: int64(rng.Intn(900))}
+				switch picker.Next() {
 				case 0:
-					_, err = db.Get(op2, tr, tb, row)
+					q.Kind = bigquery.ScanAgg
 				case 1:
-					err = db.Put(op2, tr, tb, row, val)
+					q.Kind = bigquery.JoinQuery
 				default:
-					_, err = db.Scan(op2, tr, tb, row)
+					q.Kind = bigquery.Report
 				}
-				env.Tracer.Finish(tr, op2.Now())
-				res.Completed++
-				if err != nil {
-					res.fail("bigtable-openloop", err)
+				return func(p *sim.Proc) error {
+					tr := env.Tracer.Start(taxonomy.BigQuery, p.Now())
+					_, err := e.Run(p, tr, q)
+					env.Tracer.Finish(tr, p.Now())
+					return err
 				}
-				res.Latencies.Add((op2.Now() - start).Seconds())
-			})
-		}
-	})
-	env.K.Go("bigtable-openloop-shutdown", func(p *sim.Proc) {
-		p.WaitBarrier(bar)
-		res.Done.Fire()
-	})
-	return res
+			}
+		},
+		e.Stop)
 }

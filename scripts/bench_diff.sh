@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_diff.sh — soft regression gate over the substrate microbenchmarks.
+#
+# Usage: bench_diff.sh BASELINE.json FRESH.json
+#
+# Compares a fresh scripts/bench.sh run against the committed baseline and
+# warns when any benchmark's ns/op grew more than 10% or its allocs/op grew
+# at all. Always exits 0: wall-clock noise on shared CI runners makes a hard
+# ns/op gate flaky, so this leaves a loud per-commit trail instead of a red
+# build. allocs/op is deterministic, so any growth there is a real
+# regression worth chasing even though it only warns.
+#
+# Only POSIX sh + awk; no external dependencies.
+set -e
+
+base="${1:?usage: bench_diff.sh baseline.json fresh.json}"
+fresh="${2:?usage: bench_diff.sh baseline.json fresh.json}"
+
+if [ ! -f "$base" ]; then
+	echo "bench_diff: no baseline $base — run 'make bench-baseline' and commit it" >&2
+	exit 0
+fi
+
+awk -v basefile="$base" '
+# Each benchmark row in the bench.sh JSON sits on one line:
+#   {"name": "BenchmarkX", "ns_per_op": 123.4, "bytes_per_op": 0, "allocs_per_op": 0}
+/"name"/ {
+	name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+	ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[^0-9.].*/, "", ns)
+	al = $0; sub(/.*"allocs_per_op": /, "", al); sub(/[^0-9.].*/, "", al)
+	if (FILENAME == basefile) {
+		bns[name] = ns; bal[name] = al
+		next
+	}
+	if (!(name in bns)) {
+		printf "NEW   %-28s %10.1f ns/op %6d allocs/op (no baseline)\n", name, ns, al
+		next
+	}
+	status = "ok"
+	if (al + 0 > bal[name] + 0) {
+		status = "WARN"
+		warns++
+		printf "WARN  %-28s allocs/op grew: %d -> %d\n", name, bal[name], al
+	}
+	if (ns + 0 > bns[name] * 1.10) {
+		status = "WARN"
+		warns++
+		printf "WARN  %-28s ns/op grew >10%%: %.1f -> %.1f (%+.0f%%)\n",
+			name, bns[name], ns, (ns / bns[name] - 1) * 100
+	}
+	if (status == "ok")
+		printf "ok    %-28s %10.1f ns/op (baseline %.1f, %+.0f%%) %d allocs/op\n",
+			name, ns, bns[name], (ns / bns[name] - 1) * 100, al
+}
+END {
+	if (warns) printf "bench_diff: %d warning(s) vs %s (soft gate, not failing the build)\n", warns, basefile
+	else printf "bench_diff: all benchmarks within budget vs %s\n", basefile
+}
+' "$base" "$fresh"
