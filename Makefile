@@ -4,7 +4,11 @@ GO ?= go
 # safety torture harness (linearizability + invariant checking under chaos).
 SAFETY_SEEDS ?= 20
 
-.PHONY: check build vet fmt test race check-safety check-obs check-overload bench bench-baseline
+# check-backends tortures this many fault-injected seeds per platform through
+# the exec backend's worker subprocesses end to end.
+BACKEND_SEEDS ?= 8
+
+.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends bench bench-gate bench-baseline
 
 check: build vet fmt race
 
@@ -50,6 +54,16 @@ check-overload:
 	$(GO) test ./internal/experiments/ -run TestOverloadStudy
 	$(GO) run ./cmd/hyperprof -overload -json > overload.json
 
+# check-backends proves the execution-backend abstraction: the dispatch
+# protocol and crash/timeout/retry tests, the byte-for-byte cross-backend
+# determinism tests (in-process vs pool vs exec for every remotable study),
+# and an end-to-end safety torture through real `hyperprof -worker`
+# subprocesses.
+check-backends:
+	$(GO) test ./internal/dispatch/
+	$(GO) test ./internal/experiments/ -run 'AcrossBackends|Backend|ExecWorker|RunUnit'
+	$(GO) run ./cmd/hyperprof -check -check-seeds $(BACKEND_SEEDS) -backend=exec -workers 2
+
 # bench runs the DES-kernel substrate microbenchmarks into BENCH_1.json and
 # diffs the result against the committed BENCH_0.json baseline — a soft gate
 # that warns on >10% ns/op growth or any allocs/op growth without failing
@@ -58,6 +72,12 @@ check-overload:
 bench:
 	sh scripts/bench.sh BENCH_1.json
 	sh scripts/bench_diff.sh BENCH_0.json BENCH_1.json
+
+# bench-gate is the blocking form of bench, used by CI: the same diff, but
+# any >10% ns/op growth or any allocs/op growth fails the build.
+bench-gate:
+	sh scripts/bench.sh BENCH_1.json
+	sh scripts/bench_diff.sh --fail BENCH_0.json BENCH_1.json
 
 bench-baseline:
 	sh scripts/bench.sh BENCH_0.json

@@ -8,7 +8,12 @@
 // Usage:
 //
 //	hyperprof [-faults|-overload|-check|-obs] [-seed N] [-spanner N] [-bigtable N]
-//	          [-bigquery N] [-clients N] [-rate N] [-parallel N] [...]
+//	          [-bigquery N] [-clients N] [-rate N] [-parallel N]
+//	          [-backend pool|exec] [-workers N] [-unit-timeout D] [...]
+//
+// With -backend=exec the process re-invokes itself as `hyperprof -worker`
+// subprocesses and fans the study's work units across them; outputs are
+// byte-identical to the in-process backends.
 package main
 
 import (
@@ -39,6 +44,9 @@ type studyFlags struct {
 	obs                         *bool
 	obsInterval                 *time.Duration
 	obsOut                      *string
+	backend                     *string
+	workers                     *int
+	unitTimeout                 *time.Duration
 }
 
 // registerStudyFlags declares the shared flag group on the default FlagSet.
@@ -55,6 +63,9 @@ func registerStudyFlags() *studyFlags {
 		obs:         flag.Bool("obs", false, "enable the observability plane (sim-clock metrics + continuous profiling); standalone it selects the observability study, with -faults it instruments the faulted arms"),
 		obsInterval: flag.Duration("obs-interval", 0, "virtual-time metrics sampling period (0 = study default)"),
 		obsOut:      flag.String("obs-out", "obs-series.json", "with -obs: write the metric time series as JSON to this file"),
+		backend:     flag.String("backend", "", `execution backend: "" (in-process), "pool" (in-process via the serialized unit registry) or "exec" (hyperprof -worker subprocesses); outputs are identical across backends`),
+		workers:     flag.Int("workers", 0, "with -backend=exec: worker subprocesses (0 = match -parallel)"),
+		unitTimeout: flag.Duration("unit-timeout", 0, "with -backend=exec: kill a worker whose unit exceeds this wall-clock duration (0 = none)"),
 	}
 }
 
@@ -87,6 +98,9 @@ func (f *studyFlags) apply(cfg hyperprof.StudyConfig) hyperprof.StudyConfig {
 	if *f.obsInterval > 0 {
 		cfg.Obs.Interval = *f.obsInterval
 	}
+	cfg.Backend = *f.backend
+	cfg.Exec.Workers = *f.workers
+	cfg.Exec.UnitTimeout = *f.unitTimeout
 	return cfg
 }
 
@@ -103,7 +117,15 @@ func main() {
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
+	worker := flag.Bool("worker", false, "serve study work units on stdin/stdout for an exec-backend coordinator (internal; spawned by -backend=exec)")
 	flag.Parse()
+
+	if *worker {
+		if err := hyperprof.ServeStudyWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

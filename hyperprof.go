@@ -48,7 +48,27 @@ type (
 	// LoadConfig sizes the overload study: open-loop offered load, the
 	// retry-storm trigger, and the protected arm's control-plane knobs.
 	LoadConfig = experiments.LoadConfig
+	// ExecConfig sizes the exec backend's worker process pool.
+	ExecConfig = experiments.ExecConfig
 )
+
+// Execution backends. StudyConfig.Backend selects where a study's
+// independent arms compute — never what they compute: exported bytes are
+// identical across all backends (and across the legacy default, the
+// in-process pool without serialization, selected by the empty string).
+const (
+	// BackendPool runs serialized work units on the in-process goroutine pool.
+	BackendPool = experiments.BackendPool
+	// BackendExec fans work units across hyperprof -worker subprocesses,
+	// keeping the coordinator's memory flat on large sweeps and isolating
+	// arm crashes.
+	BackendExec = experiments.BackendExec
+)
+
+// ServeStudyWorker runs the worker half of the exec backend protocol on the
+// given streams until EOF. cmd/hyperprof serves this under -worker; a
+// custom driver binary embedding this package can do the same.
+var ServeStudyWorker = experiments.ServeWorker
 
 // Default study configurations, one per entry point.
 var (

@@ -1,0 +1,224 @@
+package experiments
+
+// This file abstracts study execution behind the Backend interface. Every
+// study's arms are independent deterministic simulations, so the only thing
+// a backend decides is *where* an arm computes — never what it computes.
+// Two implementations exist:
+//
+//   - PoolBackend runs work units on the in-process goroutine pool
+//     (runner.go), exactly like the legacy path but through the serialized
+//     unit registry, so the wire representation is exercised without
+//     spawning processes.
+//   - ExecBackend partitions units across `hyperprof -worker` subprocesses
+//     via internal/dispatch, which is what makes 10k-seed safety tortures
+//     and full design-space sweeps practical: each worker is a fresh
+//     address space, so the study's memory high-water mark stays flat and a
+//     crashed arm cannot take the coordinator down.
+//
+// The determinism invariant extends across backends: a study's exported
+// bytes are identical whether its arms ran sequentially, on the goroutine
+// pool, or across worker processes. The fixed-order merge already
+// guarantees this for goroutines; for processes it additionally requires
+// that every remotable arm result survives a JSON round trip bit-exactly
+// (encoding/json round-trips float64, time.Duration and nil-vs-empty slices
+// faithfully; trace.Trace carries its unexported sampling state through
+// custom JSON). The cross-backend tests pin the invariant byte-for-byte.
+//
+// Not every study is remotable. The characterization (and the observability
+// study riding on it) hands live simulator state — kernels, profilers,
+// tracers, storage inventories — straight to the figure extractors; there
+// is no wire form of a platformRun, so those studies always execute
+// in-process regardless of the configured backend. Safety, resilience,
+// latency and overload arms condense to plain data and ship fine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hyperprof/internal/dispatch"
+)
+
+// Backend names accepted by StudyConfig.Backend.
+const (
+	// BackendPool is the in-process goroutine worker pool.
+	BackendPool = "pool"
+	// BackendExec is the multi-process worker backend.
+	BackendExec = "exec"
+)
+
+// Backend executes the independent work units of a study and returns their
+// results in unit order. Units and results are JSON documents so the
+// contract is identical in- and out-of-process; kind routes a unit to its
+// registered runner. If any unit fails, the error of the lowest-indexed
+// failing unit is returned, so the surfaced error is deterministic
+// regardless of worker interleaving.
+type Backend interface {
+	// Name identifies the backend ("pool", "exec").
+	Name() string
+	// Run executes the units of one kind under the study config.
+	Run(cfg StudyConfig, kind string, units []json.RawMessage) ([]json.RawMessage, error)
+}
+
+// ResolveBackend maps a study config to its execution backend. The empty
+// string resolves to nil: run jobs directly on the in-process pool without
+// the serialized unit indirection (the legacy fast path).
+func ResolveBackend(cfg StudyConfig) (Backend, error) {
+	switch cfg.Backend {
+	case "":
+		return nil, nil
+	case BackendPool:
+		return PoolBackend{}, nil
+	case BackendExec:
+		return ExecBackend{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown backend %q (want %q or %q)", cfg.Backend, BackendPool, BackendExec)
+	}
+}
+
+// PoolBackend executes work units on the in-process goroutine pool. It is
+// the same pool the legacy path uses; the difference is that units travel
+// through the serialized registry, so selecting it proves the wire
+// representation without any subprocess in the loop.
+type PoolBackend struct{}
+
+// Name implements Backend.
+func (PoolBackend) Name() string { return BackendPool }
+
+// Run implements Backend.
+func (PoolBackend) Run(cfg StudyConfig, kind string, units []json.RawMessage) ([]json.RawMessage, error) {
+	jobs := make([]func() (json.RawMessage, error), len(units))
+	for i, u := range units {
+		u := u
+		jobs[i] = func() (json.RawMessage, error) { return runUnit(cfg, kind, u) }
+	}
+	return runJobs(cfg.Parallel, jobs)
+}
+
+// ExecBackend executes work units across hyperprof -worker subprocesses.
+type ExecBackend struct{}
+
+// Name implements Backend.
+func (ExecBackend) Name() string { return BackendExec }
+
+// Run implements Backend.
+func (ExecBackend) Run(cfg StudyConfig, kind string, units []json.RawMessage) ([]json.RawMessage, error) {
+	ec := cfg.Exec
+	workers := ec.Workers
+	if workers <= 0 {
+		workers = Parallelism(cfg.Parallel)
+	}
+	retries := ec.Retries
+	switch {
+	case retries == 0:
+		retries = 1
+	case retries < 0:
+		retries = 0
+	}
+	// Workers re-run units in a fresh process, so the config they see must
+	// not re-select a backend: arms execute directly.
+	wcfg := cfg
+	wcfg.Backend = ""
+	wcfg.Exec = ExecConfig{}
+	pool := &dispatch.Pool{
+		Command:     ec.Command,
+		Env:         ec.Env,
+		Workers:     workers,
+		UnitTimeout: ec.UnitTimeout,
+		Retries:     retries,
+	}
+	wire := make([]dispatch.Unit, len(units))
+	for i, u := range units {
+		body, err := json.Marshal(wireUnit{Cfg: wcfg, Body: u})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: marshal %s unit %d: %w", kind, i, err)
+		}
+		wire[i] = dispatch.Unit{Kind: kind, Body: body}
+	}
+	return pool.Run(wire)
+}
+
+// wireUnit is the exec backend's frame body: the study config the arm runs
+// under plus the unit's own parameters.
+type wireUnit struct {
+	Cfg  StudyConfig     `json:"cfg"`
+	Body json.RawMessage `json:"body"`
+}
+
+// unitRunner executes one decoded work unit and returns its arm result.
+type unitRunner func(cfg StudyConfig, body json.RawMessage) (any, error)
+
+// unitRunners is the registry mapping a unit kind to the function that runs
+// it. Both backends resolve kinds here: the pool backend in-process, the
+// exec backend inside each worker subprocess.
+var unitRunners = map[string]unitRunner{
+	safetyUnitKind:     runSafetyUnit,
+	latencyUnitKind:    runLatencyUnit,
+	resilienceUnitKind: runResilienceUnit,
+	overloadUnitKind:   runOverloadUnit,
+}
+
+// runUnit resolves and executes one serialized work unit in this process.
+func runUnit(cfg StudyConfig, kind string, body json.RawMessage) (json.RawMessage, error) {
+	runner, ok := unitRunners[kind]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown work unit kind %q", kind)
+	}
+	result, err := runner(cfg, body)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(result)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: marshal %s result: %w", kind, err)
+	}
+	return out, nil
+}
+
+// ServeWorker runs the worker side of the exec backend protocol on the
+// given streams until EOF: decode each frame's study config and unit
+// parameters, run the arm in this process, and answer with the serialized
+// result. cmd/hyperprof serves this under its -worker flag.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	return dispatch.Serve(r, w, func(kind string, body json.RawMessage) (json.RawMessage, error) {
+		var u wireUnit
+		if err := json.Unmarshal(body, &u); err != nil {
+			return nil, fmt.Errorf("experiments: decode %s work unit: %w", kind, err)
+		}
+		return runUnit(u.Cfg, kind, u.Body)
+	})
+}
+
+// runStudy executes a study's jobs through its configured backend. jobs is
+// the in-process form of the work; units is the serialized form of the same
+// work, element for element, or nil when the study's results cannot cross a
+// process boundary (see the package comment above). With no backend
+// selected — or no wire form available — jobs run directly on the
+// in-process pool, which is bitwise the pre-backend behaviour.
+func runStudy[T any](cfg StudyConfig, kind string, units []any, jobs []func() (T, error)) ([]T, error) {
+	backend, err := ResolveBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if backend == nil || kind == "" || len(units) != len(jobs) {
+		return runJobs(cfg.Parallel, jobs)
+	}
+	payloads := make([]json.RawMessage, len(units))
+	for i, u := range units {
+		payloads[i], err = json.Marshal(u)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: marshal %s unit %d: %w", kind, i, err)
+		}
+	}
+	raws, err := backend.Run(cfg, kind, payloads)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]T, len(raws))
+	for i, raw := range raws {
+		if err := json.Unmarshal(raw, &results[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decode %s result %d: %w", kind, i, err)
+		}
+	}
+	return results, nil
+}

@@ -71,7 +71,11 @@ func (cfg StudyConfig) Characterize() (*Characterization, error) {
 	if cfg.Clients <= 0 || cfg.TraceRate <= 0 {
 		return nil, fmt.Errorf("experiments: invalid characterization config %+v", cfg)
 	}
-	runs, err := runJobs(cfg.Parallel, []func() (platformRun, error){
+	// A platformRun hands live simulator state (envs, profilers, tracers)
+	// straight to the figure extractors; it has no wire form, so the
+	// characterization always executes in-process whatever backend the
+	// config selects (the empty kind routes runStudy to the legacy pool).
+	runs, err := runStudy(cfg, "", nil, []func() (platformRun, error){
 		func() (platformRun, error) { return runSpannerChar(cfg) },
 		func() (platformRun, error) { return runBigTableChar(cfg) },
 		func() (platformRun, error) { return runBigQueryChar(cfg) },

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -21,38 +22,72 @@ type LatencyPoint struct {
 	P99Seconds float64
 }
 
-// LatencyStudy runs the Spanner open-loop workload at each offered rate
+// latencyUnitKind tags latency points in the backend work-unit registry.
+const latencyUnitKind = "latency/point"
+
+// latencyUnit is the serialized form of one offered-load point.
+type latencyUnit struct {
+	Rate float64 `json:"rate"`
+	Ops  int     `json:"ops"`
+}
+
+// runLatencyUnit executes one offered-load point from its wire form.
+func runLatencyUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
+	var u latencyUnit
+	if err := json.Unmarshal(body, &u); err != nil {
+		return nil, fmt.Errorf("experiments: decode latency unit: %w", err)
+	}
+	return runLatencyPoint(cfg.Seed, u.Rate, u.Ops)
+}
+
+// runLatencyPoint drives one fresh Spanner deployment at one offered rate.
+func runLatencyPoint(seed uint64, rate float64, opsPerPoint int) (LatencyPoint, error) {
+	env := platform.NewEnv(seed, 1)
+	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	db, err := spanner.New(env, spanner.DefaultConfig())
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	res := workload.SpannerOpenLoop(env, db, workload.DefaultSpannerMix(), rate, opsPerPoint)
+	env.K.Run()
+	if err := res.Err(); err != nil {
+		return LatencyPoint{}, err
+	}
+	return LatencyPoint{
+		RatePerSec: rate,
+		P50Seconds: res.Latencies.Quantile(0.5),
+		P99Seconds: res.Latencies.Quantile(0.99),
+	}, nil
+}
+
+// Latency runs the Spanner open-loop workload at each offered rate
 // (operations per second of virtual time), building a fresh deployment per
 // point so the curve is not contaminated by carry-over queueing. The points
-// are independent simulations, so they run concurrently (one worker per CPU)
-// and the curve comes back in rate order regardless of completion order.
-func LatencyStudy(seed uint64, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
+// are independent simulations, so they fan out over the study's configured
+// backend and parallelism, and the curve comes back in rate order
+// regardless of completion order.
+func (cfg StudyConfig) Latency(rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
 	if opsPerPoint <= 0 {
 		return nil, fmt.Errorf("experiments: opsPerPoint must be positive")
 	}
 	jobs := make([]func() (LatencyPoint, error), len(rates))
+	units := make([]any, len(rates))
 	for i, rate := range rates {
 		rate := rate
-		jobs[i] = func() (LatencyPoint, error) {
-			env := platform.NewEnv(seed, 1)
-			env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
-			db, err := spanner.New(env, spanner.DefaultConfig())
-			if err != nil {
-				return LatencyPoint{}, err
-			}
-			res := workload.SpannerOpenLoop(env, db, workload.DefaultSpannerMix(), rate, opsPerPoint)
-			env.K.Run()
-			if err := res.Err(); err != nil {
-				return LatencyPoint{}, err
-			}
-			return LatencyPoint{
-				RatePerSec: rate,
-				P50Seconds: res.Latencies.Quantile(0.5),
-				P99Seconds: res.Latencies.Quantile(0.99),
-			}, nil
-		}
+		jobs[i] = func() (LatencyPoint, error) { return runLatencyPoint(cfg.Seed, rate, opsPerPoint) }
+		units[i] = latencyUnit{Rate: rate, Ops: opsPerPoint}
 	}
-	return runJobs(0, jobs)
+	return runStudy(cfg, latencyUnitKind, units, jobs)
+}
+
+// LatencyStudy runs the latency-under-load study with default execution
+// (one in-process worker per CPU).
+//
+// Deprecated: construct a StudyConfig and call its Latency method, which
+// honours the configured Parallel and Backend knobs; this wrapper delegates
+// with the defaults.
+func LatencyStudy(seed uint64, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
+	return StudyConfig{Seed: seed}.Latency(rates, opsPerPoint)
 }
 
 // RenderLatency renders a latency-under-load curve.

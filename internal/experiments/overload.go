@@ -128,10 +128,45 @@ type Overload struct {
 	Series map[taxonomy.Platform][]obs.Series
 }
 
-// overloadArm is one completed (platform, arm) measurement.
+// overloadArm is one completed (platform, arm) measurement. Fields are
+// exported because the arm pair is the overload study's wire type: the exec
+// backend ships it between worker and coordinator as JSON.
 type overloadArm struct {
-	row    OverloadRow
-	series []obs.Series
+	Row    OverloadRow
+	Series []obs.Series
+}
+
+// overloadUnitKind tags platform arm pairs in the backend registry.
+const overloadUnitKind = "overload/pair"
+
+// overloadUnit is the serialized form of one platform's naive+protected arm
+// pair. The arms share nothing, but pairing them keeps one platform's work
+// on one worker, matching the in-process job granularity.
+type overloadUnit struct {
+	Platform taxonomy.Platform `json:"platform"`
+}
+
+// runOverloadUnit executes one platform's arm pair from its wire form.
+func runOverloadUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
+	var u overloadUnit
+	if err := json.Unmarshal(body, &u); err != nil {
+		return nil, fmt.Errorf("experiments: decode overload unit: %w", err)
+	}
+	o := &Overload{Cfg: cfg}
+	return o.runPair(u.Platform)
+}
+
+// runPair runs one platform's naive arm and then its protected arm.
+func (o *Overload) runPair(p taxonomy.Platform) ([2]overloadArm, error) {
+	naive, err := o.runArm(p, false)
+	if err != nil {
+		return [2]overloadArm{}, err
+	}
+	prot, err := o.runArm(p, true)
+	if err != nil {
+		return [2]overloadArm{}, err
+	}
+	return [2]overloadArm{naive, prot}, nil
 }
 
 // Row returns the study's row for a platform arm.
@@ -161,29 +196,21 @@ func (cfg StudyConfig) Overload() (*Overload, error) {
 	o := &Overload{Cfg: cfg, Series: map[taxonomy.Platform][]obs.Series{}}
 	platforms := taxonomy.Platforms()
 	jobs := make([]func() ([2]overloadArm, error), len(platforms))
+	units := make([]any, len(platforms))
 	for i, p := range platforms {
 		p := p
-		jobs[i] = func() ([2]overloadArm, error) {
-			naive, err := o.runArm(p, false)
-			if err != nil {
-				return [2]overloadArm{}, err
-			}
-			prot, err := o.runArm(p, true)
-			if err != nil {
-				return [2]overloadArm{}, err
-			}
-			return [2]overloadArm{naive, prot}, nil
-		}
+		jobs[i] = func() ([2]overloadArm, error) { return o.runPair(p) }
+		units[i] = overloadUnit{Platform: p}
 	}
-	pairs, err := runJobs(cfg.Parallel, jobs)
+	pairs, err := runStudy(cfg, overloadUnitKind, units, jobs)
 	if err != nil {
 		return nil, err
 	}
 	for i, p := range platforms {
 		for _, arm := range pairs[i] {
-			o.Rows = append(o.Rows, arm.row)
-			if arm.row.Protected && arm.series != nil {
-				o.Series[p] = arm.series
+			o.Rows = append(o.Rows, arm.Row)
+			if arm.Row.Protected && arm.Series != nil {
+				o.Series[p] = arm.Series
 			}
 		}
 	}
@@ -259,7 +286,7 @@ func (o *Overload) finish(p taxonomy.Platform, protected bool, env *platform.Env
 		})
 	}
 	sort.Slice(row.Tenants, func(i, j int) bool { return row.Tenants[i].Name < row.Tenants[j].Name })
-	return overloadArm{row: row, series: env.Obs.Snapshot()}
+	return overloadArm{Row: row, Series: env.Obs.Snapshot()}
 }
 
 // clientCounters copies the RPC client's control-plane accounting into a row.
@@ -330,9 +357,9 @@ func (o *Overload) runSpanner(protected bool) (overloadArm, error) {
 	o.trigger(eng, run, servers)
 	arm := o.finish(taxonomy.Spanner, protected, env, run, eng, db.Stop)
 	shed, adaptive, expired := db.OverloadStats()
-	arm.row.Sheds = shed + adaptive
-	arm.row.Expired = expired
-	arm.row.clientCounters(db.RPCClient())
+	arm.Row.Sheds = shed + adaptive
+	arm.Row.Expired = expired
+	arm.Row.clientCounters(db.RPCClient())
 	return arm, nil
 }
 
@@ -384,7 +411,7 @@ func (o *Overload) runBigTable(protected bool) (overloadArm, error) {
 	eng := faults.NewEngine(env.K)
 	o.trigger(eng, run, nil)
 	arm := o.finish(taxonomy.BigTable, protected, env, run, eng, nil)
-	arm.row.Sheds = db.Shed + db.ShedAdaptive
+	arm.Row.Sheds = db.Shed + db.ShedAdaptive
 	return arm, nil
 }
 
@@ -441,9 +468,9 @@ func (o *Overload) runBigQuery(protected bool) (overloadArm, error) {
 	o.trigger(eng, run, servers)
 	arm := o.finish(taxonomy.BigQuery, protected, env, run, eng, e.Stop)
 	shed, adaptive, expired := e.OverloadStats()
-	arm.row.Sheds = shed + adaptive
-	arm.row.Expired = expired
-	arm.row.clientCounters(e.RPCClient())
+	arm.Row.Sheds = shed + adaptive
+	arm.Row.Expired = expired
+	arm.Row.clientCounters(e.RPCClient())
 	return arm, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -67,13 +68,50 @@ type Resilience struct {
 
 // resilienceArm is one completed (platform, arm) measurement plus the traces,
 // fault marks and observability series the faulted arm exports, kept
-// arm-local so platforms can run on concurrent goroutines and merge
-// afterwards in platform order.
+// arm-local so platforms can run on concurrent goroutines — or in worker
+// subprocesses — and merge afterwards in platform order. Fields are
+// exported because the arm pair is the resilience study's wire type: the
+// exec backend ships it between worker and coordinator as JSON (trace.Trace
+// round-trips its sampling state through custom JSON for exactly this).
 type resilienceArm struct {
-	row    ResilienceRow
-	traces []*trace.Trace
-	marks  []trace.Mark
-	series []obs.Series
+	Row    ResilienceRow
+	Traces []*trace.Trace
+	Marks  []trace.Mark
+	Series []obs.Series
+}
+
+// resilienceUnitKind tags platform arm pairs in the backend registry.
+const resilienceUnitKind = "resilience/pair"
+
+// resilienceUnit is the serialized form of one platform's baseline+faulted
+// arm pair. The pair stays one unit because the fault schedule spans the
+// measured baseline horizon.
+type resilienceUnit struct {
+	Platform taxonomy.Platform `json:"platform"`
+}
+
+// runResilienceUnit executes one platform's arm pair from its wire form.
+func runResilienceUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
+	var u resilienceUnit
+	if err := json.Unmarshal(body, &u); err != nil {
+		return nil, fmt.Errorf("experiments: decode resilience unit: %w", err)
+	}
+	r := &Resilience{Cfg: cfg}
+	return r.runPair(u.Platform)
+}
+
+// runPair runs one platform's baseline arm and then, over the measured
+// horizon, its faulted arm.
+func (r *Resilience) runPair(p taxonomy.Platform) ([2]resilienceArm, error) {
+	base, err := r.runArm(p, 0)
+	if err != nil {
+		return [2]resilienceArm{}, err
+	}
+	faulted, err := r.runArm(p, base.Row.Elapsed)
+	if err != nil {
+		return [2]resilienceArm{}, err
+	}
+	return [2]resilienceArm{base, faulted}, nil
 }
 
 // RunResilienceStudy measures each platform fault-free, generates a seeded
@@ -104,32 +142,24 @@ func (cfg StudyConfig) Resilience() (*Resilience, error) {
 	}
 	platforms := taxonomy.Platforms()
 	jobs := make([]func() ([2]resilienceArm, error), len(platforms))
+	units := make([]any, len(platforms))
 	for i, p := range platforms {
 		p := p
-		jobs[i] = func() ([2]resilienceArm, error) {
-			base, err := r.runArm(p, 0)
-			if err != nil {
-				return [2]resilienceArm{}, err
-			}
-			faulted, err := r.runArm(p, base.row.Elapsed)
-			if err != nil {
-				return [2]resilienceArm{}, err
-			}
-			return [2]resilienceArm{base, faulted}, nil
-		}
+		jobs[i] = func() ([2]resilienceArm, error) { return r.runPair(p) }
+		units[i] = resilienceUnit{Platform: p}
 	}
-	pairs, err := runJobs(cfg.Parallel, jobs)
+	pairs, err := runStudy(cfg, resilienceUnitKind, units, jobs)
 	if err != nil {
 		return nil, err
 	}
 	for i, p := range platforms {
 		for _, arm := range pairs[i] {
-			r.Rows = append(r.Rows, arm.row)
-			if arm.row.Faulted {
-				r.Traces[p] = arm.traces
-				r.Marks[p] = arm.marks
-				if arm.series != nil {
-					r.Series[p] = arm.series
+			r.Rows = append(r.Rows, arm.Row)
+			if arm.Row.Faulted {
+				r.Traces[p] = arm.Traces
+				r.Marks[p] = arm.Marks
+				if arm.Series != nil {
+					r.Series[p] = arm.Series
 				}
 			}
 		}
@@ -320,14 +350,14 @@ func (r *Resilience) measure(p taxonomy.Platform, env *platform.Env, run *worklo
 		row.P99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
 		row.P999 = time.Duration(lat.Quantile(0.999) * float64(time.Second))
 	}
-	arm := resilienceArm{row: row, series: env.Obs.Snapshot()}
+	arm := resilienceArm{Row: row, Series: env.Obs.Snapshot()}
 	if eng != nil {
-		arm.row.FaultsApplied = len(eng.Applied)
-		arm.row.FaultEvents = eng.Applied
-		arm.traces = traces
-		arm.marks = make([]trace.Mark, 0, len(eng.Applied))
+		arm.Row.FaultsApplied = len(eng.Applied)
+		arm.Row.FaultEvents = eng.Applied
+		arm.Traces = traces
+		arm.Marks = make([]trace.Mark, 0, len(eng.Applied))
 		for _, a := range eng.Applied {
-			arm.marks = append(arm.marks, trace.Mark{At: a.At, Name: a.Label()})
+			arm.Marks = append(arm.Marks, trace.Mark{At: a.At, Name: a.Label()})
 		}
 	}
 	return arm, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -66,12 +67,35 @@ type Safety struct {
 func (s *Safety) Ok() bool { return len(s.Violations) == 0 }
 
 // safetyArm is one completed (platform, seed) torture run, self-contained so
-// arms can execute on concurrent goroutines and merge afterwards in fixed
-// (platform, seed) order.
+// arms can execute on concurrent goroutines — or in worker subprocesses —
+// and merge afterwards in fixed (platform, seed) order. Fields are exported
+// because the arm is the safety study's wire type: the exec backend ships it
+// between worker and coordinator as JSON.
 type safetyArm struct {
-	row        SafetyRow
-	violations []SafetyViolation
-	marks      []trace.Mark
+	Row        SafetyRow
+	Violations []SafetyViolation
+	Marks      []trace.Mark
+}
+
+// safetyUnitKind tags safety arms in the backend work-unit registry.
+const safetyUnitKind = "safety/arm"
+
+// safetyUnit is the serialized form of one (platform, seed, horizon) arm.
+type safetyUnit struct {
+	Platform taxonomy.Platform `json:"platform"`
+	Seed     uint64            `json:"seed"`
+	Horizon  time.Duration     `json:"horizon"`
+}
+
+// runSafetyUnit executes one safety arm from its wire form (exec backend
+// workers and the pool backend both land here).
+func runSafetyUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
+	var u safetyUnit
+	if err := json.Unmarshal(body, &u); err != nil {
+		return nil, fmt.Errorf("experiments: decode safety unit: %w", err)
+	}
+	s := &Safety{Cfg: cfg}
+	return s.runOne(u.Platform, u.Seed, u.Horizon)
 }
 
 // RunSafetyStudy runs the torture harness: per platform, one fault-free
@@ -96,25 +120,29 @@ func (cfg StudyConfig) Safety() (*Safety, error) {
 	s := &Safety{Cfg: cfg, Marks: map[taxonomy.Platform][]trace.Mark{}}
 	platforms := taxonomy.Platforms()
 	calJobs := make([]func() (safetyArm, error), len(platforms))
+	calUnits := make([]any, len(platforms))
 	for i, p := range platforms {
 		p := p
 		calJobs[i] = func() (safetyArm, error) { return s.runOne(p, cfg.Seed, 0) }
+		calUnits[i] = safetyUnit{Platform: p, Seed: cfg.Seed}
 	}
-	cals, err := runJobs(cfg.Parallel, calJobs)
+	cals, err := runStudy(cfg, safetyUnitKind, calUnits, calJobs)
 	if err != nil {
 		return nil, err
 	}
 	var tortureJobs []func() (safetyArm, error)
+	var tortureUnits []any
 	for i, p := range platforms {
-		horizon := cals[i].row.Elapsed
+		horizon := cals[i].Row.Elapsed
 		for j := 0; j < cfg.Check.Seeds; j++ {
 			p, seed := p, cfg.Seed+uint64(j)
 			tortureJobs = append(tortureJobs, func() (safetyArm, error) {
 				return s.runOne(p, seed, horizon)
 			})
+			tortureUnits = append(tortureUnits, safetyUnit{Platform: p, Seed: seed, Horizon: horizon})
 		}
 	}
-	tortured, err := runJobs(cfg.Parallel, tortureJobs)
+	tortured, err := runStudy(cfg, safetyUnitKind, tortureUnits, tortureJobs)
 	if err != nil {
 		return nil, err
 	}
@@ -130,9 +158,9 @@ func (cfg StudyConfig) Safety() (*Safety, error) {
 // merge folds one arm's results into the study. It is the only place study
 // state mutates, and it runs sequentially after the arms complete.
 func (s *Safety) merge(p taxonomy.Platform, arm safetyArm) {
-	s.Rows = append(s.Rows, arm.row)
-	s.Violations = append(s.Violations, arm.violations...)
-	s.Marks[p] = append(s.Marks[p], arm.marks...)
+	s.Rows = append(s.Rows, arm.Row)
+	s.Violations = append(s.Violations, arm.Violations...)
+	s.Marks[p] = append(s.Marks[p], arm.Marks...)
 }
 
 // runOne runs one (platform, seed) arm. A zero horizon is the fault-free
@@ -272,13 +300,13 @@ func (s *Safety) runSpanner(seed uint64, horizon time.Duration) (safetyArm, erro
 			}
 			return db.Commit(p, nil, g, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
 		})
-	arm := safetyArm{row: SafetyRow{Platform: taxonomy.Spanner, Seed: seed, Faulted: eng != nil,
+	arm := safetyArm{Row: SafetyRow{Platform: taxonomy.Spanner, Seed: seed, Faulted: eng != nil,
 		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		arm.row.FaultsApplied = len(eng.Applied)
+		arm.Row.FaultsApplied = len(eng.Applied)
 	}
-	arm.violations, arm.marks = collect(taxonomy.Spanner, seed, h, reg, env.K.Now())
-	arm.row.Violations = len(arm.violations)
+	arm.Violations, arm.Marks = collect(taxonomy.Spanner, seed, h, reg, env.K.Now())
+	arm.Row.Violations = len(arm.Violations)
 	return arm, nil
 }
 
@@ -323,13 +351,13 @@ func (s *Safety) runBigTable(seed uint64, horizon time.Duration) (safetyArm, err
 			}
 			return db.Put(p, nil, t, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
 		})
-	arm := safetyArm{row: SafetyRow{Platform: taxonomy.BigTable, Seed: seed, Faulted: eng != nil,
+	arm := safetyArm{Row: SafetyRow{Platform: taxonomy.BigTable, Seed: seed, Faulted: eng != nil,
 		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		arm.row.FaultsApplied = len(eng.Applied)
+		arm.Row.FaultsApplied = len(eng.Applied)
 	}
-	arm.violations, arm.marks = collect(taxonomy.BigTable, seed, h, reg, env.K.Now())
-	arm.row.Violations = len(arm.violations)
+	arm.Violations, arm.Marks = collect(taxonomy.BigTable, seed, h, reg, env.K.Now())
+	arm.Row.Violations = len(arm.Violations)
 	return arm, nil
 }
 
@@ -371,13 +399,13 @@ func (s *Safety) runBigQuery(seed uint64, horizon time.Duration) (safetyArm, err
 			_, err := e.Run(p, nil, q)
 			return err
 		})
-	arm := safetyArm{row: SafetyRow{Platform: taxonomy.BigQuery, Seed: seed, Faulted: eng != nil,
+	arm := safetyArm{Row: SafetyRow{Platform: taxonomy.BigQuery, Seed: seed, Faulted: eng != nil,
 		Ops: ops, Errors: errs, Elapsed: elapsed}}
 	if eng != nil {
-		arm.row.FaultsApplied = len(eng.Applied)
+		arm.Row.FaultsApplied = len(eng.Applied)
 	}
-	arm.violations, arm.marks = collect(taxonomy.BigQuery, seed, h, reg, env.K.Now())
-	arm.row.Violations = len(arm.violations)
+	arm.Violations, arm.Marks = collect(taxonomy.BigQuery, seed, h, reg, env.K.Now())
+	arm.Row.Violations = len(arm.Violations)
 	return arm, nil
 }
 

@@ -106,6 +106,28 @@ func (o ObsConfig) registry() obs.Config {
 	return obs.Config{Interval: o.Interval, Window: o.Window}
 }
 
+// ExecConfig sizes the exec execution backend: how many worker subprocesses
+// a study fans its units out across, and how failures are bounded.
+type ExecConfig struct {
+	// Workers is the worker subprocess count. 0 falls back to
+	// Parallelism(Parallel) — the same knob the in-process pool resolves.
+	Workers int
+	// UnitTimeout bounds one work unit's wall-clock time per attempt; on
+	// expiry the worker is killed and the unit retried. 0 disables it.
+	UnitTimeout time.Duration
+	// Retries bounds re-dispatches of a unit after a worker crash, timeout
+	// or protocol failure. 0 means the default (1 retry); negative disables
+	// retries entirely. Application errors are never retried — a
+	// deterministic failure must surface identically on every backend.
+	Retries int
+	// Command overrides the worker argv. Empty means "this executable with
+	// a -worker argument", which cmd/hyperprof serves; tests point it at
+	// the re-exec'd test binary instead.
+	Command []string
+	// Env is appended to the inherited environment of every worker.
+	Env []string
+}
+
 // StudyConfig is the shared core every study runs from. Construct one with a
 // Default*StudyConfig helper (or convert a legacy config via Study()) and
 // call the study's method entry point: Characterize, Safety, Resilience or
@@ -118,6 +140,14 @@ type StudyConfig struct {
 	// 0 = one worker per CPU, 1 = sequential. Results are byte-identical
 	// either way (see runner.go).
 	Parallel int
+	// Backend selects the study execution backend: "" runs jobs directly on
+	// the in-process worker pool (the legacy fast path), BackendPool routes
+	// them through the pool backend's serialized work-unit path, and
+	// BackendExec fans them out across hyperprof -worker subprocesses.
+	// Outputs are byte-identical across all three (see backend.go).
+	Backend string
+	// Exec sizes the exec backend; ignored unless Backend is BackendExec.
+	Exec ExecConfig
 	// Clients is the closed-loop client count per platform.
 	Clients int
 	// TraceRate keeps 1/TraceRate of traces.

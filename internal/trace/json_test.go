@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hyperprof/internal/taxonomy"
+)
+
+// TestTraceJSONRoundTrip pins the exec backend's trace fidelity contract: a
+// trace decoded from its JSON form must carry the unexported sampling and
+// finish state and produce the same breakdown as the original.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(1)
+	orig := tr.Start(taxonomy.Spanner, 10*time.Microsecond)
+	orig.Annotate(10*time.Microsecond, 40*time.Microsecond, CPU)
+	orig.Annotate(20*time.Microsecond, 70*time.Microsecond, Remote)
+	tr.Finish(orig, 100*time.Microsecond)
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Platform != orig.Platform || got.Start != orig.Start || got.End != orig.End {
+		t.Fatalf("round trip mangled fields: %+v -> %+v", orig, &got)
+	}
+	if !got.sampled || !got.finished {
+		t.Fatalf("round trip dropped unexported state: sampled=%v finished=%v", got.sampled, got.finished)
+	}
+	if len(got.Intervals) != len(orig.Intervals) {
+		t.Fatalf("round trip mangled intervals: %d != %d", len(got.Intervals), len(orig.Intervals))
+	}
+	if got.ComputeBreakdown() != orig.ComputeBreakdown() {
+		t.Fatalf("round trip changed breakdown: %+v != %+v", got.ComputeBreakdown(), orig.ComputeBreakdown())
+	}
+
+	// An unsampled, unfinished trace must round-trip to one Annotate still
+	// ignores and Finish still completes.
+	tr2 := NewTracer(1000)
+	tr2.Start(taxonomy.BigQuery, 0) // trace 0 is always sampled
+	un := tr2.Start(taxonomy.BigQuery, 0)
+	un = roundTrip(t, un)
+	if un.sampled || un.finished {
+		t.Fatalf("unsampled trace grew state over the wire: %+v", un)
+	}
+	un.Annotate(0, time.Microsecond, IO)
+	if len(un.Intervals) != 0 {
+		t.Fatal("unsampled trace retained an annotation after round trip")
+	}
+}
+
+func roundTrip(t *testing.T, in *Trace) *Trace {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(Trace)
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

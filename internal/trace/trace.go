@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"sort"
 	"time"
 
@@ -56,6 +57,42 @@ type Trace struct {
 
 // Sampled reports whether this trace retains its annotations.
 func (t *Trace) Sampled() bool { return t.sampled }
+
+// traceJSON is the wire form of a Trace. Traces cross process boundaries
+// when a study runs on the exec backend, and the sampling and finish flags
+// are unexported, so the round trip is explicit: a decoded trace must
+// analyse, export and render exactly like the original.
+type traceJSON struct {
+	ID        uint64            `json:"id"`
+	Platform  taxonomy.Platform `json:"platform"`
+	Start     time.Duration     `json:"start"`
+	End       time.Duration     `json:"end"`
+	Intervals []Interval        `json:"intervals,omitempty"`
+	Sampled   bool              `json:"sampled,omitempty"`
+	Finished  bool              `json:"finished,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, carrying the unexported sampling
+// state alongside the exported fields.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{
+		ID: t.ID, Platform: t.Platform, Start: t.Start, End: t.End,
+		Intervals: t.Intervals, Sampled: t.sampled, Finished: t.finished,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var w traceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*t = Trace{
+		ID: w.ID, Platform: w.Platform, Start: w.Start, End: w.End,
+		Intervals: w.Intervals, sampled: w.Sampled, finished: w.Finished,
+	}
+	return nil
+}
 
 // Annotate records that [start, end) was spent in the given class. Reversed
 // or empty intervals are ignored. Annotations on unsampled traces are

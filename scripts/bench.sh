@@ -1,8 +1,11 @@
 #!/bin/sh
 # bench.sh — run the substrate microbenchmarks and write the results as a
-# small JSON file (BENCH_0.json by default, or $1). Used by `make bench` and
-# the non-blocking CI bench job, so regressions in the DES kernel fast path
-# (ns/op and allocs/op) leave a machine-readable trail per commit.
+# small JSON file (BENCH_0.json by default, or $1). Used by `make bench` /
+# `make bench-gate` and the CI bench job, so regressions in the DES kernel
+# fast path (ns/op and allocs/op) leave a machine-readable trail per commit.
+# The JSON records the environment alongside the numbers — go version,
+# GOOS/GOARCH, GOMAXPROCS and the commit — so a baseline from one machine is
+# never silently compared against a run from another kind of machine.
 #
 # Only POSIX sh + awk + the go toolchain; no external dependencies.
 set -e
@@ -15,10 +18,18 @@ raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" .)"
 printf '%s\n' "$raw"
 
 goversion="$(go env GOVERSION)"
+goos="$(go env GOOS)"
+goarch="$(go env GOARCH)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-printf '%s\n' "$raw" | awk -v out="$out" -v gover="$goversion" '
+printf '%s\n' "$raw" | awk -v out="$out" -v gover="$goversion" \
+    -v goos="$goos" -v goarch="$goarch" -v commit="$commit" '
 /^Benchmark/ {
     name = $1
+    # The -N suffix on a benchmark name is the GOMAXPROCS the run used;
+    # go test omits it entirely when GOMAXPROCS is 1.
+    procs = name
+    if (sub(/.*-/, "", procs) && procs + 0 > 0 && maxprocs == "") maxprocs = procs
     sub(/-[0-9]+$/, "", name)
     ns = "null"; bytes = "null"; allocs = "null"
     for (i = 2; i <= NF; i++) {
@@ -30,7 +41,9 @@ printf '%s\n' "$raw" | awk -v out="$out" -v gover="$goversion" '
                         name, ns, bytes, allocs)
 }
 END {
-    printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", gover > out
+    if (maxprocs == "") maxprocs = 1
+    printf "{\n  \"go\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n", gover, goos, goarch > out
+    printf "  \"gomaxprocs\": %s,\n  \"commit\": \"%s\",\n  \"benchmarks\": [\n", maxprocs, commit >> out
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") >> out
     printf "  ]\n}\n" >> out
 }'

@@ -1,29 +1,41 @@
 #!/bin/sh
-# bench_diff.sh — soft regression gate over the substrate microbenchmarks.
+# bench_diff.sh — regression gate over the substrate microbenchmarks.
 #
-# Usage: bench_diff.sh BASELINE.json FRESH.json
+# Usage: bench_diff.sh [--fail] BASELINE.json FRESH.json
 #
 # Compares a fresh scripts/bench.sh run against the committed baseline and
-# warns when any benchmark's ns/op grew more than 10% or its allocs/op grew
-# at all. Always exits 0: wall-clock noise on shared CI runners makes a hard
-# ns/op gate flaky, so this leaves a loud per-commit trail instead of a red
-# build. allocs/op is deterministic, so any growth there is a real
-# regression worth chasing even though it only warns.
+# flags any benchmark whose ns/op grew more than 10% or whose allocs/op grew
+# at all. allocs/op is deterministic, so any growth there is a real
+# regression; ns/op carries runner noise, hence the 10% band.
+#
+# Without --fail this is a soft gate: warnings print but the exit status is
+# always 0, leaving a loud per-commit trail instead of a red build. With
+# --fail (used by `make bench-gate` and the blocking CI job) any warning
+# exits 1, and so do a missing baseline and an empty fresh run — the gate
+# cannot pass vacuously.
 #
 # Only POSIX sh + awk; no external dependencies.
 set -e
 
-base="${1:?usage: bench_diff.sh baseline.json fresh.json}"
-fresh="${2:?usage: bench_diff.sh baseline.json fresh.json}"
+fail=0
+if [ "${1:-}" = "--fail" ]; then
+	fail=1
+	shift
+fi
+
+base="${1:?usage: bench_diff.sh [--fail] baseline.json fresh.json}"
+fresh="${2:?usage: bench_diff.sh [--fail] baseline.json fresh.json}"
 
 if [ ! -f "$base" ]; then
 	echo "bench_diff: no baseline $base — run 'make bench-baseline' and commit it" >&2
-	exit 0
+	exit "$fail"
 fi
 
-awk -v basefile="$base" '
+awk -v basefile="$base" -v fail="$fail" '
 # Each benchmark row in the bench.sh JSON sits on one line:
 #   {"name": "BenchmarkX", "ns_per_op": 123.4, "bytes_per_op": 0, "allocs_per_op": 0}
+# Environment metadata lines ("go", "gomaxprocs", "commit", ...) carry no
+# "name" key and fall through this filter.
 /"name"/ {
 	name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
 	ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[^0-9.].*/, "", ns)
@@ -32,6 +44,7 @@ awk -v basefile="$base" '
 		bns[name] = ns; bal[name] = al
 		next
 	}
+	fresh_rows++
 	if (!(name in bns)) {
 		printf "NEW   %-28s %10.1f ns/op %6d allocs/op (no baseline)\n", name, ns, al
 		next
@@ -53,7 +66,17 @@ awk -v basefile="$base" '
 			name, ns, bns[name], (ns / bns[name] - 1) * 100, al
 }
 END {
-	if (warns) printf "bench_diff: %d warning(s) vs %s (soft gate, not failing the build)\n", warns, basefile
-	else printf "bench_diff: all benchmarks within budget vs %s\n", basefile
+	if (fresh_rows == 0) {
+		printf "bench_diff: no benchmark rows in fresh results — bench run broken?\n"
+		if (fail) exit 1
+	} else if (warns) {
+		if (fail) {
+			printf "bench_diff: %d regression(s) vs %s — failing the build (--fail)\n", warns, basefile
+			exit 1
+		}
+		printf "bench_diff: %d warning(s) vs %s (soft gate, not failing the build)\n", warns, basefile
+	} else {
+		printf "bench_diff: all benchmarks within budget vs %s\n", basefile
+	}
 }
 ' "$base" "$fresh"
