@@ -8,7 +8,11 @@ SAFETY_SEEDS ?= 20
 # the exec backend's worker subprocesses end to end.
 BACKEND_SEEDS ?= 8
 
-.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends bench bench-gate bench-baseline
+# check-partitions sweeps this many nemesis seeds per platform through the
+# naive and hardened arms of the partition study.
+PARTITION_SEEDS ?= 8
+
+.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends check-partitions bench bench-gate bench-baseline
 
 check: build vet fmt race
 
@@ -63,6 +67,18 @@ check-backends:
 	$(GO) test ./internal/dispatch/
 	$(GO) test ./internal/experiments/ -run 'AcrossBackends|Backend|ExecWorker|RunUnit'
 	$(GO) run ./cmd/hyperprof -check -check-seeds $(BACKEND_SEEDS) -backend=exec -workers 2
+
+# check-partitions proves split-brain safety: the per-link fault plane and
+# clock-model unit tests (including the zero-allocation messageDelay guard),
+# the nemesis schedule pairing/determinism property tests, the multi-seed
+# safety-under-partition study tests with broken-knob conviction at -short,
+# and an end-to-end -partition -check sweep (nonzero exit on any violation
+# outside the broken demonstration arms) emitting the JSON report.
+check-partitions:
+	$(GO) test ./internal/netsim/ ./internal/sim/ ./internal/check/
+	$(GO) test -short ./internal/faults/ -run 'TestNemesis|TestSkippedUnknownTarget'
+	$(GO) test -short ./internal/experiments/ -run 'TestPartitionStudy|TestRenderPartition'
+	$(GO) run ./cmd/hyperprof -partition -check -check-seeds $(PARTITION_SEEDS) -json > partition.json
 
 # bench runs the DES-kernel substrate microbenchmarks into BENCH_1.json and
 # diffs the result against the committed BENCH_0.json baseline — a soft gate

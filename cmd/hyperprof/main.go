@@ -2,12 +2,12 @@
 // BigTable and BigQuery platforms. The default mode is the characterization
 // study — the equivalents of Table 1, Figures 2–6 and Tables 6–7 — and the
 // mode flags select the others: -faults (resilience), -check (safety
-// torture) and -obs (observability). All modes share one flag group that
-// overlays the unified StudyConfig.
+// torture), -partition (partition nemesis) and -obs (observability). All
+// modes share one flag group that overlays the unified StudyConfig.
 //
 // Usage:
 //
-//	hyperprof [-faults|-overload|-check|-obs] [-seed N] [-spanner N] [-bigtable N]
+//	hyperprof [-faults|-overload|-check|-partition|-obs] [-seed N] [-spanner N] [-bigtable N]
 //	          [-bigquery N] [-clients N] [-rate N] [-parallel N]
 //	          [-backend pool|exec] [-workers N] [-unit-timeout D] [...]
 //
@@ -115,6 +115,7 @@ func main() {
 	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
 	overloadRun := flag.Bool("overload", false, "run the overload study instead: naive vs protected arms of a multi-tenant open-loop workload through a retry-storm trigger")
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
+	partitionRun := flag.Bool("partition", false, "run the partition nemesis study instead: naive vs partition-hardened arms under split-brain/gray-link/clock-skew faults; combined with -check, broken-knob arms demonstrate the checkers convicting disabled safety mechanisms")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
 	worker := flag.Bool("worker", false, "serve study work units on stdin/stdout for an exec-backend coordinator (internal; spawned by -backend=exec)")
@@ -155,6 +156,10 @@ func main() {
 	}
 
 	switch {
+	case *partitionRun:
+		cfg := sf.apply(hyperprof.DefaultPartitionStudyConfig())
+		cfg.Part.IncludeBroken = *checkRun
+		runPartition(cfg, *jsonOut, *chromeOut)
 	case *checkRun:
 		runSafety(sf.apply(hyperprof.DefaultSafetyStudyConfig()), *chromeOut)
 	case *faultsRun:
@@ -332,6 +337,41 @@ func runResilience(cfg hyperprof.StudyConfig, chromeOut, obsOut string) {
 			detail += " and counter tracks"
 		}
 		writeChrome(b, chromeOut, detail)
+	}
+}
+
+// runPartition executes the partition nemesis study and prints the
+// naive-vs-hardened availability comparison (or the machine-readable export
+// with -json). Any violation outside the broken demonstration arms prints
+// its reproducing seed and minimal violating subhistory and the process
+// exits nonzero. With -chrome-trace, the hardened arms' applied faults and
+// any violations are exported as instant marks on the timeline.
+func runPartition(cfg hyperprof.StudyConfig, jsonOut bool, chromeOut string) {
+	s, err := cfg.Partition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		data, err := s.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(hyperprof.RenderPartition(s))
+	}
+	if chromeOut != "" {
+		var marks []hyperprof.TraceMark
+		for _, p := range hyperprof.Platforms() {
+			marks = append(marks, s.Marks[p]...)
+		}
+		b := hyperprof.NewChromeBuilder()
+		b.AddMarks(marks)
+		writeChrome(b, chromeOut, fmt.Sprintf("%d fault/violation marks", len(marks)))
+	}
+	if !s.Ok() {
+		os.Exit(1)
 	}
 }
 

@@ -45,6 +45,9 @@ type (
 	CheckConfig = experiments.CheckConfig
 	// ObsConfig switches on the observability plane and sizes its sampling.
 	ObsConfig = experiments.ObsConfig
+	// PartitionConfig sizes the partition study's nemesis: partition and
+	// gray-link rates, clock skew bounds and the uncertainty bound eps.
+	PartitionConfig = experiments.PartitionConfig
 	// LoadConfig sizes the overload study: open-loop offered load, the
 	// retry-storm trigger, and the protected arm's control-plane knobs.
 	LoadConfig = experiments.LoadConfig
@@ -82,7 +85,27 @@ var (
 	DefaultObsStudyConfig = experiments.DefaultObsStudyConfig
 	// DefaultOverloadStudyConfig sizes the overload study.
 	DefaultOverloadStudyConfig = experiments.DefaultOverloadStudyConfig
+	// DefaultPartitionStudyConfig sizes the partition nemesis study.
+	DefaultPartitionStudyConfig = experiments.DefaultPartitionStudyConfig
 )
+
+// Partition study: each platform's contended workload runs under a nemesis
+// of split-brain/ring/bridge partitions, asymmetric gray links and bounded
+// clock skew, naive (recovery disabled) versus hardened (partition-aware
+// recovery: Spanner leader step-down, BigTable tablet reassignment, BigQuery
+// shuffle failover). Both arms must stay safe; the hardened arm must stay
+// available. Optional broken arms disable the safety mechanisms to prove
+// the checkers convict them.
+type (
+	// PartitionStudy is the full partition study result.
+	PartitionStudy = experiments.Partition
+	// PartitionRow is one (platform, arm, seed) measurement.
+	PartitionRow = experiments.PartitionRow
+)
+
+// RenderPartition renders the partition study as a fixed-width table with
+// the naive-vs-hardened availability comparison and every violation in full.
+var RenderPartition = experiments.RenderPartition
 
 // Overload study: each platform's open-loop multi-tenant workload runs
 // through a retry-storm trigger twice — naive versus protected by the

@@ -53,6 +53,12 @@ type Config struct {
 	// Admission is the server-side overload admission control installed on
 	// every shuffle server. The zero value disables it.
 	Admission netsim.Admission
+	// DisableFailover is the naive arm's knob for partition studies: shuffle
+	// puts go only to the slot's home server and stage 2 fails the query
+	// instead of speculatively re-executing a lost or unreachable shard. A
+	// partition that blocks a shuffle server's links then fails every query
+	// touching it, instead of being routed around.
+	DisableFailover bool
 }
 
 // DefaultConfig returns a laptop-scale deployment preserving the
@@ -446,13 +452,18 @@ func (e *Engine) startShuffleServer(ss *shuffleServer) {
 }
 
 // shufflePut stores a stage-1 partial in the shuffle tier, trying servers in
-// partition-rotation order so a down home server redirects the slot to the
-// next surviving one (counted in RePuts). The landing server is remembered
-// for stage 2.
+// partition-rotation order so a down — or link-blocked — home server
+// redirects the slot to the next reachable one (counted in RePuts). The
+// landing server is remembered for stage 2. With DisableFailover only the
+// home server is tried.
 func (e *Engine) shufflePut(p *sim.Proc, from *netsim.Node, qid, pi int, bytes int64, payload interface{}) error {
 	key := slotKey(qid, pi)
+	tries := len(e.shuffle)
+	if e.cfg.DisableFailover {
+		tries = 1
+	}
 	var lastErr error
-	for off := 0; off < len(e.shuffle); off++ {
+	for off := 0; off < tries; off++ {
 		idx := (pi + off) % len(e.shuffle)
 		ss := e.shuffle[idx]
 		if ss.srv.Stopped() {
@@ -537,6 +548,25 @@ func (e *Engine) SetShuffleSlowdown(i int, factor float64) error {
 	}
 	e.shuffle[i].srv.SetSlowdown(factor)
 	return nil
+}
+
+// ShuffleNodeName returns the netsim node name hosting shuffle server i, for
+// addressing link-level faults. Machines are shared round-robin with workers
+// and the coordinator, so a link fault on the name can graze co-located
+// roles — like a real top-of-rack cut.
+func (e *Engine) ShuffleNodeName(i int) (string, error) {
+	if i < 0 || i >= len(e.shuffle) {
+		return "", fmt.Errorf("bigquery: shuffle server %d out of range", i)
+	}
+	return e.shuffle[i].machine.Node.Name, nil
+}
+
+// WorkerNodeName returns the netsim node name hosting worker w.
+func (e *Engine) WorkerNodeName(w int) (string, error) {
+	if w < 0 || w >= len(e.workers) {
+		return "", fmt.Errorf("bigquery: worker %d out of range", w)
+	}
+	return e.workers[w].Node.Name, nil
 }
 
 // RPCClient exposes the shuffle RPC client's counters for reports.
@@ -685,6 +715,11 @@ func (e *Engine) runDistributed(p *sim.Proc, tr *trace.Trace, q Query, qid int) 
 		platform.AnnotateRemote(tr, remStart, p.Now())
 		var partial map[int64]int64
 		if resp.Err != nil {
+			if e.cfg.DisableFailover {
+				// Naive arm: no speculative re-execution — a lost or
+				// unreachable slot fails the whole query.
+				return nil, fmt.Errorf("bigquery: shuffle get %s failed: %w", key, resp.Err)
+			}
 			var err error
 			if partial, err = e.recomputePartial(p, tr, reducer, q, pi); err != nil {
 				return nil, err

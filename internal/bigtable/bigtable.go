@@ -51,6 +51,19 @@ type Config struct {
 	// Target/Interval are unused — operations execute directly, there is no
 	// queue whose sojourn could be bounded. The zero value disables the gate.
 	Admission netsim.Admission
+	// PartitionRecovery enables master-side partition handling: tablets on a
+	// partitioned server are reassigned to reachable servers with a commit-log
+	// replay (exactly the crash path, epoch fencing and duplicate-replay
+	// detection included), restoring availability mid-partition. Off, ops on
+	// a partitioned server's tablets fail until the heal — safe but
+	// unavailable.
+	PartitionRecovery bool
+	// BrokenPartitionWrites is a broken-knob fixture: a partitioned tablet
+	// server keeps acknowledging writes into its local memtable even though it
+	// cannot reach the shared commit log, and the heal-time fencing rebuild
+	// replays only the log — the acknowledged-but-unlogged writes vanish,
+	// which the linearizability checker must flag as lost writes.
+	BrokenPartitionWrites bool
 }
 
 // DefaultConfig returns a laptop-scale deployment preserving the
@@ -98,6 +111,11 @@ type DB struct {
 
 	// downServers marks failed tablet servers by machine index.
 	downServers map[int]bool
+	// partitioned marks tablet servers cut off from the rest of the cluster
+	// (master, DFS and peers) by machine index. Unlike downServers the
+	// machine itself is healthy — it just cannot be reached or reach out,
+	// which is exactly the gray area split-brain bugs live in.
+	partitioned map[int]bool
 
 	// Front-door gate state (see overload.go): in-flight ops per tablet
 	// server and the adaptive-shed stream. Nil/zero when the gate is off.
@@ -269,6 +287,7 @@ func New(env *platform.Env, cfg Config) (*DB, error) {
 		taxes:       platform.TaxTablesFor(taxonomy.BigTable),
 		rng:         stats.NewRNG(cfg.Seed),
 		downServers: map[int]bool{},
+		partitioned: map[int]bool{},
 	}
 	db.zipf = stats.NewZipf(db.rng.Fork(), cfg.RowsPerTablet, 1.1)
 	db.initGate()
@@ -420,12 +439,32 @@ func (db *DB) waitIfCompacting(p *sim.Proc, tr *trace.Trace, tab *tablet) {
 	}
 }
 
+// ErrPartitioned reports an operation refused because the tablet's server is
+// partitioned away from the cluster and recovery is off (or has nowhere to
+// move the tablet). The failure is definite: nothing executed.
+var ErrPartitioned = fmt.Errorf("bigtable: tablet server partitioned")
+
+// partitionCheck gates an operation on the tablet's server connectivity.
+// With the BrokenPartitionWrites fixture the isolated server (wrongly) keeps
+// serving; otherwise ops against a partitioned server fail definite —
+// PartitionRecovery moves tablets off partitioned servers at cut time, so
+// under recovery this only fires in the window before reassignment.
+func (db *DB) partitionCheck(tab *tablet) error {
+	if db.partitioned[tab.serverIdx] && !db.cfg.BrokenPartitionWrites {
+		return fmt.Errorf("%w: server %d owns tablet %d", ErrPartitioned, tab.serverIdx, tab.id)
+	}
+	return nil
+}
+
 // get is the un-recorded implementation of Get.
 func (db *DB) get(p *sim.Proc, tr *trace.Trace, t, row int) ([]byte, error) {
 	if t < 0 || t >= len(db.tablets) {
 		return nil, fmt.Errorf("bigtable: tablet %d out of range", t)
 	}
 	tab := db.tablets[t]
+	if err := db.partitionCheck(tab); err != nil {
+		return nil, err
+	}
 	db.waitIfCompacting(p, tr, tab)
 	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.getRecipe)
 	key := rowKey(t, row)
@@ -473,8 +512,26 @@ func (db *DB) put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 		return fmt.Errorf("bigtable: tablet %d out of range", t)
 	}
 	tab := db.tablets[t]
+	if err := db.partitionCheck(tab); err != nil {
+		return err
+	}
 	db.waitIfCompacting(p, tr, tab)
 	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.putRecipe)
+
+	key := rowKey(t, row)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	if db.partitioned[tab.serverIdx] {
+		// BROKEN (fixture, BrokenPartitionWrites): the isolated server cannot
+		// reach the shared commit log but acknowledges the write from its
+		// local memtable anyway. The heal-time fencing rebuild replays only
+		// the log, so this acknowledged write is doomed to vanish.
+		old := int64(len(tab.mem[key]))
+		tab.mem[key] = cp
+		tab.memSize += int64(len(cp)) - old
+		db.Puts++
+		return nil
+	}
 
 	// Commit-log append: replicated write into the shared storage layer,
 	// failing over to the next live chunkserver if the tablet's usual log
@@ -487,9 +544,6 @@ func (db *DB) put(p *sim.Proc, tr *trace.Trace, t, row int, value []byte) error 
 	// The record and the memtable insert land atomically after the log IO
 	// (the kernel only switches procs at park points), so a crash either
 	// sees both or neither.
-	key := rowKey(t, row)
-	cp := make([]byte, len(value))
-	copy(cp, value)
 	seq := tab.nextSeq
 	tab.nextSeq++
 	tab.log = append(tab.log, logRec{seq: seq, key: key, value: cp})
@@ -517,6 +571,9 @@ func (db *DB) Scan(p *sim.Proc, tr *trace.Trace, t, start int) (int, error) {
 		return 0, fmt.Errorf("bigtable: tablet %d out of range", t)
 	}
 	tab := db.tablets[t]
+	if err := db.partitionCheck(tab); err != nil {
+		return 0, err
+	}
 	db.waitIfCompacting(p, tr, tab)
 	db.env.ExecRecipe(p, taxonomy.BigTable, tab.server.Node, tr, db.scanRecipe)
 
@@ -756,16 +813,38 @@ func (db *DB) FailTabletServer(i int) error {
 	if db.downServers[i] {
 		return nil
 	}
-	var live []int
-	for m := range machines {
-		if m != i && !db.downServers[m] {
-			live = append(live, m)
-		}
-	}
-	if len(live) == 0 {
+	if len(db.liveServers(i)) == 0 {
 		return fmt.Errorf("bigtable: cannot fail server %d: no live servers remain", i)
 	}
 	db.downServers[i] = true
+	db.reassignFrom(i)
+	return nil
+}
+
+// liveServers returns the machine indices that are neither down nor
+// partitioned, excluding `except` — the servers the master can actually hand
+// tablets to.
+func (db *DB) liveServers(except int) []int {
+	var live []int
+	for m := range db.mgr.Machines() {
+		if m != except && !db.downServers[m] && !db.partitioned[m] {
+			live = append(live, m)
+		}
+	}
+	return live
+}
+
+// reassignFrom moves every tablet owned by server i to the reachable live
+// servers, rebuilding each from its commit log (crash semantics: epoch
+// fencing aborts the old owner's in-flight flushes, the replay dedup check
+// flags records already durable). Tablets stay put if no server can take
+// them.
+func (db *DB) reassignFrom(i int) {
+	live := db.liveServers(i)
+	if len(live) == 0 {
+		return
+	}
+	machines := db.mgr.Machines()
 	for _, tab := range db.tablets {
 		if tab.serverIdx != i {
 			continue
@@ -778,8 +857,54 @@ func (db *DB) FailTabletServer(i int) error {
 		db.rebuildFromLog(tab)
 		db.recoverTablet(tab)
 	}
+}
+
+// PartitionTabletServer cuts tablet server i off from the cluster: the
+// master, DFS and clients cannot reach it (and it cannot reach them). With
+// PartitionRecovery the master immediately reassigns its tablets to reachable
+// servers through the commit-log replay path; otherwise the tablets ride out
+// the partition unavailable. The BrokenPartitionWrites fixture instead lets
+// the isolated server keep acknowledging writes (see put).
+func (db *DB) PartitionTabletServer(i int) error {
+	if i < 0 || i >= len(db.mgr.Machines()) {
+		return fmt.Errorf("bigtable: tablet server %d out of range", i)
+	}
+	if db.partitioned[i] {
+		return nil
+	}
+	db.partitioned[i] = true
+	if db.cfg.PartitionRecovery && !db.cfg.BrokenPartitionWrites {
+		db.reassignFrom(i)
+	}
 	return nil
 }
+
+// HealTabletServer reconnects a partitioned tablet server. Under the
+// BrokenPartitionWrites fixture the master fences the returning server by
+// rebuilding its tablets from the shared commit log — the split-brain
+// resolution that discards the isolated memtable, including any writes the
+// server wrongly acknowledged without logging them.
+func (db *DB) HealTabletServer(i int) error {
+	if i < 0 || i >= len(db.mgr.Machines()) {
+		return fmt.Errorf("bigtable: tablet server %d out of range", i)
+	}
+	if !db.partitioned[i] {
+		return nil
+	}
+	delete(db.partitioned, i)
+	if db.cfg.BrokenPartitionWrites {
+		for _, tab := range db.tablets {
+			if tab.serverIdx == i {
+				db.rebuildFromLog(tab)
+				db.recoverTablet(tab)
+			}
+		}
+	}
+	return nil
+}
+
+// TabletServerPartitioned reports whether tablet server i is partitioned.
+func (db *DB) TabletServerPartitioned(i int) bool { return db.partitioned[i] }
 
 // rebuildFromLog applies crash semantics to a reassigned tablet: the crashed
 // server's volatile state — the active memtable and any still-flushing

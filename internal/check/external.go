@@ -1,0 +1,69 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file checks external consistency, the guarantee Spanner's commit-wait
+// buys: if transaction A returns to its caller before transaction B is
+// invoked (a real-time ordering any external observer can establish), then
+// A's commit timestamp is strictly smaller than B's. Timestamps come from
+// skewed per-node clocks, so the property holds only while every clock's
+// error stays inside its uncertainty bound and commits wait the bound out —
+// disable the wait (spanner's DisableCommitWait fixture) and two causally
+// ordered commits through differently-skewed leaders invert their
+// timestamps, which this check reports with the two-operation subhistory
+// that proves it.
+
+// maxExternalViolations caps reporting: timestamp inversions are usually
+// systemic (one fast clock inverts against many later commits), so a few
+// witnesses identify the problem without drowning the report.
+const maxExternalViolations = 8
+
+// CheckExternalConsistency scans every pair of timestamped completed
+// operations for a real-time order that their commit timestamps contradict.
+// Each violation carries the minimal (two-operation) violating subhistory:
+// the earlier-returning operation and the later-invoked one whose timestamp
+// failed to exceed it. A nil history checks clean.
+func (h *History) CheckExternalConsistency() []Violation {
+	if h == nil {
+		return nil
+	}
+	var stamped []*Op
+	for _, op := range h.ops {
+		if op.HasTS && op.Outcome == OutcomeOK {
+			stamped = append(stamped, op)
+		}
+	}
+	// Scan in return order so each violation's witness pair is the earliest
+	// available and the output is deterministic.
+	sort.SliceStable(stamped, func(i, j int) bool {
+		if stamped[i].Return != stamped[j].Return {
+			return stamped[i].Return < stamped[j].Return
+		}
+		return stamped[i].ID < stamped[j].ID
+	})
+	var out []Violation
+	for i, a := range stamped {
+		for _, b := range stamped[i+1:] {
+			if a.Return >= b.Invoke || a.TS < b.TS {
+				continue
+			}
+			out = append(out, Violation{
+				Kind: "external-consistency",
+				Key:  a.Key,
+				Detail: fmt.Sprintf(
+					"op %d returned at %v before op %d invoked at %v, but its commit timestamp %v is not below %v",
+					a.ID, a.Return, b.ID, b.Invoke, a.TS, b.TS),
+				At:      b.Return,
+				History: []*Op{a, b},
+			})
+			if len(out) >= maxExternalViolations {
+				return out
+			}
+			break // one witness per earlier op is enough
+		}
+	}
+	return out
+}

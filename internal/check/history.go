@@ -78,6 +78,13 @@ type Op struct {
 	Invoke, Return time.Duration
 	// Outcome classifies the completion.
 	Outcome Outcome
+	// TS is the commit timestamp the platform assigned (Spanner commits),
+	// valid when HasTS is set. Timestamps come from the platform's skewed
+	// local clocks, not the simulation clock — comparing them against the
+	// Invoke/Return instants is exactly what the external-consistency check
+	// does.
+	TS    time.Duration
+	HasTS bool
 }
 
 // String renders one op as a history line.
@@ -88,6 +95,9 @@ func (o *Op) String() string {
 		val = fmt.Sprintf(" val=%016x", o.Arg)
 	case o.Kind == "read" && o.Outcome == OutcomeOK:
 		val = fmt.Sprintf(" ret=%016x", o.Ret)
+	}
+	if o.HasTS {
+		val += fmt.Sprintf(" ts=%v", o.TS)
 	}
 	return fmt.Sprintf("op %3d %-8s %-5s %-12s [%12v, %12v] %s%s",
 		o.ID, o.Client, o.Kind, o.Key, o.Invoke, o.Return, o.Outcome, val)
@@ -193,6 +203,14 @@ func (h *History) OK(op *Op, ret uint64) {
 	op.Return = h.k.Now()
 	op.Ret = ret
 	op.Outcome = OutcomeOK
+}
+
+// OKAt completes an operation successfully and records the commit timestamp
+// the platform assigned it, enabling the external-consistency check.
+func (h *History) OKAt(op *Op, ret uint64, ts time.Duration) {
+	h.OK(op, ret)
+	op.TS = ts
+	op.HasTS = true
 }
 
 // Fail completes an operation as a definite no-effect failure.

@@ -1,0 +1,88 @@
+package check
+
+import (
+	"sort"
+	"time"
+)
+
+// This file measures read staleness over a recorded history — the partition
+// study's headline "did the split serve stale data" metric. A read is stale
+// when the value it returned had already been superseded by a write that was
+// acknowledged before the read was even invoked: a real-time observer could
+// have known the value was old. Linearizable histories score zero by
+// construction; the metric exists to quantify what a *broken* recovery path
+// (minority-side serving, lost replays) leaks, and to pin that the hardened
+// arms leak nothing.
+
+// Staleness scans the history's successful reads and reports how many were
+// stale and the worst staleness observed. A read of value v is stale when
+// some write acknowledged strictly before the read's invocation superseded
+// v; its staleness is the time from that superseding write's acknowledgment
+// to the read's invocation — how long the fresher value had been durable
+// when the reader asked. Reads returning values from concurrent or
+// indeterminate writes are not counted (they impose no real-time order).
+// A nil history scores zero.
+func (h *History) Staleness() (staleReads int, max time.Duration) {
+	if h == nil {
+		return 0, 0
+	}
+	type keyState struct {
+		writes []*Op          // acked writes, sorted by Return
+		byArg  map[uint64]int // value digest -> index of its earliest producing write
+	}
+	states := map[string]*keyState{}
+	state := func(key string) *keyState {
+		st := states[key]
+		if st == nil {
+			st = &keyState{byArg: map[uint64]int{}}
+			states[key] = st
+		}
+		return st
+	}
+	for _, op := range h.ops {
+		if op.Kind == "write" && op.Outcome == OutcomeOK {
+			state(op.Key).writes = append(state(op.Key).writes, op)
+		}
+	}
+	for _, st := range states {
+		sort.SliceStable(st.writes, func(i, j int) bool { return st.writes[i].Return < st.writes[j].Return })
+		for i, w := range st.writes {
+			if _, ok := st.byArg[w.Arg]; !ok {
+				st.byArg[w.Arg] = i
+			}
+		}
+	}
+	for _, op := range h.ops {
+		if op.Kind != "read" || op.Outcome != OutcomeOK {
+			continue
+		}
+		st := states[op.Key]
+		if st == nil || len(st.writes) == 0 {
+			continue
+		}
+		// Locate the write that produced the value read (the initial value
+		// reads as "producer before every write"). Unknown digests came from
+		// concurrent or indeterminate writes and impose no real-time order.
+		idx := -1
+		if initial, ok := h.initials[op.Key]; !ok || op.Ret != initial {
+			i, ok := st.byArg[op.Ret]
+			if !ok {
+				continue
+			}
+			idx = i
+		}
+		// The earliest acked write after the producer supersedes the value;
+		// if it returned before this read was invoked, the read is stale.
+		if idx+1 >= len(st.writes) {
+			continue
+		}
+		sup := st.writes[idx+1]
+		if sup.Return < op.Invoke {
+			staleReads++
+			if age := op.Invoke - sup.Return; age > max {
+				max = age
+			}
+		}
+	}
+	return staleReads, max
+}

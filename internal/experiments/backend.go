@@ -156,6 +156,7 @@ var unitRunners = map[string]unitRunner{
 	latencyUnitKind:    runLatencyUnit,
 	resilienceUnitKind: runResilienceUnit,
 	overloadUnitKind:   runOverloadUnit,
+	partitionUnitKind:  runPartitionUnit,
 }
 
 // runUnit resolves and executes one serialized work unit in this process.

@@ -1,0 +1,678 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hyperprof/internal/bigquery"
+	"hyperprof/internal/bigtable"
+	"hyperprof/internal/check"
+	"hyperprof/internal/faults"
+	"hyperprof/internal/netsim"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/stats"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// This file is the partition study: the safety torture's contended workload
+// run under a nemesis of split-brain/ring/bridge partitions, asymmetric gray
+// links and bounded clock skew, with two competing arms per platform. The
+// naive arm takes the faults with recovery disabled — Spanner's leader keeps
+// trying to reach a quorum it is cut from, BigTable's tablets stay pinned to
+// partitioned servers, BigQuery's shuffle puts only ever try their home
+// server. The hardened arm enables the partition-aware recovery paths:
+// Spanner leaders step down to the majority component, BigTable's master
+// reassigns tablets away from the cut (with log replay and epoch fencing,
+// the crash-recovery machinery), and BigQuery's shuffle fails over around
+// blocked links. Both arms must stay *safe* (zero checker violations, zero
+// stale reads); the hardened arm must additionally stay *available*. The
+// optional broken arms disable the safety mechanisms themselves — commit-wait
+// off under a fast clock, partitioned writes acked outside the commit log —
+// and exist to prove the checkers catch exactly that.
+
+// Partition-study arm labels, in the fixed order arms run per platform.
+const (
+	armBaseline = "baseline"
+	armNaive    = "naive"
+	armHardened = "hardened"
+	armBroken   = "broken"
+)
+
+// PartitionRow is one (platform, arm, seed) measurement.
+type PartitionRow struct {
+	Platform taxonomy.Platform
+	// Arm is "baseline" (fault-free calibration), "naive", "hardened" or
+	// "broken".
+	Arm  string
+	Seed uint64
+	// Ops and Errors count issued operations and the subset that failed.
+	Ops, Errors int
+	// Writes and WriteErrors count the write subset (Spanner commits,
+	// BigTable puts; BigQuery queries are all reads). The split matters
+	// because partition recovery defends write availability, while a correct
+	// CP system *must* fail reads whenever no quorum exists anywhere — the
+	// naive arm's reads stay up through quorum loss only because it also
+	// never elects a rival leader.
+	Writes, WriteErrors int
+	// Availability is successful ops / issued ops; WriteAvailability the same
+	// over the write subset (1 when no writes were issued).
+	Availability      float64
+	WriteAvailability float64
+	// Elapsed is the virtual time to drain the workload.
+	Elapsed time.Duration
+	// GoodputOpsPerSec is successful ops per virtual second.
+	GoodputOpsPerSec float64
+	// StaleReads counts successful reads that returned a value some
+	// earlier-acknowledged write had already superseded; MaxStaleness is the
+	// worst such age (see check.History.Staleness).
+	StaleReads   int
+	MaxStaleness time.Duration
+	// FaultsApplied counts fault events that fired during the run.
+	FaultsApplied int
+	// Violations counts checker findings for this run.
+	Violations int
+}
+
+// Partition holds the full study: per platform one calibration row, then
+// naive and hardened rows per seed (and broken rows when configured), plus
+// the hardened arm's fault marks for Chrome-trace export.
+type Partition struct {
+	Cfg  StudyConfig
+	Rows []PartitionRow
+	// Violations collects findings from the baseline, naive and hardened
+	// arms — any entry here is a real safety bug.
+	Violations []SafetyViolation
+	// BrokenViolations collects the broken arms' findings — expected by
+	// construction; an *empty* slice with broken arms enabled means the
+	// checkers missed the planted bug.
+	BrokenViolations []SafetyViolation
+	// Marks carries the first hardened arm's applied faults per platform as
+	// timeline marks, plus one mark per violation.
+	Marks map[taxonomy.Platform][]trace.Mark
+}
+
+// Ok reports whether the naive, hardened and baseline arms finished with
+// zero violations (broken arms are expected to violate and do not count).
+func (s *Partition) Ok() bool { return len(s.Violations) == 0 }
+
+// partitionArm is one completed arm, self-contained for concurrent (or
+// out-of-process) execution and ordered merge; it is the study's wire type.
+type partitionArm struct {
+	Row        PartitionRow
+	Violations []SafetyViolation
+	Marks      []trace.Mark
+}
+
+// partitionUnitKind tags partition arms in the backend work-unit registry.
+const partitionUnitKind = "partition/arm"
+
+// partitionUnit is the serialized form of one (platform, arm, seed) run.
+type partitionUnit struct {
+	Platform taxonomy.Platform `json:"platform"`
+	Arm      string            `json:"arm"`
+	Seed     uint64            `json:"seed"`
+	Horizon  time.Duration     `json:"horizon"`
+}
+
+// runPartitionUnit executes one partition arm from its wire form.
+func runPartitionUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
+	var u partitionUnit
+	if err := json.Unmarshal(body, &u); err != nil {
+		return nil, fmt.Errorf("experiments: decode partition unit: %w", err)
+	}
+	s := &Partition{Cfg: cfg}
+	return s.runArm(u.Platform, u.Arm, u.Seed, u.Horizon)
+}
+
+// Partition runs the partition study: per platform one fault-free
+// calibration run (whose elapsed time becomes the nemesis horizon), then a
+// naive and a hardened arm per seed, then the broken demonstration arms when
+// configured. Equal configs replay bit-identically; arms fan out across the
+// configured backend and merge in fixed (platform, arm, seed) order, so the
+// export is byte-identical sequential vs parallel and across backends.
+func (cfg StudyConfig) Partition() (*Partition, error) {
+	if cfg.Clients <= 0 || cfg.Check.Seeds <= 0 || cfg.Check.HotRows <= 0 || cfg.Part.MTBFFrac <= 0 {
+		return nil, fmt.Errorf("experiments: invalid partition config %+v", cfg)
+	}
+	s := &Partition{Cfg: cfg, Marks: map[taxonomy.Platform][]trace.Mark{}}
+	platforms := taxonomy.Platforms()
+	calJobs := make([]func() (partitionArm, error), len(platforms))
+	calUnits := make([]any, len(platforms))
+	for i, p := range platforms {
+		p := p
+		calJobs[i] = func() (partitionArm, error) { return s.runArm(p, armBaseline, cfg.Seed, 0) }
+		calUnits[i] = partitionUnit{Platform: p, Arm: armBaseline, Seed: cfg.Seed}
+	}
+	cals, err := runStudy(cfg, partitionUnitKind, calUnits, calJobs)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []func() (partitionArm, error)
+	var units []any
+	for i, p := range platforms {
+		horizon := cals[i].Row.Elapsed
+		for j := 0; j < cfg.Check.Seeds; j++ {
+			for _, arm := range []string{armNaive, armHardened} {
+				p, arm, seed := p, arm, cfg.Seed+uint64(j)
+				jobs = append(jobs, func() (partitionArm, error) { return s.runArm(p, arm, seed, horizon) })
+				units = append(units, partitionUnit{Platform: p, Arm: arm, Seed: seed, Horizon: horizon})
+			}
+		}
+		// Broken arms exist for Spanner (commit-wait off) and BigTable
+		// (unlogged partition writes); BigQuery's shuffle has no equivalent
+		// split-brain write path to break.
+		if cfg.Part.IncludeBroken && p != taxonomy.BigQuery {
+			p := p
+			jobs = append(jobs, func() (partitionArm, error) { return s.runArm(p, armBroken, cfg.Seed, horizon) })
+			units = append(units, partitionUnit{Platform: p, Arm: armBroken, Seed: cfg.Seed, Horizon: horizon})
+		}
+	}
+	arms, err := runStudy(cfg, partitionUnitKind, units, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range platforms {
+		s.merge(p, cals[i])
+	}
+	next := 0
+	for _, p := range platforms {
+		n := 2 * cfg.Check.Seeds
+		if cfg.Part.IncludeBroken && p != taxonomy.BigQuery {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			s.merge(p, arms[next])
+			next++
+		}
+	}
+	return s, nil
+}
+
+// merge folds one arm into the study in deterministic order. Broken-arm
+// violations are routed to the expected bucket; the first hardened arm's
+// fault marks become the platform's Chrome-trace marks.
+func (s *Partition) merge(p taxonomy.Platform, arm partitionArm) {
+	s.Rows = append(s.Rows, arm.Row)
+	if arm.Row.Arm == armBroken {
+		s.BrokenViolations = append(s.BrokenViolations, arm.Violations...)
+	} else {
+		s.Violations = append(s.Violations, arm.Violations...)
+	}
+	if arm.Row.Arm == armHardened && arm.Row.Seed == s.Cfg.Seed {
+		s.Marks[p] = arm.Marks
+	}
+}
+
+// Row returns the first row matching (platform, arm), or nil.
+func (s *Partition) Row(p taxonomy.Platform, arm string) *PartitionRow {
+	for i := range s.Rows {
+		if s.Rows[i].Platform == p && s.Rows[i].Arm == arm {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+func (s *Partition) runArm(p taxonomy.Platform, arm string, seed uint64, horizon time.Duration) (partitionArm, error) {
+	switch p {
+	case taxonomy.Spanner:
+		return s.runSpanner(arm, seed, horizon)
+	case taxonomy.BigTable:
+		return s.runBigTable(arm, seed, horizon)
+	case taxonomy.BigQuery:
+		return s.runBigQuery(arm, seed, horizon)
+	default:
+		return partitionArm{}, fmt.Errorf("experiments: unknown platform %q", p)
+	}
+}
+
+// nemesisFor converts the study's fractional rates into an absolute nemesis
+// config over the calibrated horizon (fault arrivals stop at 80% so heals
+// land while the workload drains). nodes feed link-scoped partitions and the
+// gray link; partitionTargets feed target-scoped partitions instead; clocks
+// name the skewable targets.
+func (s *Partition) nemesisFor(horizon time.Duration, seed uint64, stragglerProb float64,
+	nodes, partitionTargets, clocks []string) faults.NemesisConfig {
+	part := s.Cfg.Part
+	return faults.NemesisConfig{
+		ScheduleConfig: faults.ScheduleConfig{
+			Horizon:         time.Duration(float64(horizon) * 0.8),
+			MTBF:            time.Duration(float64(horizon) * s.Cfg.Faults.MTBFFrac),
+			MTTR:            time.Duration(float64(horizon) * s.Cfg.Faults.MTTRFrac),
+			StragglerProb:   stragglerProb,
+			StragglerFactor: s.Cfg.Faults.StragglerFactor,
+			NetDegradeProb:  s.Cfg.Faults.NetDegradeProb,
+			NetExtraDelay:   s.Cfg.Faults.NetExtraDelay,
+			NetDropProb:     s.Cfg.Faults.NetDropProb,
+			Seed:            seed,
+		},
+		Nodes:            nodes,
+		PartitionTargets: partitionTargets,
+		PartitionMTBF:    time.Duration(float64(horizon) * part.MTBFFrac),
+		PartitionMTTR:    time.Duration(float64(horizon) * part.MTTRFrac),
+		GrayProb:         part.GrayProb,
+		GrayExtra:        part.GrayExtra,
+		GrayDrop:         part.GrayDrop,
+		ClockTargets:     clocks,
+		ClockSkewProb:    part.ClockSkewProb,
+		ClockSkewMax:     part.ClockSkewMax,
+		ClockDriftMax:    part.ClockDriftMax,
+	}
+}
+
+// driveCounts are the per-run operation counters drive accumulates.
+type driveCounts struct {
+	ops, errs, writes, werrs int
+	elapsed                  time.Duration
+}
+
+// drive launches open-loop clients and runs the simulation to completion.
+// op performs one operation and reports whether it was a write. When horizon
+// > 0 each client fires its ops on a fixed schedule spanning the horizon
+// (client offsets stagger the slots): a closed loop would let an arm that
+// fails fast burn its whole op budget inside one fault window while an arm
+// that fails slow rides the window out, so the availability comparison
+// would measure retry latency, not recovery. On a fixed schedule both arms
+// attempt the same op at the same instant, and success depends only on the
+// system's state at that instant.
+func (s *Partition) drive(env *platform.Env, name string, seed uint64, totalOps int, horizon time.Duration,
+	op func(p *sim.Proc, rng *stats.RNG, client, i int) (bool, error)) driveCounts {
+	clients := s.Cfg.Clients
+	per := totalOps / clients
+	if per < 1 {
+		per = 1
+	}
+	slot := horizon / time.Duration(per)
+	root := stats.NewRNG(seed ^ 0x50415254) // "PART"
+	bar := sim.NewBarrier(env.K, clients)
+	var dc driveCounts
+	for c := 0; c < clients; c++ {
+		c := c
+		rng := root.Fork()
+		offset := slot * time.Duration(c) / time.Duration(clients)
+		env.K.Go(fmt.Sprintf("%s-partition-c%d", name, c), func(p *sim.Proc) {
+			defer bar.Done()
+			for i := 0; i < per; i++ {
+				if target := offset + slot*time.Duration(i); p.Now() < target {
+					p.Sleep(target - p.Now())
+				}
+				dc.ops++
+				write, err := op(p, rng, c, i)
+				if write {
+					dc.writes++
+				}
+				if err != nil {
+					dc.errs++
+					if write {
+						dc.werrs++
+					}
+				}
+			}
+		})
+	}
+	env.K.Go(name+"-measure", func(p *sim.Proc) {
+		p.WaitBarrier(bar)
+		dc.elapsed = p.Now()
+	})
+	env.K.Run()
+	return dc
+}
+
+// finish condenses a completed run into an arm: availability and goodput
+// from the drive counters, staleness from the recorded history, violations
+// from every checker, and fault marks from the engine.
+func (s *Partition) finish(p taxonomy.Platform, arm string, seed uint64, env *platform.Env,
+	h *check.History, reg *check.Registry, eng *faults.Engine, dc driveCounts) partitionArm {
+	row := PartitionRow{
+		Platform: p, Arm: arm, Seed: seed,
+		Ops: dc.ops, Errors: dc.errs, Writes: dc.writes, WriteErrors: dc.werrs,
+		Elapsed: dc.elapsed, WriteAvailability: 1,
+	}
+	if dc.ops > 0 {
+		row.Availability = float64(dc.ops-dc.errs) / float64(dc.ops)
+	}
+	if dc.writes > 0 {
+		row.WriteAvailability = float64(dc.writes-dc.werrs) / float64(dc.writes)
+	}
+	if dc.elapsed > 0 {
+		row.GoodputOpsPerSec = float64(dc.ops-dc.errs) / dc.elapsed.Seconds()
+	}
+	row.StaleReads, row.MaxStaleness = h.Staleness()
+	violations, marks := collect(p, seed, h, reg, env.K.Now())
+	row.Violations = len(violations)
+	out := partitionArm{Row: row, Violations: violations}
+	if eng != nil {
+		row.FaultsApplied = len(eng.Applied)
+		out.Row = row
+		for _, a := range eng.Applied {
+			out.Marks = append(out.Marks, trace.Mark{At: a.At, Name: a.Label()})
+		}
+		out.Marks = append(out.Marks, marks...)
+	}
+	return out
+}
+
+func (s *Partition) runSpanner(arm string, seed uint64, horizon time.Duration) (partitionArm, error) {
+	env := platform.NewEnv(seed, 1)
+	env.Net = netsim.New(env.K, spanner.RecommendedNetConfig())
+	env.Net.SetLinkSeed(seed ^ 0x4c494e4b) // "LINK"
+	scfg := spanner.DefaultConfig()
+	scfg.RPC = resilienceRPCPolicy()
+	scfg.ClockEps = s.Cfg.Part.ClockEps
+	switch arm {
+	case armHardened, armBaseline:
+		scfg.PartitionRecovery = true
+	case armBroken:
+		// BROKEN: recovery stays on so commits keep flowing through skewed
+		// leaders; the safety knob that is off is the commit-wait.
+		scfg.PartitionRecovery = true
+		scfg.DisableCommitWait = true
+	}
+	db, err := spanner.New(env, scfg)
+	if err != nil {
+		return partitionArm{}, err
+	}
+	h := check.NewHistory(env.K)
+	db.SetRecorder(h)
+	reg := &check.Registry{}
+	db.RegisterInvariants(reg)
+	if arm == armBroken {
+		// Deterministic fast clock on every replica of group 0: the offset is
+		// far past the uncertainty bound (and past any commit's replication
+		// latency), so with commit-wait disabled a group-0 commit returns
+		// while its timestamp still sits in other groups' future — any commit
+		// invoked through a healthy group inside that window carries a
+		// smaller timestamp, the inversion the external-consistency checker
+		// must pin with a two-op subhistory. With commit-wait enabled the
+		// same skew would only stretch the wait, never break the ordering.
+		for r := 0; r < scfg.Regions; r++ {
+			if err := db.SetClockSkew(0, r, 20*s.Cfg.Part.ClockEps, 0); err != nil {
+				return partitionArm{}, err
+			}
+		}
+	}
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		eng.RegisterLinkPlane(faults.LinkPlane{
+			Block: env.Net.BlockLink,
+			Gray:  env.Net.SetLinkFault,
+			Heal:  env.Net.HealLink,
+		})
+		// Every replica is a straggler/clock-skew target; only two per group
+		// may crash (a majority always survives crashes — partitions, not
+		// crashes, are this study's quorum threat).
+		var crashable, clocks []string
+		nodeSet := map[string]bool{}
+		var nodes []string
+		for g := 0; g < scfg.Groups; g++ {
+			for r := 0; r < scfg.Regions; r++ {
+				g, r := g, r
+				name := fmt.Sprintf("spanner/g%d/r%d", g, r)
+				a := faults.Actions{
+					SetSlowdown:  func(f float64) { _ = db.SetReplicaSlowdown(g, r, f) },
+					SetClockSkew: func(o time.Duration, d float64) { _ = db.SetClockSkew(g, r, o, d) },
+				}
+				if r == g%scfg.Regions || r == (g+1)%scfg.Regions {
+					a.Crash = func() { _ = db.CrashReplica(g, r) }
+					a.Recover = func() { _ = db.RestartReplica(g, r) }
+					crashable = append(crashable, name)
+				}
+				eng.Register(name, a)
+				// The broken arm's planted group-0 skew must survive the run:
+				// a nemesis skew window would replace it (skew replaces, never
+				// stacks), so group 0 is off the nemesis clock-target list.
+				if !(arm == armBroken && g == 0) {
+					clocks = append(clocks, name)
+				}
+				node, err := db.ReplicaNodeName(g, r)
+				if err != nil {
+					return partitionArm{}, err
+				}
+				if !nodeSet[node] {
+					nodeSet[node] = true
+					nodes = append(nodes, node)
+				}
+			}
+		}
+		sort.Strings(nodes)
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateNemesisSchedule(crashable,
+			s.nemesisFor(horizon, seed, s.Cfg.Faults.StragglerProb, nodes, nil, clocks)))
+	}
+	dc := s.drive(env, "spanner", seed, s.Cfg.Ops.Spanner, horizon,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) (bool, error) {
+			g, r := rng.Intn(scfg.Groups), rng.Intn(s.Cfg.Check.HotRows)
+			if rng.Bool(0.5) {
+				_, err := db.Read(p, nil, g, r, rng.Bool(0.15))
+				return false, err
+			}
+			return true, db.Commit(p, nil, g, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
+		})
+	return s.finish(taxonomy.Spanner, arm, seed, env, h, reg, eng, dc), nil
+}
+
+func (s *Partition) runBigTable(arm string, seed uint64, horizon time.Duration) (partitionArm, error) {
+	env := platform.NewEnv(seed+1000, 1)
+	bcfg := bigtable.DefaultConfig()
+	switch arm {
+	case armHardened, armBaseline:
+		bcfg.PartitionRecovery = true
+	case armBroken:
+		bcfg.BrokenPartitionWrites = true
+	}
+	db, err := bigtable.New(env, bcfg)
+	if err != nil {
+		return partitionArm{}, err
+	}
+	h := check.NewHistory(env.K)
+	db.SetRecorder(h)
+	reg := &check.Registry{}
+	db.RegisterInvariants(reg)
+	reg.Register("bigtable-dfs", db.DFS().CheckReplicaConsistency)
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		// Even servers may crash, odd servers may be partitioned: the sets are
+		// disjoint so a reassignment destination always exists, and the tablet
+		// data path is not RPC-fronted, so partitions are target-scoped
+		// (platform-level Partition/Heal actions) rather than link-scoped.
+		var partitionable []string
+		for i := 0; i < bcfg.TabletServers; i++ {
+			i := i
+			name := fmt.Sprintf("bigtable/ts%d", i)
+			a := faults.Actions{
+				Partition: func() { _ = db.PartitionTabletServer(i) },
+				Heal:      func() { _ = db.HealTabletServer(i) },
+			}
+			if i%2 == 0 {
+				a.Crash = func() { _ = db.FailTabletServer(i) }
+				a.Recover = func() { _ = db.RecoverTabletServer(i) }
+				eng.Register(name, a)
+			} else {
+				eng.Register(name, a)
+				partitionable = append(partitionable, name)
+			}
+		}
+		eng.Register("bigtable/cs0", faults.Actions{
+			Crash:   func() { _ = db.DFS().FailServer(0) },
+			Recover: func() { _ = db.DFS().RecoverServer(0) },
+		})
+		var crashable []string
+		for i := 0; i < bcfg.TabletServers; i += 2 {
+			crashable = append(crashable, fmt.Sprintf("bigtable/ts%d", i))
+		}
+		crashable = append(crashable, "bigtable/cs0")
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateNemesisSchedule(crashable,
+			s.nemesisFor(horizon, seed+1000, 0, nil, partitionable, nil)))
+	}
+	dc := s.drive(env, "bigtable", seed, s.Cfg.Ops.BigTable, horizon,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) (bool, error) {
+			t, r := rng.Intn(bcfg.Tablets), rng.Intn(s.Cfg.Check.HotRows)
+			if arm == armBroken {
+				// Concentrate the demonstration arm on two tablets (one on a
+				// partitionable server) so writes lost to the broken fixture
+				// are reliably re-read after the heal.
+				t %= 2
+			}
+			if rng.Bool(0.5) {
+				_, err := db.Get(p, nil, t, r)
+				return false, err
+			}
+			return true, db.Put(p, nil, t, r, []byte(fmt.Sprintf("s%d/c%d/op%d", seed, c, i)))
+		})
+	return s.finish(taxonomy.BigTable, arm, seed, env, h, reg, eng, dc), nil
+}
+
+func (s *Partition) runBigQuery(arm string, seed uint64, horizon time.Duration) (partitionArm, error) {
+	env := platform.NewEnv(seed+2000, 1)
+	env.Net.SetLinkSeed(seed ^ 0x4c494e4b) // "LINK"
+	qcfg := bigquery.DefaultConfig()
+	qcfg.RPC = resilienceRPCPolicy()
+	if arm == armNaive {
+		qcfg.DisableFailover = true
+	}
+	e, err := bigquery.New(env, qcfg)
+	if err != nil {
+		return partitionArm{}, err
+	}
+	h := check.NewHistory(env.K)
+	e.SetRecorder(h)
+	reg := &check.Registry{}
+	e.RegisterInvariants(reg)
+	reg.Register("bigquery-dfs", e.DFS().CheckReplicaConsistency)
+	var eng *faults.Engine
+	if horizon > 0 {
+		eng = faults.NewEngine(env.K)
+		eng.RegisterLinkPlane(faults.LinkPlane{
+			Block: env.Net.BlockLink,
+			Gray:  env.Net.SetLinkFault,
+			Heal:  env.Net.HealLink,
+		})
+		var crashable []string
+		for i := 0; i < qcfg.ShuffleServers; i += 2 {
+			i := i
+			name := fmt.Sprintf("bigquery/ss%d", i)
+			crashable = append(crashable, name)
+			eng.Register(name, faults.Actions{
+				Crash:       func() { _ = e.FailShuffleServer(i) },
+				Recover:     func() { _ = e.RecoverShuffleServer(i) },
+				SetSlowdown: func(f float64) { _ = e.SetShuffleSlowdown(i, f) },
+			})
+		}
+		eng.Register("bigquery/cs0", faults.Actions{
+			Crash:   func() { _ = e.DFS().FailServer(0) },
+			Recover: func() { _ = e.DFS().RecoverServer(0) },
+		})
+		// Partition node set: the shuffle tier plus two worker nodes, so
+		// drawn topologies cut worker->shuffle data paths (where failover
+		// matters) as well as intra-tier links.
+		nodeSet := map[string]bool{}
+		var nodes []string
+		addNode := func(name string, err error) error {
+			if err != nil {
+				return err
+			}
+			if !nodeSet[name] {
+				nodeSet[name] = true
+				nodes = append(nodes, name)
+			}
+			return nil
+		}
+		for i := 0; i < qcfg.ShuffleServers; i++ {
+			n, err := e.ShuffleNodeName(i)
+			if err2 := addNode(n, err); err2 != nil {
+				return partitionArm{}, err2
+			}
+		}
+		for w := 0; w < 2 && w < qcfg.Workers; w++ {
+			n, err := e.WorkerNodeName(w)
+			if err2 := addNode(n, err); err2 != nil {
+				return partitionArm{}, err2
+			}
+		}
+		sort.Strings(nodes)
+		s.registerNet(eng, env, seed)
+		eng.InjectAll(faults.GenerateNemesisSchedule(crashable,
+			s.nemesisFor(horizon, seed+2000, s.Cfg.Faults.StragglerProb, nodes, nil, nil)))
+	}
+	kinds := []bigquery.Kind{bigquery.ScanAgg, bigquery.JoinQuery}
+	dc := s.drive(env, "bigquery", seed, s.Cfg.Ops.BigQuery, horizon,
+		func(p *sim.Proc, rng *stats.RNG, c, i int) (bool, error) {
+			q := bigquery.Query{Kind: kinds[rng.Intn(len(kinds))], Threshold: int64(rng.Intn(1000))}
+			_, err := e.Run(p, nil, q)
+			return false, err
+		})
+	return s.finish(taxonomy.BigQuery, arm, seed, env, h, reg, eng, dc), nil
+}
+
+func (s *Partition) registerNet(eng *faults.Engine, env *platform.Env, seed uint64) {
+	eng.RegisterNetwork(func(extra time.Duration, drop float64) {
+		env.Net.Degrade(extra, drop, seed^0x4e455444) // "NETD"
+	}, env.Net.Restore)
+}
+
+// JSON renders the study's machine-readable export: seed, rows and the
+// broken arms' expected-violation digests, in fixed order, so equal configs
+// produce byte-identical documents on every backend.
+func (s *Partition) JSON() ([]byte, error) {
+	type brokenViolation struct {
+		Seed   uint64
+		Kind   string
+		Key    string
+		Detail string
+	}
+	var broken []brokenViolation
+	for _, v := range s.BrokenViolations {
+		broken = append(broken, brokenViolation{Seed: v.Seed, Kind: v.Kind, Key: v.Key, Detail: v.Detail})
+	}
+	doc := struct {
+		Seed             uint64
+		Rows             []PartitionRow
+		Violations       []SafetyViolation
+		BrokenViolations []brokenViolation
+	}{Seed: s.Cfg.Seed, Rows: s.Rows, Violations: s.Violations, BrokenViolations: broken}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// RenderPartition renders the study as a fixed-width table followed by the
+// verdict: the naive-vs-hardened availability comparison is the headline,
+// violations (none expected outside broken arms) print in full with their
+// minimal violating subhistories.
+func RenderPartition(s *Partition) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partition nemesis study (base seed %d, %d seeds/arm; partitions + gray links + clock skew, eps %v)\n",
+		s.Cfg.Seed, s.Cfg.Check.Seeds, s.Cfg.Part.ClockEps)
+	fmt.Fprintf(&b, "%-10s %-9s %6s %6s %5s %7s %7s %10s %10s %6s %10s %7s %10s\n",
+		"platform", "arm", "seed", "ops", "errs", "avail%", "wavail%", "elapsed", "goodput/s", "stale", "staleness", "faults", "violations")
+	for _, row := range s.Rows {
+		fmt.Fprintf(&b, "%-10s %-9s %6d %6d %5d %7.2f %7.2f %10s %10.1f %6d %10s %7d %10d\n",
+			row.Platform, row.Arm, row.Seed, row.Ops, row.Errors,
+			row.Availability*100, row.WriteAvailability*100,
+			row.Elapsed.Round(time.Millisecond), row.GoodputOpsPerSec,
+			row.StaleReads, row.MaxStaleness.Round(10*time.Microsecond),
+			row.FaultsApplied, row.Violations)
+	}
+	if s.Ok() {
+		b.WriteString("PASS: no safety violations in baseline/naive/hardened arms\n")
+	} else {
+		fmt.Fprintf(&b, "FAIL: %d safety violations\n", len(s.Violations))
+		for _, v := range s.Violations {
+			fmt.Fprintf(&b, "[seed %d] %s\n", v.Seed, v.Violation.String())
+		}
+	}
+	if len(s.BrokenViolations) > 0 {
+		fmt.Fprintf(&b, "broken-knob arms (expected violations): %d found\n", len(s.BrokenViolations))
+		for _, v := range s.BrokenViolations {
+			fmt.Fprintf(&b, "[seed %d] %s\n", v.Seed, v.Violation.String())
+		}
+	}
+	return b.String()
+}

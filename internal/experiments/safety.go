@@ -237,6 +237,7 @@ func (s *Safety) drive(env *platform.Env, name string, seed uint64, totalOps int
 func collect(p taxonomy.Platform, seed uint64, h *check.History, reg *check.Registry, at time.Duration) ([]SafetyViolation, []trace.Mark) {
 	var vs []check.Violation
 	vs = append(vs, h.CheckLinearizability()...)
+	vs = append(vs, h.CheckExternalConsistency()...)
 	vs = append(vs, h.Structural()...)
 	vs = append(vs, reg.Check(at)...)
 	var out []SafetyViolation

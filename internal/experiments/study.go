@@ -90,6 +90,39 @@ type LoadConfig struct {
 	QoSCapacity int
 }
 
+// PartitionConfig sizes the partition study's nemesis: partition windows,
+// one optional gray link, and clock skew, all as fractions/probabilities
+// over the calibrated horizon (mirroring FaultConfig). The zero value
+// disables the nemesis dimensions; the partition study always sets it.
+type PartitionConfig struct {
+	// MTBFFrac is the mean time between partition windows and MTTRFrac the
+	// mean window duration, both as fractions of the calibrated horizon.
+	MTBFFrac, MTTRFrac float64
+	// GrayProb is the chance of one asymmetric gray-link window per run,
+	// adding GrayExtra per message and dropping GrayDrop of them, one
+	// direction only.
+	GrayProb  float64
+	GrayExtra time.Duration
+	GrayDrop  float64
+	// ClockSkewProb is the per-replica chance of one clock-skew window with
+	// offset in [-ClockSkewMax, ClockSkewMax] and drift in [-ClockDriftMax,
+	// ClockDriftMax]. Keep ClockSkewMax (plus drift accumulated over the
+	// horizon) inside ClockEps or the hardened arm's commit-wait cannot
+	// guarantee external consistency — the bound TrueTime itself assumes.
+	ClockSkewProb float64
+	ClockSkewMax  time.Duration
+	ClockDriftMax float64
+	// ClockEps is the TrueTime-style uncertainty bound Spanner runs with in
+	// every partition-study arm: commit timestamps come from the skewed
+	// local clock and commits wait the bound out before acknowledging.
+	ClockEps time.Duration
+	// IncludeBroken adds the broken-knob demonstration arms (Spanner with
+	// commit-wait disabled under a deterministic fast clock, BigTable
+	// serving writes from a partitioned server that are discarded at heal).
+	// Their violations are expected and reported separately.
+	IncludeBroken bool
+}
+
 // ObsConfig switches on the observability plane and sizes its sampling.
 type ObsConfig struct {
 	// Enabled turns the metrics plane on; when false the other fields are
@@ -163,6 +196,9 @@ type StudyConfig struct {
 	// Load sizes the overload study (open-loop rates, trigger window and the
 	// protected arm's control-plane knobs).
 	Load LoadConfig
+	// Part sizes the partition study's nemesis (partition windows, gray
+	// links, clock skew and the Spanner uncertainty bound).
+	Part PartitionConfig
 }
 
 // defaultFaults are the documented fault rates both injecting studies share:
@@ -228,6 +264,39 @@ func DefaultObsStudyConfig() StudyConfig {
 		TraceRate: 1,
 		Ops:       PlatformOps{Spanner: 600, BigTable: 600, BigQuery: 90},
 		Obs:       ObsConfig{Enabled: true, Interval: time.Millisecond, Window: 1024},
+	}
+}
+
+// DefaultPartitionStudyConfig returns the partition-study defaults: the
+// safety torture's contended workload under a nemesis of split-brain/ring/
+// bridge partitions, one gray link, and bounded clock skew, with a lighter
+// crash schedule riding along so partitions land on an already-degraded
+// fleet. Two faulted seeds per arm keep the default run quick; CI sweeps
+// more via the config.
+func DefaultPartitionStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:      1,
+		Clients:   6,
+		TraceRate: 1,
+		Ops:       PlatformOps{Spanner: 400, BigTable: 400, BigQuery: 24},
+		Check:     CheckConfig{Seeds: 2, HotRows: 8},
+		Faults: FaultConfig{
+			MTBFFrac:        1.0,
+			MTTRFrac:        0.03,
+			StragglerProb:   0.2,
+			StragglerFactor: 4,
+		},
+		Part: PartitionConfig{
+			MTBFFrac:      0.4,
+			MTTRFrac:      0.12,
+			GrayProb:      0.6,
+			GrayExtra:     300 * time.Microsecond,
+			GrayDrop:      0.05,
+			ClockSkewProb: 0.5,
+			ClockSkewMax:  700 * time.Microsecond,
+			ClockDriftMax: 1e-4,
+			ClockEps:      time.Millisecond,
+		},
 	}
 }
 

@@ -12,6 +12,7 @@ package faults
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"time"
 
@@ -39,6 +40,22 @@ const (
 	// flash-crowd injection for open-loop overload scenarios; Factor <= 1
 	// restores the base rate.
 	RateSurge
+	// Partition blocks connectivity. With Event.Links set it blocks those
+	// directed links on the registered link plane; with a bare Target it
+	// invokes the target's Partition action (for components that are not
+	// RPC-fronted, like BigTable's tablet servers).
+	Partition
+	// Heal is Partition's inverse: it clears every fault on Event.Links, or
+	// invokes the target's Heal action.
+	Heal
+	// GrayLink injects an asymmetric slow-lossy link: each directed link in
+	// Event.Links pays Event.Extra per message and loses messages with
+	// probability Event.Factor. Healed by a matching Heal.
+	GrayLink
+	// ClockSkew sets the target's clock to Event.Extra offset drifting at
+	// Event.Factor seconds per second; a later ClockSkew with zero values
+	// clears it (skew replaces, never stacks).
+	ClockSkew
 )
 
 // String implements fmt.Stringer.
@@ -56,8 +73,21 @@ func (k Kind) String() string {
 		return "net-restore"
 	case RateSurge:
 		return "rate-surge"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case GrayLink:
+		return "gray-link"
+	case ClockSkew:
+		return "clock-skew"
 	}
 	return "unknown"
+}
+
+// Link names one directed network link by its endpoint node names.
+type Link struct {
+	From, To string
 }
 
 // Event is one scheduled fault.
@@ -68,10 +98,15 @@ type Event struct {
 	Kind Kind
 	// Target names the registered target; empty for network-wide events.
 	Target string
-	// Factor is the straggler multiplier or the drop probability.
+	// Factor is the straggler multiplier, the drop probability (NetDegrade,
+	// GrayLink) or the drift rate (ClockSkew).
 	Factor float64
-	// Extra is the per-message delay for NetDegrade.
+	// Extra is the per-message delay (NetDegrade, GrayLink) or the clock
+	// offset (ClockSkew).
 	Extra time.Duration
+	// Links are the directed links a Partition/GrayLink/Heal event acts on;
+	// empty means the event is target-scoped instead.
+	Links []Link
 }
 
 // Actions is what the engine can do to one registered target. Nil fields
@@ -84,6 +119,24 @@ type Actions struct {
 	// SetRate scales the target's offered load (RateSurge); targets that are
 	// not workload generators leave it nil.
 	SetRate func(mult float64)
+	// Partition/Heal cut the target off and reconnect it at the platform
+	// level — for components whose data path is not RPC-fronted, where the
+	// netsim link plane cannot model the cut.
+	Partition func()
+	Heal      func()
+	// SetClockSkew skews the target's local clock (ClockSkew); zero values
+	// clear the skew.
+	SetClockSkew func(offset time.Duration, drift float64)
+}
+
+// LinkPlane is the directed-link fault surface an engine drives Partition,
+// GrayLink and Heal events through. Each hook reports whether the link's
+// endpoints were known; unknown links are counted in SkippedUnknownTarget.
+// netsim.Network's BlockLink/SetLinkFault/HealLink methods fit directly.
+type LinkPlane struct {
+	Block func(from, to string) bool
+	Gray  func(from, to string, extra time.Duration, drop float64) bool
+	Heal  func(from, to string) bool
 }
 
 // Applied records one fault that actually fired.
@@ -108,11 +161,18 @@ type Engine struct {
 	names      []string
 	netDegrade func(extra time.Duration, drop float64)
 	netRestore func()
+	links      *LinkPlane
 
 	// Applied lists the faults that fired, in firing order.
 	Applied []Applied
 	// Skipped counts events whose target was unknown or lacked the action.
 	Skipped int
+	// SkippedUnknownTarget counts the subset of skips caused by a Target or
+	// link endpoint that was never registered — a misspelled schedule rather
+	// than a target that legitimately lacks the action. The first one is
+	// logged so schedules cannot lose events invisibly.
+	SkippedUnknownTarget int
+	warnedUnknown        bool
 }
 
 // NewEngine creates an engine on the kernel.
@@ -133,6 +193,10 @@ func (e *Engine) RegisterNetwork(degrade func(extra time.Duration, drop float64)
 	e.netDegrade = degrade
 	e.netRestore = restore
 }
+
+// RegisterLinkPlane wires the directed-link fault hooks Partition, GrayLink
+// and link-scoped Heal events apply through.
+func (e *Engine) RegisterLinkPlane(p LinkPlane) { e.links = &p }
 
 // Targets returns the registered target names, sorted.
 func (e *Engine) Targets() []string {
@@ -182,9 +246,16 @@ func (e *Engine) apply(ev Event) bool {
 		}
 		e.netRestore()
 		return true
+	case Partition, GrayLink, Heal:
+		if len(ev.Links) > 0 {
+			return e.applyLinks(ev)
+		}
+		// Link-less partition/heal events are target-scoped: fall through to
+		// the Actions table below.
 	}
 	t, ok := e.targets[ev.Target]
 	if !ok {
+		e.noteUnknownTarget(ev.Target)
 		return false
 	}
 	switch ev.Kind {
@@ -208,10 +279,64 @@ func (e *Engine) apply(ev Event) bool {
 			return false
 		}
 		t.SetRate(ev.Factor)
+	case Partition:
+		if t.Partition == nil {
+			return false
+		}
+		t.Partition()
+	case Heal:
+		if t.Heal == nil {
+			return false
+		}
+		t.Heal()
+	case ClockSkew:
+		if t.SetClockSkew == nil {
+			return false
+		}
+		t.SetClockSkew(ev.Extra, ev.Factor)
 	default:
 		return false
 	}
 	return true
+}
+
+// applyLinks drives a link-scoped event through the registered link plane.
+// The event counts as applied if any of its links took the fault; each link
+// with an unknown endpoint is counted (and the first logged) instead of
+// being lost invisibly.
+func (e *Engine) applyLinks(ev Event) bool {
+	if e.links == nil {
+		return false
+	}
+	applied := false
+	for _, l := range ev.Links {
+		var ok bool
+		switch ev.Kind {
+		case Partition:
+			ok = e.links.Block != nil && e.links.Block(l.From, l.To)
+		case GrayLink:
+			ok = e.links.Gray != nil && e.links.Gray(l.From, l.To, ev.Extra, ev.Factor)
+		case Heal:
+			ok = e.links.Heal != nil && e.links.Heal(l.From, l.To)
+		}
+		if !ok {
+			e.noteUnknownTarget(l.From + "->" + l.To)
+			continue
+		}
+		applied = true
+	}
+	return applied
+}
+
+// noteUnknownTarget accounts an event (or link) whose target was never
+// registered. Logged once per engine: a steady stream of unknown targets is
+// one misspelled schedule, not many distinct problems.
+func (e *Engine) noteUnknownTarget(name string) {
+	e.SkippedUnknownTarget++
+	if !e.warnedUnknown {
+		e.warnedUnknown = true
+		log.Printf("faults: fault target %q is not registered; dropping and counting in SkippedUnknownTarget (further unknown targets logged silently)", name)
+	}
 }
 
 // Scenario is a named batch of fault events — one chaos experiment.
@@ -255,7 +380,7 @@ func (st *ScenarioStats) Labels() []string {
 // per-kind counts in kind order, then per-label counts in sorted label order.
 func (st *ScenarioStats) String() string {
 	s := fmt.Sprintf("scenario %q: %d scheduled, %d applied", st.Name, st.Scheduled, len(st.Applied))
-	for _, k := range []Kind{Crash, Recover, Straggler, NetDegrade, NetRestore, RateSurge} {
+	for _, k := range []Kind{Crash, Recover, Straggler, NetDegrade, NetRestore, RateSurge, Partition, Heal, GrayLink, ClockSkew} {
 		if n := st.ByKind[k]; n > 0 {
 			s += fmt.Sprintf(", %d %s", n, k)
 		}

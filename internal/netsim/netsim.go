@@ -50,8 +50,19 @@ type Network struct {
 	extraDelay time.Duration
 	dropProb   float64
 	dropRNG    *stats.RNG
-	// Dropped counts requests lost to injected network degradation.
+	// Dropped counts messages lost to injected degradation, global or
+	// per-link.
 	Dropped int
+
+	// Per-directed-link fault plane (see links.go): extra delay, loss
+	// probability or a full block per (from, to) node pair, composed with the
+	// global knobs above. nodesByName backs name-addressed link injection;
+	// linkSeed is the base of the per-link RNG streams. Blocked counts
+	// messages lost to fully blocked links.
+	links       map[linkKey]*linkFault
+	nodesByName map[string]*Node
+	linkSeed    uint64
+	Blocked     int
 
 	// Delivery accounting (safety checking): when enabled, the network counts
 	// per-(server, call-ID) request arrivals and handler executions, so a
@@ -171,7 +182,15 @@ func (n *Network) Kernel() *sim.Kernel { return n.k }
 // Degrade injects network degradation: every non-local RPC message pays an
 // extra per-message delay, and each request is dropped with probability
 // dropProb, drawn from a generator seeded with seed (deterministic in call
-// order). Calling Degrade again replaces the previous parameters.
+// order). Calling Degrade again replaces the previous parameters — windows
+// never stack, the rule TestOverlappingBrownoutsReplaceNotStack pins; the
+// per-link plane follows the same replace-not-stack rule in SetLinkFault.
+//
+// Deprecated: Degrade is the wildcard form of the per-directed-link fault
+// plane (links.go) — one (extra, drop) applied to every non-local link at
+// once, requests only. New fault scenarios should target individual links
+// via SetLinkFault/BlockLink; Degrade is kept so existing brownout
+// schedules and their callers keep compiling and behaving identically.
 func (n *Network) Degrade(extra time.Duration, dropProb float64, seed uint64) {
 	if extra < 0 {
 		extra = 0
@@ -191,6 +210,9 @@ func (n *Network) Degrade(extra time.Duration, dropProb float64, seed uint64) {
 
 // Restore clears injected network degradation. The drop generator is kept so
 // alternating Degrade/Restore windows stay on one deterministic stream.
+//
+// Deprecated: Restore pairs with Degrade, the wildcard form of the per-link
+// fault plane; per-link faults are cleared with HealLink/HealAllLinks.
 func (n *Network) Restore() {
 	n.extraDelay = 0
 	n.dropProb = 0
@@ -207,12 +229,21 @@ func (n *Network) ExtraDelay() time.Duration { return n.extraDelay }
 // DropProb returns the currently injected request-drop probability.
 func (n *Network) DropProb() float64 { return n.dropProb }
 
-// messageDelay is TransferTime plus any injected per-message delay; local
-// messages are exempt (they never cross the degraded fabric).
+// messageDelay is TransferTime plus any injected per-message delay — the
+// global surcharge and the directed link's own, composed; local messages are
+// exempt (they never cross the degraded fabric). This is the RPC hot path:
+// the len check skips the map lookup entirely on unfaulted networks, and the
+// lookup itself uses a value-typed key, so the function allocates nothing
+// (pinned by TestMessageDelayZeroAllocs and BenchmarkNetMessageDelay).
 func (n *Network) messageDelay(a, b *Node, size int64) time.Duration {
 	d := n.TransferTime(a, b, size)
 	if a != b {
 		d += n.extraDelay
+		if len(n.links) != 0 {
+			if lf := n.links[linkKey{a.Name, b.Name}]; lf != nil {
+				d += lf.extra
+			}
+		}
 	}
 	return d
 }
@@ -239,15 +270,21 @@ type Node struct {
 	net    *Network
 }
 
-// NewNode creates a node with the given core count.
+// NewNode creates a node with the given core count and registers its name
+// for link-plane addressing (later registrations of the same name win).
 func (n *Network) NewNode(name string, region, rack, cores int) *Node {
-	return &Node{
+	nd := &Node{
 		Name:   name,
 		Region: region,
 		Rack:   rack,
 		CPU:    sim.NewResource(n.k, name+"/cpu", cores),
 		net:    n,
 	}
+	if n.nodesByName == nil {
+		n.nodesByName = map[string]*Node{}
+	}
+	n.nodesByName[name] = nd
+	return nd
 }
 
 // RTT returns the round-trip latency between two nodes.
@@ -576,7 +613,10 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 	// here and nowhere else, so a call's outcome is decided by whether
 	// Stop/Crash landed before or after this instant.
 	switch {
-	case net.dropRequest(from, s.Node):
+	case net.linkBlocked(from, s.Node):
+		net.Blocked++
+		return Response{Err: fmt.Errorf("%w: %s -> %s", ErrLinkBlocked, from.Name, s.Node.Name)}, p.Now() - start
+	case net.dropRequest(from, s.Node) || net.linkDrop(from, s.Node):
 		return Response{Err: fmt.Errorf("%w: to %s", ErrNetDropped, s.Node.Name)}, p.Now() - start
 	case !s.started:
 		return Response{Err: fmt.Errorf("%w: %s", ErrNotStarted, s.Node.Name)}, p.Now() - start
@@ -592,8 +632,7 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 		if resp, ok := s.doneByID[req.CallID]; ok {
 			s.DupSuppressed++
 			net.m.dedupSuppressed.Inc()
-			p.Sleep(net.messageDelay(s.Node, from, resp.Bytes))
-			return resp, p.Now() - start
+			return s.respond(p, from, resp), p.Now() - start
 		}
 		// Duplicate of an in-flight call: join it (singleflight) instead of
 		// executing the handler a second time.
@@ -601,8 +640,7 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 			s.DupSuppressed++
 			net.m.dedupSuppressed.Inc()
 			p.Wait(prev.done)
-			p.Sleep(net.messageDelay(s.Node, from, prev.resp.Bytes))
-			return prev.resp, p.Now() - start
+			return s.respond(p, from, prev.resp), p.Now() - start
 		}
 	}
 	if err := s.admit(req); err != nil {
@@ -628,6 +666,26 @@ func (s *Server) Call(p *sim.Proc, from *Node, req Request) (Response, time.Dura
 		s.queue.Put(c)
 	}
 	p.Wait(c.done)
-	p.Sleep(net.messageDelay(s.Node, from, c.resp.Bytes))
-	return c.resp, p.Now() - start
+	return s.respond(p, from, c.resp), p.Now() - start
+}
+
+// respond models the response transfer back to the caller at `from`: the
+// message pays the reverse direction's delay and may be lost to a blocked or
+// lossy reverse link. This is the gray-failure half of the link plane — the
+// handler has already executed (or the cached response already exists), so a
+// lost response costs the caller an error for work that actually happened.
+// The global degradation knobs deliberately do not apply here: they are
+// request-path-only, and changing that would perturb every existing
+// brownout schedule's RNG draw order.
+func (s *Server) respond(p *sim.Proc, from *Node, resp Response) Response {
+	net := s.Node.net
+	p.Sleep(net.messageDelay(s.Node, from, resp.Bytes))
+	switch {
+	case net.linkBlocked(s.Node, from):
+		net.Blocked++
+		return Response{Err: fmt.Errorf("%w: %s -> %s (response lost)", ErrLinkBlocked, s.Node.Name, from.Name)}
+	case net.linkDrop(s.Node, from):
+		return Response{Err: fmt.Errorf("%w: response from %s", ErrNetDropped, s.Node.Name)}
+	}
+	return resp
 }

@@ -221,6 +221,13 @@ func (db *DB) FailLeader(g int) (int, error) {
 // can carry a *longer* log whose tail is an uncommitted divergent suffix
 // from an older term.
 func (db *DB) elect(grp *group) (int, error) {
+	// With PartitionRecovery the candidate pool shrinks further to replicas
+	// that can reach a live majority over unblocked links: the voters a real
+	// election would gather are exactly that component, and any committed
+	// entry's majority intersects any live-majority component, so the most
+	// up-to-date member of the component still holds every committed entry.
+	// Without a quorum-connected candidate the election fails — the minority
+	// side stays leaderless rather than splitting the brain.
 	live, best := 0, -1
 	for i, rep := range grp.replicas {
 		if rep.srv.Stopped() {
@@ -233,11 +240,17 @@ func (db *DB) elect(grp *group) (int, error) {
 			}
 			continue
 		}
+		if db.cfg.PartitionRecovery && !db.quorumConnected(grp, i) {
+			continue
+		}
 		if best == -1 || moreUpToDate(rep, grp.replicas[best]) {
 			best = i
 		}
 	}
 	if best == -1 {
+		if live > 0 {
+			return 0, fmt.Errorf("%w: group %d has no replica connected to a live majority", ErrNoQuorum, grp.id)
+		}
 		return 0, fmt.Errorf("%w: group %d has no live replicas", ErrNoQuorum, grp.id)
 	}
 	if !db.brokenElectAnyReplica && live < len(grp.replicas)/2+1 {

@@ -60,12 +60,14 @@ func (db *DB) Commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) err
 		op = db.rec.Invoke(p.Name(), "write", key, check.Digest(value))
 	}
 	start := p.Now()
-	appended, err := db.commit(p, tr, g, row, value)
+	appended, ts, err := db.commit(p, tr, g, row, value)
 	db.mCommitLat.RecordSince(start, p.Now())
 	if op != nil {
 		switch {
 		case err == nil:
-			db.rec.OK(op, 0)
+			// Record the commit timestamp the leader minted from its (possibly
+			// skewed) local clock — the input to the external-consistency check.
+			db.rec.OKAt(op, 0, ts)
 		case appended:
 			db.rec.Indeterminate(op)
 		default:

@@ -50,6 +50,23 @@ type Config struct {
 	// every replica RPC server (bounded queue, CoDel expiry, adaptive shed).
 	// The zero value disables it and changes nothing about existing runs.
 	Admission netsim.Admission
+	// ClockEps is each replica clock's TrueTime-style uncertainty bound.
+	// Commits mint their timestamp from the leader's (possibly skewed) local
+	// clock and wait the bound out before acknowledging — commit wait, the
+	// mechanism that buys external consistency. Zero keeps perfect clocks and
+	// skips the wait, leaving existing runs untouched.
+	ClockEps time.Duration
+	// DisableCommitWait is a broken-knob fixture: commits are still stamped
+	// from the skewed local clock but acknowledged without waiting out the
+	// uncertainty bound. Under injected clock skew the external-consistency
+	// checker must flag the resulting timestamp inversions.
+	DisableCommitWait bool
+	// PartitionRecovery enables partition-aware leadership: a leader cut off
+	// from a quorum of its group steps down and the election runs over the
+	// majority-connected component, restoring availability without ever
+	// committing on the minority side. Off, a partitioned leader just keeps
+	// failing its replication rounds — safe but unavailable.
+	PartitionRecovery bool
 }
 
 // DefaultConfig returns a laptop-scale deployment that preserves the
@@ -127,6 +144,11 @@ type group struct {
 	// what the election-safety and committed-prefix invariants are checked
 	// against.
 	committed int
+	// lastTS is the group's commit-timestamp high-water mark, bumped at mint
+	// time (not at ack: an indeterminate commit may still replicate later and
+	// its successor must not reuse the timestamp), keeping timestamps
+	// strictly monotone per group even under backwards clock skew.
+	lastTS time.Duration
 }
 
 func (g *group) leaderRep() *replica { return g.replicas[g.leader] }
@@ -138,6 +160,10 @@ type logEntry struct {
 	key   string
 	value []byte
 	term  int
+	// ts is the commit timestamp minted from the leader's local clock when
+	// the entry was created; it rides replication so a later leader serves
+	// the same timestamps the original commit acknowledged.
+	ts time.Duration
 }
 
 type replica struct {
@@ -153,6 +179,9 @@ type replica struct {
 	log     []logEntry
 	rows    map[string][]byte
 	applied int
+	// clock is the replica's local wall clock: true time plus whatever skew
+	// the nemesis injected, known only up to the config's uncertainty bound.
+	clock *sim.Clock
 }
 
 // applyUpTo applies the replica's log prefix [applied, n) to its row state,
@@ -312,7 +341,10 @@ func (db *DB) place() error {
 				return fmt.Errorf("spanner: no machines in region %d", r)
 			}
 			m := ms[g%len(ms)]
-			rep := &replica{machine: m, region: r, rows: map[string][]byte{}}
+			rep := &replica{
+				machine: m, region: r, rows: map[string][]byte{},
+				clock: sim.NewClock(db.env.K, db.cfg.ClockEps),
+			}
 			db.startServer(grp, rep)
 			grp.replicas = append(grp.replicas, rep)
 		}
@@ -424,17 +456,19 @@ func (db *DB) read(p *sim.Proc, tr *trace.Trace, g, row int, strong bool) ([]byt
 // reports whether the entry reached the leader's log before the error: a
 // pre-append failure definitely had no effect, while a post-append failure is
 // indeterminate — a later catch-up can still replicate and commit the entry.
-func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (appended bool, err error) {
+// ts is the commit timestamp minted for the entry (zero when minting never
+// happened).
+func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (appended bool, ts time.Duration, err error) {
 	if g < 0 || g >= len(db.groups) {
-		return false, fmt.Errorf("spanner: group %d out of range", g)
+		return false, 0, fmt.Errorf("spanner: group %d out of range", g)
 	}
 	if row < 0 || row >= db.cfg.RowsPerGroup {
-		return false, fmt.Errorf("spanner: row %d out of range", row)
+		return false, 0, fmt.Errorf("spanner: row %d out of range", row)
 	}
 	grp := db.groups[g]
 	leader, err := db.ensureLeader(grp)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	// Capture the leadership term alongside the leader: an election can land
 	// during any park point below (the recipe, the log IO), and the entry must
@@ -445,11 +479,21 @@ func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (ap
 	term := grp.term
 	db.env.ExecRecipe(p, taxonomy.Spanner, leader.machine.Node, tr, db.writeRecipe)
 
+	// Mint the commit timestamp from the leader's local clock: the latest
+	// edge of its uncertainty interval (never in the node's believed past),
+	// pushed above the group's high-water mark so timestamps stay strictly
+	// monotone per group even when skew runs a clock backwards.
+	ts = leader.clock.Latest()
+	if ts <= grp.lastTS {
+		ts = grp.lastTS + 1
+	}
+	grp.lastTS = ts
+
 	// Leader durable log append.
 	key := rowKey(g, row)
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	entry := logEntry{key: key, value: cp, term: term}
+	entry := logEntry{key: key, value: cp, term: term, ts: ts}
 	leader.log = append(leader.log, entry)
 	prevIndex := len(leader.log) - 1
 	ioStart := p.Now()
@@ -458,7 +502,7 @@ func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (ap
 
 	// Parallel replication; majority = leader + 1 follower ack.
 	if err := db.replicateEntry(p, tr, grp, leader, prevIndex); err != nil {
-		return true, err
+		return true, ts, err
 	}
 	if prevIndex+1 > grp.committed {
 		grp.committed = prevIndex + 1
@@ -473,7 +517,7 @@ func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (ap
 	applyStart := p.Now()
 	d, err := leader.machine.Store.Write(key, int64(len(value)))
 	if err != nil {
-		return true, err
+		return true, ts, err
 	}
 	p.Sleep(d)
 	platform.AnnotateIO(tr, applyStart, p.Now())
@@ -494,7 +538,16 @@ func (db *DB) commit(p *sim.Proc, tr *trace.Trace, g, row int, value []byte) (ap
 	if db.cfg.CompactionEvery > 0 && grp.commits%db.cfg.CompactionEvery == 0 {
 		db.startCompaction(grp)
 	}
-	return true, nil
+
+	// Commit wait: hold the acknowledgment until the leader's uncertainty
+	// interval has wholly passed ts, so every operation invoked anywhere
+	// after this ack observes a strictly larger timestamp (external
+	// consistency). The DisableCommitWait fixture skips the wait, which the
+	// external-consistency checker must flag under injected skew.
+	if db.cfg.ClockEps > 0 && !db.cfg.DisableCommitWait {
+		leader.clock.CommitWait(p, ts)
+	}
+	return true, ts, nil
 }
 
 // ErrNoQuorum is returned when too many replicas are down to reach a
@@ -624,14 +677,69 @@ func (db *DB) OverloadStats() (shed, adaptive, expired int) {
 // ensureLeader returns the group's current leader, electing a new one first
 // if the incumbent's server is down — this is how client operations fail over
 // across replicas: the read/commit retries land on the freshly elected
-// leader instead of erroring against the dead one.
+// leader instead of erroring against the dead one. With PartitionRecovery, a
+// leader cut off from a quorum of its group (asymmetric link blocks count in
+// either direction) steps down the same way, and the election runs over the
+// majority-connected component — so the minority side never commits and the
+// majority side regains availability without waiting for the heal.
 func (db *DB) ensureLeader(grp *group) (*replica, error) {
-	if grp.leaderRep().srv.Stopped() {
+	lead := grp.leaderRep()
+	if lead.srv.Stopped() || (db.cfg.PartitionRecovery && !db.quorumConnected(grp, grp.leader)) {
 		if _, err := db.elect(grp); err != nil {
 			return nil, err
 		}
 	}
 	return grp.leaderRep(), nil
+}
+
+// quorumConnected reports whether group grp's replica i is live and can
+// reach a majority of the group (itself included) over unblocked links. Gray
+// (slow, lossy) links still count as reachable: only a full block in either
+// direction justifies treating a peer as partitioned away.
+func (db *DB) quorumConnected(grp *group, i int) bool {
+	rep := grp.replicas[i]
+	if rep.srv.Stopped() {
+		return false
+	}
+	reach := 1
+	for j, other := range grp.replicas {
+		if j == i || other.srv.Stopped() {
+			continue
+		}
+		if db.env.Net.Reachable(rep.machine.Node, other.machine.Node) {
+			reach++
+		}
+	}
+	return reach >= len(grp.replicas)/2+1
+}
+
+// SetClockSkew injects clock skew on group g's replica in the given region:
+// an absolute offset plus a drift rate (seconds of skew per true second)
+// accruing from now. Re-injection replaces the previous skew; zero values
+// restore a true clock.
+func (db *DB) SetClockSkew(g, region int, offset time.Duration, drift float64) error {
+	if g < 0 || g >= len(db.groups) {
+		return fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if region < 0 || region >= len(db.groups[g].replicas) {
+		return fmt.Errorf("spanner: region %d out of range", region)
+	}
+	db.groups[g].replicas[region].clock.SetSkew(offset, drift)
+	return nil
+}
+
+// ReplicaNodeName returns the name of the netsim node hosting group g's
+// replica in the given region, for addressing link-level faults (machines
+// are shared across groups, so a link fault on one name can affect several
+// groups — exactly like a real rack cut).
+func (db *DB) ReplicaNodeName(g, region int) (string, error) {
+	if g < 0 || g >= len(db.groups) {
+		return "", fmt.Errorf("spanner: group %d out of range", g)
+	}
+	if region < 0 || region >= len(db.groups[g].replicas) {
+		return "", fmt.Errorf("spanner: region %d out of range", region)
+	}
+	return db.groups[g].replicas[region].machine.Node.Name, nil
 }
 
 // Query runs a SQL-ish scan over QueryScanRows consecutive rows of group g

@@ -12,9 +12,14 @@ set -e
 
 out="${1:-BENCH_0.json}"
 benchtime="${BENCHTIME:-20000x}"
-pattern='^BenchmarkSim(KernelEvents|KernelSchedule|KernelRun|ProcSwitch)$'
+# The netsim messageDelay op is ~25ns, so it needs far more iterations than
+# the kernel benchmarks before scheduler noise averages out.
+netbenchtime="${NETBENCHTIME:-1000000x}"
+kernpattern='^BenchmarkSim(KernelEvents|KernelSchedule|KernelRun|ProcSwitch)$'
+netpattern='^BenchmarkNetMessageDelay$'
 
-raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" .)"
+raw="$(go test -run '^$' -bench "$kernpattern" -benchmem -benchtime "$benchtime" .)
+$(go test -run '^$' -bench "$netpattern" -benchmem -benchtime "$netbenchtime" ./internal/netsim/)"
 printf '%s\n' "$raw"
 
 goversion="$(go env GOVERSION)"
