@@ -12,7 +12,15 @@ BACKEND_SEEDS ?= 8
 # naive and hardened arms of the partition study.
 PARTITION_SEEDS ?= 8
 
-.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends check-partitions bench bench-gate bench-baseline
+# check-fleet runs the fleet-scale characterization at this reduced size (the
+# full 2000-server/1M-user run lives in the test suite) and fails if the
+# coordinator's live heap after the run exceeds the ceiling.
+FLEET_SERVERS ?= 400
+FLEET_USERS ?= 200000
+FLEET_OPS ?= 8000
+FLEET_HEAP_MB ?= 128
+
+.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends check-partitions check-fleet bench bench-gate bench-baseline
 
 check: build vet fmt race
 
@@ -80,17 +88,29 @@ check-partitions:
 	$(GO) test -short ./internal/experiments/ -run 'TestPartitionStudy|TestRenderPartition'
 	$(GO) run ./cmd/hyperprof -partition -check -check-seeds $(PARTITION_SEEDS) -json > partition.json
 
+# check-fleet proves the bounded-memory fleet plane: the quantile-sketch
+# accuracy/merge property tests, the reservoir-sampling soundness tests, the
+# sketch-mode byte-identity tests (sequential vs parallel and in-process vs
+# pool vs exec workers), the flat-heap unit test, and an end-to-end reduced
+# fleet characterization under a runtime.ReadMemStats heap ceiling.
+check-fleet:
+	$(GO) test ./internal/stats/ ./internal/check/ ./internal/workload/
+	$(GO) test ./internal/experiments/ -run 'TestFleetScaleDeterministic|TestFleetScaleBackends|TestFleetSketchHeapFlat|TestFleetScaleExactMode'
+	$(GO) run ./cmd/hyperprof -fleet -fleet-servers $(FLEET_SERVERS) -fleet-users $(FLEET_USERS) \
+		-fleet-ops $(FLEET_OPS) -fleet-heap-mb $(FLEET_HEAP_MB)
+
 # bench runs the DES-kernel substrate microbenchmarks into BENCH_1.json and
 # diffs the result against the committed BENCH_0.json baseline — a soft gate
-# that warns on >10% ns/op growth or any allocs/op growth without failing
-# the build. Refresh the baseline with bench-baseline after an intentional
-# substrate change and commit the new BENCH_0.json.
+# that warns on ns/op growth beyond the noise band (see scripts/bench_diff.sh)
+# or any allocs/op growth, without failing the build. Refresh the baseline
+# with bench-baseline after an intentional substrate change and commit the
+# new BENCH_0.json.
 bench:
 	sh scripts/bench.sh BENCH_1.json
 	sh scripts/bench_diff.sh BENCH_0.json BENCH_1.json
 
 # bench-gate is the blocking form of bench, used by CI: the same diff, but
-# any >10% ns/op growth or any allocs/op growth fails the build.
+# out-of-band ns/op growth or any allocs/op growth fails the build.
 bench-gate:
 	sh scripts/bench.sh BENCH_1.json
 	sh scripts/bench_diff.sh --fail BENCH_0.json BENCH_1.json

@@ -18,6 +18,7 @@ import (
 	"hyperprof/internal/protowire"
 	"hyperprof/internal/sha3"
 	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
 	"hyperprof/internal/taxonomy"
 	"hyperprof/internal/trace"
 )
@@ -352,19 +353,74 @@ func BenchmarkAblationChainHandoff(b *testing.B) {
 // --- Substrate microbenchmarks ---
 
 // BenchmarkSimKernelEvents measures raw event throughput of the DES kernel:
-// schedule b.N closures, then drain them all.
+// schedule b.N callbacks, then drain them all. It rides ScheduleArg — the
+// hoisted-callback fast path — so the whole schedule/dispatch cycle is
+// allocation-free; the closure form (Schedule) pays one allocation per event
+// for the captured state and is measured by BenchmarkSimKernelSchedule.
 func BenchmarkSimKernelEvents(b *testing.B) {
 	b.ReportAllocs()
 	k := sim.New()
 	n := 0
+	tick := func(arg any) { *(arg.(*int))++ }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.Schedule(time.Duration(i), func() { n++ })
+		k.ScheduleArg(time.Duration(i), tick, &n)
 	}
 	k.Run()
 	if n != b.N {
 		b.Fatal("lost events")
 	}
+}
+
+// benchDenseTimers is the dense-timer regime both dense benches share: a
+// standing population of self-rescheduling timers spread across the wheel
+// window, the event pattern fleet-scale open-loop runs produce. Each fire
+// reschedules its successor at a pseudo-random dense offset, so the queue
+// holds `population` events at all times and every op is one pop plus one
+// push against that depth.
+func benchDenseTimers(b *testing.B, k *sim.Kernel) {
+	b.ReportAllocs()
+	const population = 1 << 16
+	type denseState struct {
+		k         *sim.Kernel
+		remaining int
+		x         uint64
+	}
+	s := &denseState{k: k, remaining: b.N, x: 0x9E3779B97F4A7C15}
+	var fire func(any)
+	fire = func(arg any) {
+		st := arg.(*denseState)
+		if st.remaining <= 0 {
+			return
+		}
+		st.remaining--
+		st.x ^= st.x << 13
+		st.x ^= st.x >> 7
+		st.x ^= st.x << 17
+		d := time.Duration(1 + st.x%uint64(4*time.Millisecond))
+		st.k.ScheduleArg(d, fire, st)
+	}
+	for i := 0; i < population; i++ {
+		s.x ^= s.x << 13
+		s.x ^= s.x >> 7
+		s.x ^= s.x << 17
+		k.ScheduleArg(time.Duration(1+s.x%uint64(4*time.Millisecond)), fire, s)
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelDenseTimers measures the dense-timer regime on the
+// production tiered queue (timer wheel over the 4-ary heap).
+func BenchmarkSimKernelDenseTimers(b *testing.B) {
+	benchDenseTimers(b, sim.New())
+}
+
+// BenchmarkSimKernelDenseTimersHeapOnly is the same workload on the
+// heap-only baseline queue; the ratio to BenchmarkSimKernelDenseTimers is
+// the wheel's measured speedup.
+func BenchmarkSimKernelDenseTimersHeapOnly(b *testing.B) {
+	benchDenseTimers(b, sim.NewHeapOnly())
 }
 
 // BenchmarkSimKernelSchedule isolates the push half of the event loop: heap
@@ -411,6 +467,33 @@ func BenchmarkSimProcSwitch(b *testing.B) {
 	})
 	b.ResetTimer()
 	k.Run()
+}
+
+// benchSketchValues feeds a fixed pseudo-random lognormal-ish latency stream
+// to a Recorder — the record path every fleet-scale study rides.
+func benchSketchValues(b *testing.B, r stats.Recorder) {
+	b.ReportAllocs()
+	x := uint64(0x9E3779B97F4A7C15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		r.Add(float64(1 + x%uint64(50*time.Millisecond)))
+	}
+}
+
+// BenchmarkStatsSketchRecord measures the bounded-memory sketch's record
+// path: steady state is a map increment on an occupied bucket.
+func BenchmarkStatsSketchRecord(b *testing.B) {
+	benchSketchValues(b, stats.NewSketch(0.01))
+}
+
+// BenchmarkStatsSummaryRecord is the exact-recorder baseline for the sketch
+// bench: an append that grows with N, which is precisely what fleet scale
+// cannot afford.
+func BenchmarkStatsSummaryRecord(b *testing.B) {
+	benchSketchValues(b, &stats.Summary{})
 }
 
 // BenchmarkSHA3 measures the from-scratch Keccak implementation.

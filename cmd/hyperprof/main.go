@@ -116,6 +116,12 @@ func main() {
 	overloadRun := flag.Bool("overload", false, "run the overload study instead: naive vs protected arms of a multi-tenant open-loop workload through a retry-storm trigger")
 	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
 	partitionRun := flag.Bool("partition", false, "run the partition nemesis study instead: naive vs partition-hardened arms under split-brain/gray-link/clock-skew faults; combined with -check, broken-knob arms demonstrate the checkers convicting disabled safety mechanisms")
+	fleetRun := flag.Bool("fleet", false, "run the fleet-scale characterization instead: thousands of servers, millions of logical users, bounded-memory (sketch) measurement")
+	fleetServers := flag.Int("fleet-servers", 0, "with -fleet: total server machines across platforms (0 = study default, 2000)")
+	fleetUsers := flag.Int("fleet-users", 0, "with -fleet: logical user population (0 = study default, 1000000)")
+	fleetOps := flag.Int("fleet-ops", 0, "with -fleet: total completed-operation budget (0 = study default)")
+	fleetHeapMB := flag.Int("fleet-heap-mb", 0, "with -fleet: fail (exit 1) if the coordinator's live heap after the run exceeds this many MiB (0 = no assertion)")
+	sketchErr := flag.Float64("sketch-err", 0, "with -fleet: quantile sketch relative-error bound (0 = 1%)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness itself to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the harness itself to this file on exit")
 	worker := flag.Bool("worker", false, "serve study work units on stdin/stdout for an exec-backend coordinator (internal; spawned by -backend=exec)")
@@ -156,6 +162,21 @@ func main() {
 	}
 
 	switch {
+	case *fleetRun:
+		cfg := sf.apply(hyperprof.DefaultFleetStudyConfig())
+		if *fleetServers > 0 {
+			cfg.Fleet.Servers = *fleetServers
+		}
+		if *fleetUsers > 0 {
+			cfg.Fleet.Users = *fleetUsers
+		}
+		if *fleetOps > 0 {
+			cfg.Fleet.Ops = *fleetOps
+		}
+		if *sketchErr > 0 {
+			cfg.Sketch.RelErr = *sketchErr
+		}
+		runFleet(cfg, *jsonOut, *fleetHeapMB)
 	case *partitionRun:
 		cfg := sf.apply(hyperprof.DefaultPartitionStudyConfig())
 		cfg.Part.IncludeBroken = *checkRun
@@ -378,6 +399,33 @@ func runPartition(cfg hyperprof.StudyConfig, jsonOut bool, chromeOut string) {
 // runOverload executes the overload study and prints the naive-vs-protected
 // comparison (or the machine-readable export with -json). With -obs, the
 // protected arms' metric time series are written beside it.
+// runFleet executes the fleet-scale characterization, optionally asserting
+// the coordinator's post-run live heap stays under a ceiling — the CI
+// check-fleet gate's bounded-memory guarantee.
+func runFleet(cfg hyperprof.StudyConfig, jsonOut bool, heapCeilingMB int) {
+	st, err := hyperprof.FleetScale(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		data, err := hyperprof.MarshalFleet(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(hyperprof.RenderFleet(st))
+	}
+	if heapCeilingMB > 0 {
+		if live := st.Heap.HeapAllocBytes >> 20; live > uint64(heapCeilingMB) {
+			log.Fatalf("fleet heap assertion failed: %d MiB live after run, ceiling %d MiB", live, heapCeilingMB)
+		}
+		fmt.Fprintf(os.Stderr, "fleet heap assertion passed: %.1f MiB live <= %d MiB ceiling\n",
+			float64(st.Heap.HeapAllocBytes)/(1<<20), heapCeilingMB)
+	}
+}
+
 func runOverload(cfg hyperprof.StudyConfig, jsonOut bool, obsOut string) {
 	o, err := hyperprof.OverloadControl(cfg)
 	if err != nil {

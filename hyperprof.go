@@ -87,6 +87,39 @@ var (
 	DefaultOverloadStudyConfig = experiments.DefaultOverloadStudyConfig
 	// DefaultPartitionStudyConfig sizes the partition nemesis study.
 	DefaultPartitionStudyConfig = experiments.DefaultPartitionStudyConfig
+	// DefaultFleetStudyConfig sizes the fleet-scale characterization:
+	// 2000 servers, one million logical users, sketch-mode recording.
+	DefaultFleetStudyConfig = experiments.DefaultFleetStudyConfig
+)
+
+// Fleet-scale characterization: the three platforms sized to thousands of
+// server machines under an open-loop load attributed to millions of logical
+// users, with bounded-memory measurement (quantile sketches and reservoir-
+// sampled histories) so profiling cost stays flat in the op count.
+type (
+	// FleetStudy is the full fleet-scale result.
+	FleetStudy = experiments.FleetStudy
+	// FleetRow is one platform's fleet measurement.
+	FleetRow = experiments.FleetRow
+	// SketchConfig switches a study's measurement plane to bounded-memory
+	// sketching.
+	SketchConfig = experiments.SketchConfig
+	// FleetConfig sizes the fleet-scale characterization.
+	FleetConfig = experiments.FleetConfig
+)
+
+// FleetScale runs the fleet-scale characterization. Equal seeds and sizing
+// yield byte-identical MarshalFleet artifacts across sequential, parallel
+// and all execution backends.
+func FleetScale(cfg StudyConfig) (*FleetStudy, error) {
+	return cfg.FleetScale()
+}
+
+// MarshalFleet renders the canonical fleet artifact (execution knobs and
+// measured heap excluded); RenderFleet the human-readable table.
+var (
+	MarshalFleet = experiments.MarshalFleet
+	RenderFleet  = experiments.RenderFleet
 )
 
 // Partition study: each platform's contended workload runs under a nemesis

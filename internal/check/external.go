@@ -30,6 +30,7 @@ func (h *History) CheckExternalConsistency() []Violation {
 	if h == nil {
 		return nil
 	}
+	h.guardExact("CheckExternalConsistency")
 	var stamped []*Op
 	for _, op := range h.ops {
 		if op.HasTS && op.Outcome == OutcomeOK {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
 )
 
 // Outcome classifies how a recorded operation ended.
@@ -153,6 +154,13 @@ type History struct {
 	ops      []*Op
 	initials map[string]uint64
 
+	// Reservoir-sampling mode (NewSampledHistory): limit caps len(ops), seen
+	// counts every invocation, rng drives the replacement draws. limit == 0
+	// is the default exact mode, which records everything.
+	limit int
+	seen  int64
+	rng   *stats.RNG
+
 	structural []Violation
 }
 
@@ -184,7 +192,7 @@ func (h *History) Initial(key string, digest uint64) {
 // returns its handle, to be completed with OK, Fail or Indeterminate.
 func (h *History) Invoke(client, kind, key string, arg uint64) *Op {
 	op := &Op{
-		ID:      len(h.ops),
+		ID:      int(h.seen),
 		Client:  client,
 		Kind:    kind,
 		Key:     key,
@@ -193,7 +201,12 @@ func (h *History) Invoke(client, kind, key string, arg uint64) *Op {
 		Return:  -1,
 		Outcome: OutcomePending,
 	}
-	h.ops = append(h.ops, op)
+	h.seen++
+	if h.limit > 0 {
+		h.admit(op)
+	} else {
+		h.ops = append(h.ops, op)
+	}
 	return op
 }
 

@@ -39,6 +39,7 @@ func (h *History) CheckLinearizability() []Violation {
 	if h == nil {
 		return nil
 	}
+	h.guardExact("CheckLinearizability")
 	var out []Violation
 	for _, key := range h.Keys() {
 		ops := h.keyOps(key)

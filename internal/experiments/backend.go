@@ -157,6 +157,7 @@ var unitRunners = map[string]unitRunner{
 	resilienceUnitKind: runResilienceUnit,
 	overloadUnitKind:   runOverloadUnit,
 	partitionUnitKind:  runPartitionUnit,
+	fleetUnitKind:      runFleetUnit,
 }
 
 // runUnit resolves and executes one serialized work unit in this process.

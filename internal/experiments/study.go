@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hyperprof/internal/obs"
+	"hyperprof/internal/workload"
 )
 
 // PlatformOps is the per-platform operation budget of a study.
@@ -132,11 +133,57 @@ type ObsConfig struct {
 	Interval time.Duration
 	// Window is the histogram window capacity (0 = obs.DefaultConfig).
 	Window int
+	// Sketch switches histograms to bounded-memory quantile sketches with
+	// relative error SketchRelErr (0 = stats.DefaultSketchRelErr).
+	Sketch       bool
+	SketchRelErr float64
 }
 
 // registry builds the obs registry config for this study.
 func (o ObsConfig) registry() obs.Config {
-	return obs.Config{Interval: o.Interval, Window: o.Window}
+	return obs.Config{
+		Interval:     o.Interval,
+		Window:       o.Window,
+		Sketch:       o.Sketch,
+		SketchRelErr: o.SketchRelErr,
+	}
+}
+
+// SketchConfig switches a study's measurement plane from exact recording to
+// bounded-memory sketching. Off by default: exact recording stays the
+// reference, and every pre-existing artifact reproduces byte-for-byte.
+type SketchConfig struct {
+	// Enabled swaps latency summaries for mergeable quantile sketches and
+	// operation histories for reservoir samples.
+	Enabled bool
+	// RelErr is the sketch's relative-error bound on every reported
+	// quantile (0 = stats.DefaultSketchRelErr, 1%).
+	RelErr float64
+	// HistoryCap bounds the reservoir of retained operations per platform
+	// history (0 = 4096). Completeness-sensitive checkers refuse sampled
+	// histories, so fleet runs report op mixes, not linearizability.
+	HistoryCap int
+}
+
+// FleetConfig sizes the fleet-scale characterization: how many simulated
+// server machines the three platforms share, how many logical users the
+// open-loop load is attributed to, and the operation budget over the
+// virtual horizon.
+type FleetConfig struct {
+	// Servers is the total server-machine count, split roughly 50% BigTable
+	// / 25% Spanner / 25% BigQuery (serving-heavy, like the paper's fleet).
+	Servers int
+	// Users is the logical user population. Users are an ID space that
+	// arrivals are attributed to, not materialized state — fleet memory
+	// must not grow with them.
+	Users int
+	// Ops is the total completed-operation budget across platforms.
+	Ops int
+	// Duration is the arrival horizon of virtual time (0 = 2s); per-platform
+	// open-loop rates are derived as ops/duration.
+	Duration time.Duration
+	// Shape optionally modulates arrivals (bursts, diurnal swing).
+	Shape workload.ArrivalShape
 }
 
 // ExecConfig sizes the exec execution backend: how many worker subprocesses
@@ -199,6 +246,11 @@ type StudyConfig struct {
 	// Part sizes the partition study's nemesis (partition windows, gray
 	// links, clock skew and the Spanner uncertainty bound).
 	Part PartitionConfig
+	// Sketch switches measurement to bounded-memory recorders (fleet runs
+	// enable it; everything else defaults to exact).
+	Sketch SketchConfig
+	// Fleet sizes the fleet-scale characterization (Fleet entry point).
+	Fleet FleetConfig
 }
 
 // defaultFaults are the documented fault rates both injecting studies share:

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/stats"
+)
+
+// arrivalTrace drives the open-loop helper with an instantaneous no-op
+// operation and returns the arrival instants, exposing the arrival process
+// itself for shape assertions.
+func arrivalTrace(t *testing.T, seed uint64, rate float64, total int, opts OpenLoopOpts) []time.Duration {
+	t.Helper()
+	env := platform.NewEnv(seed, 1)
+	var arrivals []time.Duration
+	res := openLoop(env, "shape-probe", rate, total, opts,
+		func(rng *stats.RNG) func() func(p *sim.Proc) error {
+			return func() func(p *sim.Proc) error {
+				return func(p *sim.Proc) error {
+					arrivals = append(arrivals, p.Now())
+					return nil
+				}
+			}
+		}, nil)
+	env.K.Run()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != total {
+		t.Fatalf("recorded %d arrivals, want %d", len(arrivals), total)
+	}
+	return arrivals
+}
+
+// dispersion returns the variance-to-mean ratio of per-window arrival
+// counts — 1 for Poisson, > 1 for bursty traffic.
+func dispersion(arrivals []time.Duration, window time.Duration) float64 {
+	last := arrivals[len(arrivals)-1]
+	counts := make([]float64, int(last/window)+1)
+	for _, a := range arrivals {
+		counts[int(a/window)]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	var varsum float64
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	return varsum / float64(len(counts)) / mean
+}
+
+// TestArrivalShapeDeterminism pins the satellite requirement: a shaped run
+// is a pure function of the seed — identical arrival instants on replay,
+// different instants under a different seed.
+func TestArrivalShapeDeterminism(t *testing.T) {
+	opts := OpenLoopOpts{Shape: ArrivalShape{Burst: true, Diurnal: true}}
+	a := arrivalTrace(t, 7, 4000, 2000, opts)
+	b := arrivalTrace(t, 7, 4000, 2000, opts)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := arrivalTrace(t, 8, 4000, 2000, opts)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shaped arrivals")
+	}
+}
+
+// TestArrivalShapeBurstIsBurstier checks the Pareto on–off envelope
+// actually produces over-dispersed (self-similar-style) arrivals while
+// preserving the configured mean rate.
+func TestArrivalShapeBurstIsBurstier(t *testing.T) {
+	const rate, total = 4000.0, 4000
+	plain := arrivalTrace(t, 11, rate, total, OpenLoopOpts{})
+	burst := arrivalTrace(t, 11, rate, total, OpenLoopOpts{Shape: ArrivalShape{Burst: true}})
+
+	window := 20 * time.Millisecond
+	dPlain, dBurst := dispersion(plain, window), dispersion(burst, window)
+	if dBurst < 2*dPlain {
+		t.Fatalf("burst dispersion %.2f not clearly above Poisson dispersion %.2f", dBurst, dPlain)
+	}
+
+	// The OFF-multiplier compensation keeps the long-run rate in the right
+	// ballpark. Convergence of the time-average is slow by construction —
+	// infinite-variance period lengths are what make the aggregate
+	// self-similar — so this is a coarse corridor, not an equality: the
+	// makespan must stay within ~3x of the unshaped run (the envelope peaks
+	// at 4x, so an uncompensated envelope would approach that bound over a
+	// run that starts ON).
+	mPlain, mBurst := plain[len(plain)-1], burst[len(burst)-1]
+	if mBurst > 3*mPlain || mBurst < mPlain/3 {
+		t.Fatalf("burst makespan %v vs plain %v: mean rate not even coarsely preserved", mBurst, mPlain)
+	}
+}
+
+// TestArrivalShapeDiurnalFollowsEnvelope checks the sinusoidal envelope:
+// with a full period spanning the run, the rising half-period must receive
+// more arrivals than the falling one.
+func TestArrivalShapeDiurnalFollowsEnvelope(t *testing.T) {
+	shape := ArrivalShape{Diurnal: true, DiurnalAmp: 0.9, DiurnalPeriod: time.Second}
+	arrivals := arrivalTrace(t, 13, 4000, 3000, OpenLoopOpts{Shape: shape})
+	var high, low int
+	for _, a := range arrivals {
+		phase := a % time.Second
+		if phase < 500*time.Millisecond {
+			high++ // sin positive: above-mean rate
+		} else {
+			low++ // sin negative: below-mean rate
+		}
+	}
+	if high <= low*2 {
+		t.Fatalf("arrivals high-half=%d low-half=%d: diurnal envelope not expressed", high, low)
+	}
+}
+
+// TestOpenLoopSketchRecorder checks the Recorder override: a sketch-backed
+// open-loop run records every latency into the sketch instead of an exact
+// summary.
+func TestOpenLoopSketchRecorder(t *testing.T) {
+	env := platform.NewEnv(17, 1)
+	sk := stats.NewSketch(0.01)
+	res := openLoop(env, "sketch-probe", 2000, 500, OpenLoopOpts{Latencies: sk},
+		func(rng *stats.RNG) func() func(p *sim.Proc) error {
+			return func() func(p *sim.Proc) error {
+				d := time.Duration(1+rng.Intn(1000)) * time.Microsecond
+				return func(p *sim.Proc) error {
+					p.Sleep(d)
+					return nil
+				}
+			}
+		}, nil)
+	env.K.Run()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sk.N() != 500 {
+		t.Fatalf("sketch recorded %d latencies, want 500", sk.N())
+	}
+	if res.Latencies != stats.Recorder(sk) {
+		t.Fatal("result does not expose the caller's recorder")
+	}
+	if p50 := sk.Quantile(0.5); p50 <= 0 || p50 > 0.0012 {
+		t.Fatalf("sketch p50 %.6fs outside the sleep range", p50)
+	}
+}

@@ -202,8 +202,10 @@ func BigQuery(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, clients, t
 // OpenLoopResult extends Run with latency observations.
 type OpenLoopResult struct {
 	*Run
-	// Latencies collects per-operation end-to-end latencies (seconds).
-	Latencies *stats.Summary
+	// Latencies collects per-operation end-to-end latencies (seconds): an
+	// exact stats.Summary by default, or whatever Recorder the caller passed
+	// via OpenLoopOpts (fleet-scale studies use a bounded-memory sketch).
+	Latencies stats.Recorder
 }
 
 // openLoop is the shared Poisson arrival helper behind the per-platform
@@ -216,11 +218,20 @@ type OpenLoopResult struct {
 // parameter draws interleave with gap draws in arrival order, keeping the
 // schedule a pure function of the seed) and returns the operation to run in
 // its own process. shutdown runs after the last operation completes.
-func openLoop(env *platform.Env, name string, ratePerSec float64, total int,
+//
+// With opts.Shape enabled the arrival instants come from thinning an
+// envelope Poisson process at the shape's peak rate (see ArrivalShape);
+// with the zero shape the draw sequence is exactly one Exp gap per arrival,
+// unchanged from the legacy driver.
+func openLoop(env *platform.Env, name string, ratePerSec float64, total int, opts OpenLoopOpts,
 	setup func(rng *stats.RNG) func() func(p *sim.Proc) error, shutdown func()) *OpenLoopResult {
+	lat := opts.Latencies
+	if lat == nil {
+		lat = &stats.Summary{}
+	}
 	res := &OpenLoopResult{
 		Run:       &Run{Done: sim.NewSignal(env.K)},
-		Latencies: &stats.Summary{},
+		Latencies: lat,
 	}
 	if ratePerSec <= 0 || total <= 0 {
 		res.Run.fail(name, fmt.Errorf("invalid rate %v or total %d", ratePerSec, total))
@@ -232,20 +243,47 @@ func openLoop(env *platform.Env, name string, ratePerSec float64, total int,
 	bar := sim.NewBarrier(env.K, total)
 	meanGap := float64(time.Second) / ratePerSec
 
+	launch := func(p *sim.Proc) {
+		op := prepare()
+		env.K.Go(name+"-op", func(op2 *sim.Proc) {
+			defer bar.Done()
+			start := op2.Now()
+			err := op(op2)
+			res.Completed++
+			if err != nil {
+				res.fail(name, err)
+			}
+			res.Latencies.Add((op2.Now() - start).Seconds())
+		})
+	}
 	env.K.Go(name+"-arrivals", func(p *sim.Proc) {
-		for i := 0; i < total; i++ {
-			p.Sleep(time.Duration(rng.Exp(meanGap)))
-			op := prepare()
-			env.K.Go(name+"-op", func(op2 *sim.Proc) {
-				defer bar.Done()
-				start := op2.Now()
-				err := op(op2)
-				res.Completed++
-				if err != nil {
-					res.fail(name, err)
-				}
-				res.Latencies.Add((op2.Now() - start).Seconds())
-			})
+		if !opts.Shape.enabled() {
+			for i := 0; i < total; i++ {
+				p.Sleep(time.Duration(rng.Exp(meanGap)))
+				launch(p)
+			}
+			return
+		}
+		sh := opts.Shape.withDefaults()
+		maxMult := sh.maxMult()
+		candGap := meanGap / maxMult
+		var burst *burstEnv
+		if sh.Burst {
+			burst = newBurstEnv(rng, sh)
+		}
+		for accepted := 0; accepted < total; {
+			p.Sleep(time.Duration(rng.Exp(candGap)))
+			m := 1.0
+			if burst != nil {
+				m *= burst.mult(p.Now())
+			}
+			if sh.Diurnal {
+				m *= sh.diurnalMult(p.Now())
+			}
+			if rng.Float64()*maxMult < m {
+				accepted++
+				launch(p)
+			}
 		}
 	})
 	env.K.Go(name+"-shutdown", func(p *sim.Proc) {
@@ -261,7 +299,13 @@ func openLoop(env *platform.Env, name string, ratePerSec float64, total int,
 // SpannerOpenLoop schedules an open-loop Spanner workload (Poisson arrivals
 // at ratePerSec).
 func SpannerOpenLoop(env *platform.Env, db *spanner.DB, mix SpannerMix, ratePerSec float64, total int) *OpenLoopResult {
-	return openLoop(env, "spanner-openloop", ratePerSec, total,
+	return SpannerOpenLoopWithOpts(env, db, mix, ratePerSec, total, OpenLoopOpts{})
+}
+
+// SpannerOpenLoopWithOpts is SpannerOpenLoop with arrival shaping and
+// recorder selection.
+func SpannerOpenLoopWithOpts(env *platform.Env, db *spanner.DB, mix SpannerMix, ratePerSec float64, total int, opts OpenLoopOpts) *OpenLoopResult {
+	return openLoop(env, "spanner-openloop", ratePerSec, total, opts,
 		func(rng *stats.RNG) func() func(p *sim.Proc) error {
 			picker := stats.NewWeighted(rng, []float64{mix.Reads, mix.Writes, mix.Queries})
 			val := []byte("spanner-openloop-value-0123456789abcdef")
@@ -292,7 +336,13 @@ func SpannerOpenLoop(env *platform.Env, db *spanner.DB, mix SpannerMix, ratePerS
 // BigTableOpenLoop schedules an open-loop BigTable workload (Poisson
 // arrivals at ratePerSec).
 func BigTableOpenLoop(env *platform.Env, db *bigtable.DB, mix BigTableMix, ratePerSec float64, total int) *OpenLoopResult {
-	return openLoop(env, "bigtable-openloop", ratePerSec, total,
+	return BigTableOpenLoopWithOpts(env, db, mix, ratePerSec, total, OpenLoopOpts{})
+}
+
+// BigTableOpenLoopWithOpts is BigTableOpenLoop with arrival shaping and
+// recorder selection.
+func BigTableOpenLoopWithOpts(env *platform.Env, db *bigtable.DB, mix BigTableMix, ratePerSec float64, total int, opts OpenLoopOpts) *OpenLoopResult {
+	return openLoop(env, "bigtable-openloop", ratePerSec, total, opts,
 		func(rng *stats.RNG) func() func(p *sim.Proc) error {
 			picker := stats.NewWeighted(rng, []float64{mix.Gets, mix.Puts, mix.Scans})
 			val := []byte("bigtable-openloop-value-0123456789abcdef")
@@ -323,7 +373,13 @@ func BigTableOpenLoop(env *platform.Env, db *bigtable.DB, mix BigTableMix, rateP
 // arrivals at ratePerSec), completing the open-loop driver set across all
 // three platforms.
 func BigQueryOpenLoop(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, ratePerSec float64, total int) *OpenLoopResult {
-	return openLoop(env, "bigquery-openloop", ratePerSec, total,
+	return BigQueryOpenLoopWithOpts(env, e, mix, ratePerSec, total, OpenLoopOpts{})
+}
+
+// BigQueryOpenLoopWithOpts is BigQueryOpenLoop with arrival shaping and
+// recorder selection.
+func BigQueryOpenLoopWithOpts(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, ratePerSec float64, total int, opts OpenLoopOpts) *OpenLoopResult {
+	return openLoop(env, "bigquery-openloop", ratePerSec, total, opts,
 		func(rng *stats.RNG) func() func(p *sim.Proc) error {
 			picker := stats.NewWeighted(rng, []float64{mix.ScanAgg, mix.Join, mix.Report})
 			return func() func(p *sim.Proc) error {

@@ -4,9 +4,13 @@
 # Usage: bench_diff.sh [--fail] BASELINE.json FRESH.json
 #
 # Compares a fresh scripts/bench.sh run against the committed baseline and
-# flags any benchmark whose ns/op grew more than 10% or whose allocs/op grew
-# at all. allocs/op is deterministic, so any growth there is a real
-# regression; ns/op carries runner noise, hence the 10% band.
+# flags any benchmark whose ns/op grew more than $BENCH_NS_BAND percent
+# (default 25) or whose allocs/op grew at all. allocs/op is deterministic, so
+# any growth there is a real regression; ns/op carries runner noise — even
+# with bench.sh's min-of-N sampling, shared-runner frequency drift moves the
+# floor by up to ~20% between runs, hence the generous default band. Real
+# structural regressions (an extra allocation, a heap fallback on the timer
+# hot path) show up either in allocs/op or far above 25%.
 #
 # Without --fail this is a soft gate: warnings print but the exit status is
 # always 0, leaving a loud per-commit trail instead of a red build. With
@@ -23,6 +27,8 @@ if [ "${1:-}" = "--fail" ]; then
 	shift
 fi
 
+band="${BENCH_NS_BAND:-25}"
+
 base="${1:?usage: bench_diff.sh [--fail] baseline.json fresh.json}"
 fresh="${2:?usage: bench_diff.sh [--fail] baseline.json fresh.json}"
 
@@ -31,7 +37,7 @@ if [ ! -f "$base" ]; then
 	exit "$fail"
 fi
 
-awk -v basefile="$base" -v fail="$fail" '
+awk -v basefile="$base" -v fail="$fail" -v band="$band" '
 # Each benchmark row in the bench.sh JSON sits on one line:
 #   {"name": "BenchmarkX", "ns_per_op": 123.4, "bytes_per_op": 0, "allocs_per_op": 0}
 # Environment metadata lines ("go", "gomaxprocs", "commit", ...) carry no
@@ -55,11 +61,11 @@ awk -v basefile="$base" -v fail="$fail" '
 		warns++
 		printf "WARN  %-28s allocs/op grew: %d -> %d\n", name, bal[name], al
 	}
-	if (ns + 0 > bns[name] * 1.10) {
+	if (ns + 0 > bns[name] * (1 + band / 100)) {
 		status = "WARN"
 		warns++
-		printf "WARN  %-28s ns/op grew >10%%: %.1f -> %.1f (%+.0f%%)\n",
-			name, bns[name], ns, (ns / bns[name] - 1) * 100
+		printf "WARN  %-28s ns/op grew >%d%%: %.1f -> %.1f (%+.0f%%)\n",
+			name, band, bns[name], ns, (ns / bns[name] - 1) * 100
 	}
 	if (status == "ok")
 		printf "ok    %-28s %10.1f ns/op (baseline %.1f, %+.0f%%) %d allocs/op\n",
