@@ -12,6 +12,10 @@ BACKEND_SEEDS ?= 8
 # naive and hardened arms of the partition study.
 PARTITION_SEEDS ?= 8
 
+# check-pipeline tortures this many fault-injected seeds through the
+# cross-platform pipeline study's faulted arms.
+PIPELINE_SEEDS ?= 4
+
 # check-fleet runs the fleet-scale characterization at this reduced size (the
 # full 2000-server/1M-user run lives in the test suite) and fails if the
 # coordinator's live heap after the run exceeds the ceiling.
@@ -20,7 +24,7 @@ FLEET_USERS ?= 200000
 FLEET_OPS ?= 8000
 FLEET_HEAP_MB ?= 128
 
-.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends check-partitions check-fleet bench bench-gate bench-baseline
+.PHONY: check build vet fmt test race check-safety check-obs check-overload check-backends check-partitions check-fleet check-pipeline bench bench-gate bench-baseline
 
 check: build vet fmt race
 
@@ -98,6 +102,20 @@ check-fleet:
 	$(GO) test ./internal/experiments/ -run 'TestFleetScaleDeterministic|TestFleetScaleBackends|TestFleetSketchHeapFlat|TestFleetScaleExactMode'
 	$(GO) run ./cmd/hyperprof -fleet -fleet-servers $(FLEET_SERVERS) -fleet-users $(FLEET_USERS) \
 		-fleet-ops $(FLEET_OPS) -fleet-heap-mb $(FLEET_HEAP_MB)
+
+# check-pipeline proves the cross-platform pipeline: the byte-for-byte
+# cross-backend and sequential-vs-parallel pipeline study determinism tests,
+# the end-to-end span and stage-crash exactly-once regressions with the
+# broken-handoff fixture convicted, the handoff ledger's 0-alloc hot-path
+# pin, and an end-to-end -study=pipeline -check run (nonzero exit on any
+# honest-arm violation or an unconvicted broken arm) emitting the Chrome
+# export whose spans cross all three platform processes.
+check-pipeline:
+	$(GO) test -short ./internal/experiments/ -run 'TestPipeline'
+	$(GO) test ./internal/workload/ -run TestClosedLoopShapeDeterministicAndDistinct \
+		-bench BenchmarkPipelineHandoff -benchtime 100000x -benchmem
+	$(GO) run ./cmd/hyperprof -study=pipeline -check -check-seeds $(PIPELINE_SEEDS) \
+		-chrome-trace pipeline-trace.json
 
 # bench runs the DES-kernel substrate microbenchmarks into BENCH_1.json and
 # diffs the result against the committed BENCH_0.json baseline — a soft gate

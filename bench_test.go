@@ -34,11 +34,9 @@ var (
 func benchFixture(b *testing.B) *experiments.Characterization {
 	b.Helper()
 	benchOnce.Do(func() {
-		cfg := experiments.DefaultCharConfig()
-		cfg.SpannerQueries = 800
-		cfg.BigTableQueries = 800
-		cfg.BigQueryQueries = 120
-		benchCh, benchErr = experiments.RunCharacterization(cfg)
+		cfg := experiments.DefaultCharStudyConfig()
+		cfg.Ops = experiments.PlatformOps{Spanner: 800, BigTable: 800, BigQuery: 120}
+		benchCh, benchErr = cfg.Characterize()
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -49,13 +47,11 @@ func benchFixture(b *testing.B) *experiments.Characterization {
 // BenchmarkCharacterization measures a full three-platform profiling run
 // (the substrate under every characterization artifact).
 func BenchmarkCharacterization(b *testing.B) {
-	cfg := experiments.DefaultCharConfig()
-	cfg.SpannerQueries = 300
-	cfg.BigTableQueries = 300
-	cfg.BigQueryQueries = 40
+	cfg := experiments.DefaultCharStudyConfig()
+	cfg.Ops = experiments.PlatformOps{Spanner: 300, BigTable: 300, BigQuery: 40}
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
-		if _, err := experiments.RunCharacterization(cfg); err != nil {
+		if _, err := cfg.Characterize(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -676,13 +672,33 @@ func BenchmarkExtensionLatencyStudy(b *testing.B) {
 	var pts []experiments.LatencyPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.LatencyStudy(1, []float64{1000, 30000, 80000}, 300)
+		pts, err = experiments.StudyConfig{Seed: 1}.Latency([]float64{1000, 30000, 80000}, 300)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(pts[0].P99Seconds*1e3, "p99-ms-light")
 	b.ReportMetric(pts[len(pts)-1].P99Seconds*1e3, "p99-ms-heavy")
+}
+
+// BenchmarkPipelineStudy regenerates the cross-platform pipeline study
+// (BigTable ingest → BigQuery analytics → Spanner serving in one
+// simulation) at a reduced size and reports the baseline arm's end-to-end
+// latency as a custom metric.
+func BenchmarkPipelineStudy(b *testing.B) {
+	cfg := experiments.DefaultPipelineStudyConfig()
+	cfg.Pipe = experiments.PipelineConfig{Records: 24, Batches: 3, Iterations: 2}
+	cfg.Check.Seeds = 1
+	var s *experiments.Pipeline
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = cfg.Pipeline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Row("baseline").EndToEndP50.Microseconds()), "e2e-p50-us")
+	b.ReportMetric(float64(s.Row("faulted").Replays), "replays")
 }
 
 // BenchmarkExtensionAcceleratorPriority regenerates the priority ranking.

@@ -1,13 +1,26 @@
 // Command hyperprof runs the paper's studies over the simulated Spanner,
-// BigTable and BigQuery platforms. The default mode is the characterization
-// study — the equivalents of Table 1, Figures 2–6 and Tables 6–7 — and the
-// mode flags select the others: -faults (resilience), -check (safety
-// torture), -partition (partition nemesis) and -obs (observability). All
-// modes share one flag group that overlays the unified StudyConfig.
+// BigTable and BigQuery platforms. One selector picks the study:
+//
+//	-study=char        characterization (default) — Table 1, Figures 2–6, Tables 6–7
+//	-study=safety      safety torture: checked histories under injected faults
+//	-study=resilience  workloads under injected faults vs fault-free baselines
+//	-study=obs         observability plane: sim-clock metrics + profiling
+//	-study=overload    naive vs protected arms through a retry-storm trigger
+//	-study=partition   partition nemesis: split-brain/gray-link/clock-skew
+//	-study=fleet       fleet-scale characterization with bounded-memory sketches
+//	-study=pipeline    cross-platform pipeline: BigTable ingest → BigQuery
+//	                   analytics → Spanner serving in ONE simulation, with
+//	                   end-to-end spans and exactly-once handoff checking
+//
+// The legacy mode booleans (-faults, -check, -overload, -partition, -fleet,
+// standalone -obs) still work as aliases but print a deprecation note;
+// -pipeline is shorthand for -study=pipeline. All studies share one flag
+// group that overlays the unified StudyConfig, plus small per-study groups
+// (-fleet-*, -records/-batches/-iterations).
 //
 // Usage:
 //
-//	hyperprof [-faults|-overload|-check|-partition|-obs] [-seed N] [-spanner N] [-bigtable N]
+//	hyperprof [-study=<name>] [-seed N] [-spanner N] [-bigtable N]
 //	          [-bigquery N] [-clients N] [-rate N] [-parallel N]
 //	          [-backend pool|exec] [-workers N] [-unit-timeout D] [...]
 //
@@ -44,6 +57,8 @@ type studyFlags struct {
 	obs                         *bool
 	obsInterval                 *time.Duration
 	obsOut                      *string
+	burst                       *bool
+	diurnal                     *bool
 	backend                     *string
 	workers                     *int
 	unitTimeout                 *time.Duration
@@ -63,6 +78,8 @@ func registerStudyFlags() *studyFlags {
 		obs:         flag.Bool("obs", false, "enable the observability plane (sim-clock metrics + continuous profiling); standalone it selects the observability study, with -faults it instruments the faulted arms"),
 		obsInterval: flag.Duration("obs-interval", 0, "virtual-time metrics sampling period (0 = study default)"),
 		obsOut:      flag.String("obs-out", "obs-series.json", "with -obs: write the metric time series as JSON to this file"),
+		burst:       flag.Bool("burst", false, "shape arrivals/think times with self-similar Pareto on-off bursts (overload and resilience studies)"),
+		diurnal:     flag.Bool("diurnal", false, "shape arrivals/think times with a sinusoidal diurnal envelope (overload and resilience studies)"),
 		backend:     flag.String("backend", "", `execution backend: "" (in-process), "pool" (in-process via the serialized unit registry) or "exec" (hyperprof -worker subprocesses); outputs are identical across backends`),
 		workers:     flag.Int("workers", 0, "with -backend=exec: worker subprocesses (0 = match -parallel)"),
 		unitTimeout: flag.Duration("unit-timeout", 0, "with -backend=exec: kill a worker whose unit exceeds this wall-clock duration (0 = none)"),
@@ -98,6 +115,8 @@ func (f *studyFlags) apply(cfg hyperprof.StudyConfig) hyperprof.StudyConfig {
 	if *f.obsInterval > 0 {
 		cfg.Obs.Interval = *f.obsInterval
 	}
+	cfg.Shape.Burst = *f.burst
+	cfg.Shape.Diurnal = *f.diurnal
 	cfg.Backend = *f.backend
 	cfg.Exec.Workers = *f.workers
 	cfg.Exec.UnitTimeout = *f.unitTimeout
@@ -108,15 +127,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperprof: ")
 	sf := registerStudyFlags()
+	studySel := flag.String("study", "", "study to run: char, safety, resilience, obs, overload, partition, fleet or pipeline (empty = char, or whichever legacy mode flag is set)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text tables")
 	chromeOut := flag.String("chrome-trace", "", "also write sampled traces to this file in Chrome trace-event format (view in Perfetto)")
 	topN := flag.Int("top", 0, "also print the N hottest leaf functions per platform")
 	pprofPrefix := flag.String("pprof", "", "also write per-platform profiles as <prefix>-<platform>.pb.gz (inspect with go tool pprof)")
-	faultsRun := flag.Bool("faults", false, "run the resilience study instead: workloads under injected faults vs fault-free baselines")
-	overloadRun := flag.Bool("overload", false, "run the overload study instead: naive vs protected arms of a multi-tenant open-loop workload through a retry-storm trigger")
-	checkRun := flag.Bool("check", false, "run the safety torture study instead: checked histories under injected faults across a seed sweep (nonzero exit on any violation)")
-	partitionRun := flag.Bool("partition", false, "run the partition nemesis study instead: naive vs partition-hardened arms under split-brain/gray-link/clock-skew faults; combined with -check, broken-knob arms demonstrate the checkers convicting disabled safety mechanisms")
-	fleetRun := flag.Bool("fleet", false, "run the fleet-scale characterization instead: thousands of servers, millions of logical users, bounded-memory (sketch) measurement")
+	faultsRun := flag.Bool("faults", false, "deprecated alias for -study=resilience")
+	overloadRun := flag.Bool("overload", false, "deprecated alias for -study=overload")
+	checkRun := flag.Bool("check", false, "deprecated alias for -study=safety when standalone; with -study=partition or -study=pipeline it includes the broken-knob demonstration arms the checkers must convict")
+	partitionRun := flag.Bool("partition", false, "deprecated alias for -study=partition")
+	fleetRun := flag.Bool("fleet", false, "deprecated alias for -study=fleet")
+	pipelineRun := flag.Bool("pipeline", false, "shorthand for -study=pipeline: BigTable ingest -> BigQuery analytics -> Spanner serving in one simulation, with end-to-end spans and exactly-once handoff checking")
+	pipeRecords := flag.Int("records", 0, "with -study=pipeline: logical records flowing end to end (0 = study default)")
+	pipeBatches := flag.Int("batches", 0, "with -study=pipeline: ingest batches the records arrive in (0 = study default)")
+	pipeIters := flag.Int("iterations", 0, "with -study=pipeline: PageRank-style analytics iterations (0 = study default)")
 	fleetServers := flag.Int("fleet-servers", 0, "with -fleet: total server machines across platforms (0 = study default, 2000)")
 	fleetUsers := flag.Int("fleet-users", 0, "with -fleet: logical user population (0 = study default, 1000000)")
 	fleetOps := flag.Int("fleet-ops", 0, "with -fleet: total completed-operation budget (0 = study default)")
@@ -161,8 +185,18 @@ func main() {
 		}()
 	}
 
-	switch {
-	case *fleetRun:
+	study := resolveStudy(*studySel, modeFlags{
+		pipeline:  *pipelineRun,
+		fleet:     *fleetRun,
+		partition: *partitionRun,
+		check:     *checkRun,
+		faults:    *faultsRun,
+		overload:  *overloadRun,
+		obs:       *sf.obs,
+	})
+
+	switch study {
+	case "fleet":
 		cfg := sf.apply(hyperprof.DefaultFleetStudyConfig())
 		if *fleetServers > 0 {
 			cfg.Fleet.Servers = *fleetServers
@@ -177,21 +211,76 @@ func main() {
 			cfg.Sketch.RelErr = *sketchErr
 		}
 		runFleet(cfg, *jsonOut, *fleetHeapMB)
-	case *partitionRun:
+	case "partition":
 		cfg := sf.apply(hyperprof.DefaultPartitionStudyConfig())
 		cfg.Part.IncludeBroken = *checkRun
 		runPartition(cfg, *jsonOut, *chromeOut)
-	case *checkRun:
+	case "pipeline":
+		cfg := sf.apply(hyperprof.DefaultPipelineStudyConfig())
+		if *pipeRecords > 0 {
+			cfg.Pipe.Records = *pipeRecords
+		}
+		if *pipeBatches > 0 {
+			cfg.Pipe.Batches = *pipeBatches
+		}
+		if *pipeIters > 0 {
+			cfg.Pipe.Iterations = *pipeIters
+		}
+		cfg.Pipe.IncludeBroken = *checkRun
+		runPipeline(cfg, *jsonOut, *chromeOut)
+	case "safety":
 		runSafety(sf.apply(hyperprof.DefaultSafetyStudyConfig()), *chromeOut)
-	case *faultsRun:
+	case "resilience":
 		runResilience(sf.apply(hyperprof.DefaultResilienceStudyConfig()), *chromeOut, *sf.obsOut)
-	case *overloadRun:
+	case "overload":
 		runOverload(sf.apply(hyperprof.DefaultOverloadStudyConfig()), *jsonOut, *sf.obsOut)
-	case *sf.obs:
+	case "obs":
 		runObserve(sf.apply(hyperprof.DefaultObsStudyConfig()), *chromeOut, *sf.obsOut)
 	default:
 		runCharacterize(sf.apply(hyperprof.DefaultCharStudyConfig()), *jsonOut, *chromeOut, *topN, *pprofPrefix)
 	}
+}
+
+// modeFlags carries the legacy mode booleans, kept as aliases for the
+// -study selector.
+type modeFlags struct {
+	pipeline, fleet, partition, check, faults, overload, obs bool
+}
+
+// resolveStudy maps the -study selector (or, when it is empty, the legacy
+// mode booleans in their historical precedence order) to a canonical study
+// name. Legacy flags used as selectors print a deprecation note on stderr;
+// used as modifiers beside an explicit -study they stay silent (-check adds
+// broken arms to partition/pipeline, -obs instruments any study).
+func resolveStudy(sel string, m modeFlags) string {
+	if sel != "" {
+		switch sel {
+		case "char", "safety", "resilience", "obs", "overload", "partition", "fleet", "pipeline":
+			return sel
+		}
+		log.Fatalf("unknown -study=%s (valid: char, safety, resilience, obs, overload, partition, fleet, pipeline)", sel)
+	}
+	deprecated := func(old, name string) string {
+		fmt.Fprintf(os.Stderr, "hyperprof: note: %s is deprecated; use -study=%s\n", old, name)
+		return name
+	}
+	switch {
+	case m.pipeline:
+		return "pipeline"
+	case m.fleet:
+		return deprecated("-fleet", "fleet")
+	case m.partition:
+		return deprecated("-partition", "partition")
+	case m.check:
+		return deprecated("standalone -check", "safety")
+	case m.faults:
+		return deprecated("-faults", "resilience")
+	case m.overload:
+		return deprecated("-overload", "overload")
+	case m.obs:
+		return deprecated("standalone -obs", "obs")
+	}
+	return "char"
 }
 
 // runCharacterize executes the characterization study and prints every §3–§5
@@ -393,6 +482,49 @@ func runPartition(cfg hyperprof.StudyConfig, jsonOut bool, chromeOut string) {
 	}
 	if !s.Ok() {
 		os.Exit(1)
+	}
+}
+
+// runPipeline executes the cross-platform pipeline study — BigTable ingest →
+// BigQuery analytics → Spanner serving inside ONE simulation — and prints
+// the per-arm comparison with per-stage §4.1 breakdowns (or the
+// machine-readable export with -json). With -chrome-trace, the end-to-end
+// spans are exported: every logical record's trace crosses all three
+// platform process rows in a single document, with applied faults as
+// instant marks. Any violation in an honest arm exits nonzero; with -check,
+// the broken-handoff demonstration arm must be convicted by the
+// exactly-once checker or the process also exits nonzero.
+func runPipeline(cfg hyperprof.StudyConfig, jsonOut bool, chromeOut string) {
+	s, err := hyperprof.Pipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		data, err := s.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(hyperprof.RenderPipeline(s))
+	}
+	if chromeOut != "" {
+		data, err := s.Chrome()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nWrote %d bytes of Chrome trace events (%d end-to-end traces spanning three platform processes, %d marks) to %s (open in Perfetto)\n",
+			len(data), len(s.Traces), len(s.Marks), chromeOut)
+	}
+	if !s.Ok() {
+		os.Exit(1)
+	}
+	if cfg.Pipe.IncludeBroken && len(s.BrokenViolations) == 0 {
+		log.Fatal("pipeline: the broken-handoff arm produced no violations — the exactly-once checker failed to convict")
 	}
 }
 

@@ -18,17 +18,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("limits: ")
-	cfg := hyperprof.DefaultCharacterizationConfig()
+	cfg := hyperprof.DefaultCharStudyConfig()
 	seed := flag.Uint64("seed", cfg.Seed, "deterministic run seed")
-	spannerQ := flag.Int("spanner", cfg.SpannerQueries, "Spanner operation count")
-	bigtableQ := flag.Int("bigtable", cfg.BigTableQueries, "BigTable operation count")
-	bigqueryQ := flag.Int("bigquery", cfg.BigQueryQueries, "BigQuery query count")
+	spannerQ := flag.Int("spanner", cfg.Ops.Spanner, "Spanner operation count")
+	bigtableQ := flag.Int("bigtable", cfg.Ops.BigTable, "BigTable operation count")
+	bigqueryQ := flag.Int("bigquery", cfg.Ops.BigQuery, "BigQuery query count")
 	extended := flag.Bool("extended", false, "also run the beyond-the-paper studies (partial sync, mixed placement, accelerator priority)")
 	flag.Parse()
 	cfg.Seed = *seed
-	cfg.SpannerQueries = *spannerQ
-	cfg.BigTableQueries = *bigtableQ
-	cfg.BigQueryQueries = *bigqueryQ
+	cfg.Ops.Spanner = *spannerQ
+	cfg.Ops.BigTable = *bigtableQ
+	cfg.Ops.BigQuery = *bigqueryQ
 
 	ch, err := hyperprof.Characterize(cfg)
 	if err != nil {

@@ -16,10 +16,10 @@ import (
 )
 
 func main() {
-	cfg := hyperprof.DefaultCharacterizationConfig()
-	cfg.SpannerQueries = 50 // minimal; this example focuses on BigQuery
-	cfg.BigTableQueries = 50
-	cfg.BigQueryQueries = 200
+	cfg := hyperprof.DefaultCharStudyConfig()
+	cfg.Ops.Spanner = 50 // minimal; this example focuses on BigQuery
+	cfg.Ops.BigTable = 50
+	cfg.Ops.BigQuery = 200
 	ch, err := hyperprof.Characterize(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -17,10 +17,10 @@ import (
 )
 
 func main() {
-	cfg := hyperprof.DefaultCharacterizationConfig()
-	cfg.SpannerQueries = 1200
-	cfg.BigTableQueries = 50 // minimal; this example focuses on Spanner
-	cfg.BigQueryQueries = 20
+	cfg := hyperprof.DefaultCharStudyConfig()
+	cfg.Ops.Spanner = 1200
+	cfg.Ops.BigTable = 50 // minimal; this example focuses on Spanner
+	cfg.Ops.BigQuery = 20
 	ch, err := hyperprof.Characterize(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -18,10 +18,10 @@ import (
 )
 
 func main() {
-	cfg := hyperprof.DefaultCharacterizationConfig()
-	cfg.SpannerQueries = 1000
-	cfg.BigTableQueries = 50
-	cfg.BigQueryQueries = 60
+	cfg := hyperprof.DefaultCharStudyConfig()
+	cfg.Ops.Spanner = 1000
+	cfg.Ops.BigTable = 50
+	cfg.Ops.BigQuery = 60
 	ch, err := hyperprof.Characterize(cfg)
 	if err != nil {
 		log.Fatal(err)

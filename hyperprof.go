@@ -26,14 +26,15 @@ import (
 	"hyperprof/internal/soc"
 	"hyperprof/internal/taxonomy"
 	"hyperprof/internal/trace"
+	"hyperprof/internal/workload"
 )
 
 // Unified Study API. StudyConfig is the shared core every study runs from:
 // construct one with a Default*StudyConfig helper, adjust the grouped knobs
-// (Ops, Faults, Check, Obs), and call the study's method entry point —
-// Characterize, Safety, Resilience or Observe. The per-study config types
-// below (CharacterizationConfig, SafetyConfig, ResilienceConfig) are
-// deprecated views that convert via their Study() method.
+// (Ops, Faults, Check, Obs, Load, Part, Pipe, Shape), and call the study's
+// method entry point — Characterize, Safety, Resilience, Observe, Overload,
+// Partition, FleetScale or Pipeline. It is the only way in: the legacy
+// per-study config types and Run* wrappers have been deleted.
 type (
 	// StudyConfig is the unified study configuration.
 	StudyConfig = experiments.StudyConfig
@@ -53,6 +54,10 @@ type (
 	LoadConfig = experiments.LoadConfig
 	// ExecConfig sizes the exec backend's worker process pool.
 	ExecConfig = experiments.ExecConfig
+	// PipelineConfig sizes the cross-platform pipeline study.
+	PipelineConfig = experiments.PipelineConfig
+	// ArrivalShape modulates open-loop arrivals (bursts, diurnal swing).
+	ArrivalShape = workload.ArrivalShape
 )
 
 // Execution backends. StudyConfig.Backend selects where a study's
@@ -90,7 +95,31 @@ var (
 	// DefaultFleetStudyConfig sizes the fleet-scale characterization:
 	// 2000 servers, one million logical users, sketch-mode recording.
 	DefaultFleetStudyConfig = experiments.DefaultFleetStudyConfig
+	// DefaultPipelineStudyConfig sizes the cross-platform pipeline study.
+	DefaultPipelineStudyConfig = experiments.DefaultPipelineStudyConfig
 )
+
+// Pipeline study: one simulation chains BigTable ingest into a BigQuery
+// iterative PageRank over the shuffle plane into Spanner serving, with every
+// logical record carrying one trace ID across the stage boundaries and an
+// exactly-once handoff invariant checked at the BigQuery→Spanner boundary.
+type (
+	// PipelineStudy is the full pipeline study result.
+	PipelineStudy = experiments.Pipeline
+	// PipelineRow is one (arm, seed) pipeline measurement.
+	PipelineRow = experiments.PipelineRow
+)
+
+// Pipeline runs the cross-platform pipeline study. Equal configs replay
+// bit-identically; the JSON and Chrome exports are byte-identical between
+// sequential and parallel runs and across execution backends.
+func Pipeline(cfg StudyConfig) (*PipelineStudy, error) {
+	return cfg.Pipeline()
+}
+
+// RenderPipeline renders the pipeline study as a fixed-width table with the
+// per-stage §4.1 breakdown and the handoff verdict.
+var RenderPipeline = experiments.RenderPipeline
 
 // Fleet-scale characterization: the three platforms sized to thousands of
 // server machines under an open-loop load attributed to millions of logical
@@ -255,19 +284,10 @@ func Invocations() []Invocation { return model.Invocations() }
 // Characterization is a completed profiling run over the three platforms.
 type Characterization = experiments.Characterization
 
-// CharacterizationConfig sizes a characterization run.
-type CharacterizationConfig = experiments.CharConfig
-
-// DefaultCharacterizationConfig returns a configuration that completes in a
-// few seconds with stable aggregates.
-func DefaultCharacterizationConfig() CharacterizationConfig {
-	return experiments.DefaultCharConfig()
-}
-
 // Characterize runs the full characterization (the paper's "representative
 // day" of traces and profiles).
-func Characterize(cfg CharacterizationConfig) (*Characterization, error) {
-	return experiments.RunCharacterization(cfg)
+func Characterize(cfg StudyConfig) (*Characterization, error) {
+	return cfg.Characterize()
 }
 
 // Characterization artifacts (§3–§5).
@@ -347,9 +367,6 @@ var (
 	// ChainScaling evaluates the invocation models as the accelerator
 	// chain grows.
 	ChainScaling = experiments.ChainScaling
-	// LatencyStudy measures p50/p99 latency versus offered load on the
-	// Spanner simulation (open-loop Poisson arrivals).
-	LatencyStudy = experiments.LatencyStudy
 	// RenderLatency renders a latency-under-load curve.
 	RenderLatency = experiments.RenderLatency
 	// RenderChain3 renders the extended validation.
@@ -359,6 +376,17 @@ var (
 	// RenderPriority renders an accelerator-priority ranking.
 	RenderPriority = experiments.RenderPriority
 )
+
+// LatencyPoint is one (rate, p50, p99) measurement of the latency-under-load
+// study.
+type LatencyPoint = experiments.LatencyPoint
+
+// LatencyStudy measures p50/p99 latency versus offered load on the Spanner
+// simulation (open-loop Poisson arrivals), honouring the config's Parallel
+// and Backend knobs.
+func LatencyStudy(cfg StudyConfig, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
+	return cfg.Latency(rates, opsPerPoint)
+}
 
 // Report is the machine-readable form of the full characterization study.
 type Report = experiments.Report
@@ -373,8 +401,6 @@ var BuildReport = experiments.BuildReport
 type (
 	// Resilience is the full study result.
 	Resilience = experiments.Resilience
-	// ResilienceConfig sizes the study and sets the fault rates.
-	ResilienceConfig = experiments.ResilienceConfig
 	// ResilienceRow is one (platform, arm) measurement.
 	ResilienceRow = experiments.ResilienceRow
 	// FaultEvent records one fault that fired during a faulted arm.
@@ -383,15 +409,10 @@ type (
 	TraceMark = trace.Mark
 )
 
-// DefaultResilienceConfig returns the documented default fault rates.
-func DefaultResilienceConfig() ResilienceConfig {
-	return experiments.DefaultResilienceConfig()
-}
-
 // ResilienceStudy runs the fault-injection study. Equal configs replay
 // bit-identically.
-func ResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
-	return experiments.RunResilienceStudy(cfg)
+func ResilienceStudy(cfg StudyConfig) (*Resilience, error) {
+	return cfg.Resilience()
 }
 
 // RenderResilience renders the study as a fixed-width comparison table.
@@ -407,24 +428,17 @@ var RenderResilience = experiments.RenderResilience
 type (
 	// Safety is the full study result.
 	Safety = experiments.Safety
-	// SafetyConfig sizes the study and sets the fault rates.
-	SafetyConfig = experiments.SafetyConfig
 	// SafetyRow is one (platform, seed) measurement.
 	SafetyRow = experiments.SafetyRow
 	// SafetyViolation is one checker finding with its reproducing seed.
 	SafetyViolation = experiments.SafetyViolation
 )
 
-// DefaultSafetyConfig returns the documented torture defaults.
-func DefaultSafetyConfig() SafetyConfig {
-	return experiments.DefaultSafetyConfig()
-}
-
 // SafetyStudy runs the torture study. Equal configs replay bit-identically;
 // any violation is reported with the seed that reproduces it and the minimal
 // violating subhistory.
-func SafetyStudy(cfg SafetyConfig) (*Safety, error) {
-	return experiments.RunSafetyStudy(cfg)
+func SafetyStudy(cfg StudyConfig) (*Safety, error) {
+	return cfg.Safety()
 }
 
 // RenderSafety renders the study as a fixed-width table followed by every

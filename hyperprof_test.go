@@ -9,10 +9,8 @@ import (
 // would: characterize, extract artifacts, run a limit study, validate the
 // chained model.
 func TestFacadeEndToEnd(t *testing.T) {
-	cfg := DefaultCharacterizationConfig()
-	cfg.SpannerQueries = 300
-	cfg.BigTableQueries = 300
-	cfg.BigQueryQueries = 40
+	cfg := DefaultCharStudyConfig()
+	cfg.Ops = PlatformOps{Spanner: 300, BigTable: 300, BigQuery: 40}
 	ch, err := Characterize(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -158,6 +158,7 @@ var unitRunners = map[string]unitRunner{
 	overloadUnitKind:   runOverloadUnit,
 	partitionUnitKind:  runPartitionUnit,
 	fleetUnitKind:      runFleetUnit,
+	pipelineUnitKind:   runPipelineUnit,
 }
 
 // runUnit resolves and executes one serialized work unit in this process.

@@ -3,9 +3,8 @@
 // tracing substrates, and the analytical model. DESIGN.md's per-experiment
 // index maps each paper artifact to the function here that regenerates it.
 //
-// Every study runs from the unified StudyConfig core (study.go); the legacy
-// per-study config types remain as deprecated views that convert via
-// Study().
+// Every study runs from the unified StudyConfig core (study.go): one struct
+// of grouped knobs with one method entry point per study.
 package experiments
 
 import (
@@ -51,15 +50,6 @@ type platformRun struct {
 	queryBytes float64
 	stores     []*storage.TieredStore
 	series     []obs.Series
-}
-
-// RunCharacterization builds all three platforms, drives their calibrated
-// workloads, and collects traces, profiles and inventory.
-//
-// Deprecated: construct a StudyConfig and call its Characterize method; this
-// wrapper converts and delegates.
-func RunCharacterization(cfg CharConfig) (*Characterization, error) {
-	return cfg.Study().Characterize()
 }
 
 // Characterize builds all three platforms, drives their calibrated

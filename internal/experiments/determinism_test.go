@@ -14,15 +14,11 @@ import (
 // machine-readable JSON and the exported Chrome-trace bytes between a
 // Parallel=1 run and a Parallel=4 run of the same seed.
 
-func determinismCharConfig() CharConfig {
-	cfg := DefaultCharConfig()
-	cfg.SpannerQueries = 300
-	cfg.BigTableQueries = 300
-	cfg.BigQueryQueries = 60
+func determinismCharConfig() StudyConfig {
+	cfg := DefaultCharStudyConfig()
+	cfg.Ops = PlatformOps{Spanner: 300, BigTable: 300, BigQuery: 60}
 	if testing.Short() {
-		cfg.SpannerQueries = 120
-		cfg.BigTableQueries = 120
-		cfg.BigQueryQueries = 24
+		cfg.Ops = PlatformOps{Spanner: 120, BigTable: 120, BigQuery: 24}
 	}
 	return cfg
 }
@@ -59,11 +55,11 @@ func TestCharacterizationParallelMatchesSequentialByteForByte(t *testing.T) {
 	par := determinismCharConfig()
 	par.Parallel = 4
 
-	chSeq, err := RunCharacterization(seq)
+	chSeq, err := seq.Characterize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	chPar, err := RunCharacterization(par)
+	chPar, err := par.Characterize()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,25 +71,21 @@ func TestCharacterizationParallelMatchesSequentialByteForByte(t *testing.T) {
 }
 
 func TestSafetyStudyParallelMatchesSequentialByteForByte(t *testing.T) {
-	mk := func(parallel int) SafetyConfig {
-		cfg := DefaultSafetyConfig()
-		cfg.Seeds = 2
-		cfg.SpannerOps = 120
-		cfg.BigTableOps = 120
-		cfg.BigQueryOps = 12
+	mk := func(parallel int) StudyConfig {
+		cfg := DefaultSafetyStudyConfig()
+		cfg.Check.Seeds = 2
+		cfg.Ops = PlatformOps{Spanner: 120, BigTable: 120, BigQuery: 12}
 		if testing.Short() {
-			cfg.SpannerOps = 60
-			cfg.BigTableOps = 60
-			cfg.BigQueryOps = 6
+			cfg.Ops = PlatformOps{Spanner: 60, BigTable: 60, BigQuery: 6}
 		}
 		cfg.Parallel = parallel
 		return cfg
 	}
-	sSeq, err := RunSafetyStudy(mk(1))
+	sSeq, err := mk(1).Safety()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sPar, err := RunSafetyStudy(mk(4))
+	sPar, err := mk(4).Safety()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,24 +108,20 @@ func TestSafetyStudyParallelMatchesSequentialByteForByte(t *testing.T) {
 }
 
 func TestResilienceStudyParallelMatchesSequentialByteForByte(t *testing.T) {
-	mk := func(parallel int) ResilienceConfig {
-		cfg := DefaultResilienceConfig()
-		cfg.SpannerOps = 200
-		cfg.BigTableOps = 200
-		cfg.BigQueryOps = 24
+	mk := func(parallel int) StudyConfig {
+		cfg := DefaultResilienceStudyConfig()
+		cfg.Ops = PlatformOps{Spanner: 200, BigTable: 200, BigQuery: 24}
 		if testing.Short() {
-			cfg.SpannerOps = 100
-			cfg.BigTableOps = 100
-			cfg.BigQueryOps = 12
+			cfg.Ops = PlatformOps{Spanner: 100, BigTable: 100, BigQuery: 12}
 		}
 		cfg.Parallel = parallel
 		return cfg
 	}
-	rSeq, err := RunResilienceStudy(mk(1))
+	rSeq, err := mk(1).Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rPar, err := RunResilienceStudy(mk(4))
+	rPar, err := mk(4).Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}

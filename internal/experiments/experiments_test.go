@@ -24,11 +24,9 @@ var (
 func testChar(t *testing.T) *Characterization {
 	t.Helper()
 	charOnce.Do(func() {
-		cfg := DefaultCharConfig()
-		cfg.SpannerQueries = 600
-		cfg.BigTableQueries = 600
-		cfg.BigQueryQueries = 80
-		charVal, charErr = RunCharacterization(cfg)
+		cfg := DefaultCharStudyConfig()
+		cfg.Ops = PlatformOps{Spanner: 600, BigTable: 600, BigQuery: 80}
+		charVal, charErr = cfg.Characterize()
 	})
 	if charErr != nil {
 		t.Fatal(charErr)

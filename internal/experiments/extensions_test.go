@@ -164,7 +164,7 @@ func TestAcceleratorPriority(t *testing.T) {
 }
 
 func TestLatencyStudy(t *testing.T) {
-	pts, err := LatencyStudy(7, []float64{500, 80000}, 300)
+	pts, err := StudyConfig{Seed: 7}.Latency([]float64{500, 80000}, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestLatencyStudy(t *testing.T) {
 	if !strings.Contains(out, "p99") {
 		t.Fatal("render")
 	}
-	if _, err := LatencyStudy(7, nil, 0); err == nil {
+	if _, err := (StudyConfig{Seed: 7}).Latency(nil, 0); err == nil {
 		t.Fatal("zero ops accepted")
 	}
 }

@@ -80,16 +80,6 @@ func (cfg StudyConfig) Latency(rates []float64, opsPerPoint int) ([]LatencyPoint
 	return runStudy(cfg, latencyUnitKind, units, jobs)
 }
 
-// LatencyStudy runs the latency-under-load study with default execution
-// (one in-process worker per CPU).
-//
-// Deprecated: construct a StudyConfig and call its Latency method, which
-// honours the configured Parallel and Backend knobs; this wrapper delegates
-// with the defaults.
-func LatencyStudy(seed uint64, rates []float64, opsPerPoint int) ([]LatencyPoint, error) {
-	return StudyConfig{Seed: seed}.Latency(rates, opsPerPoint)
-}
-
 // RenderLatency renders a latency-under-load curve.
 func RenderLatency(points []LatencyPoint) string {
 	var b strings.Builder

@@ -23,14 +23,6 @@ type ObsStudy struct {
 	Series map[taxonomy.Platform][]obs.Series
 }
 
-// RunObsStudy runs the observability study.
-//
-// Deprecated: construct a StudyConfig and call its Observe method; this
-// wrapper delegates.
-func RunObsStudy(cfg StudyConfig) (*ObsStudy, error) {
-	return cfg.Observe()
-}
-
 // Observe runs the characterization workload with the observability plane
 // forced on and returns the collected time series alongside the underlying
 // characterization. Equal configs replay bit-identically and the export is

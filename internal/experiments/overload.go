@@ -318,6 +318,7 @@ func (o *Overload) runSpanner(protected bool) (overloadArm, error) {
 		Window:   cfg.Load.Window,
 		Tenants:  overloadTenants(cfg.Load.SpannerRate),
 		Governor: gov,
+		Shape:    cfg.Shape,
 	}, func(tenant string, rng *stats.RNG) func() func(p *sim.Proc) error {
 		picker := stats.NewWeighted(rng, []float64{mix.Reads, mix.Writes, mix.Queries})
 		val := []byte("spanner-overload-value-0123456789abcdef")
@@ -382,6 +383,7 @@ func (o *Overload) runBigTable(protected bool) (overloadArm, error) {
 		Window:   cfg.Load.Window,
 		Tenants:  overloadTenants(cfg.Load.BigTableRate),
 		Governor: gov,
+		Shape:    cfg.Shape,
 	}, func(tenant string, rng *stats.RNG) func() func(p *sim.Proc) error {
 		picker := stats.NewWeighted(rng, []float64{mix.Gets, mix.Puts, mix.Scans})
 		val := []byte("bigtable-overload-value-0123456789abcdef")
@@ -435,6 +437,7 @@ func (o *Overload) runBigQuery(protected bool) (overloadArm, error) {
 		Window:   cfg.Load.Window,
 		Tenants:  overloadTenants(cfg.Load.BigQueryRate),
 		Governor: gov,
+		Shape:    cfg.Shape,
 	}, func(tenant string, rng *stats.RNG) func() func(p *sim.Proc) error {
 		picker := stats.NewWeighted(rng, []float64{mix.ScanAgg, mix.Join, mix.Report})
 		return func() func(p *sim.Proc) error {

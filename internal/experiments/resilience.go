@@ -114,16 +114,6 @@ func (r *Resilience) runPair(p taxonomy.Platform) ([2]resilienceArm, error) {
 	return [2]resilienceArm{base, faulted}, nil
 }
 
-// RunResilienceStudy measures each platform fault-free, generates a seeded
-// fault schedule spanning the measured horizon, and re-runs the identical
-// workload under injection.
-//
-// Deprecated: construct a StudyConfig and call its Resilience method; this
-// wrapper converts and delegates.
-func RunResilienceStudy(cfg ResilienceConfig) (*Resilience, error) {
-	return cfg.Study().Resilience()
-}
-
 // Resilience measures each platform fault-free, generates a seeded fault
 // schedule spanning the measured horizon, and re-runs the identical workload
 // under injection. Equal configs replay bit-identically; the three platforms
@@ -241,7 +231,8 @@ func (r *Resilience) runSpanner(horizon time.Duration) (resilienceArm, error) {
 		r.registerNetwork(eng, env)
 		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed, r.Cfg.Faults.StragglerProb)))
 	}
-	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), r.Cfg.Clients, r.Cfg.Ops.Spanner)
+	run := workload.Spanner(env, db, workload.DefaultSpannerMix(), r.Cfg.Clients, r.Cfg.Ops.Spanner,
+		workload.ClosedLoopOpts{Shape: r.Cfg.Shape})
 	return r.measure(taxonomy.Spanner, env, run, eng)
 }
 
@@ -272,7 +263,8 @@ func (r *Resilience) runBigTable(horizon time.Duration) (resilienceArm, error) {
 		r.registerNetwork(eng, env)
 		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+1, 0)))
 	}
-	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), r.Cfg.Clients, r.Cfg.Ops.BigTable)
+	run := workload.BigTable(env, db, workload.DefaultBigTableMix(), r.Cfg.Clients, r.Cfg.Ops.BigTable,
+		workload.ClosedLoopOpts{Shape: r.Cfg.Shape})
 	return r.measure(taxonomy.BigTable, env, run, eng)
 }
 
@@ -305,7 +297,8 @@ func (r *Resilience) runBigQuery(horizon time.Duration) (resilienceArm, error) {
 		r.registerNetwork(eng, env)
 		eng.InjectAll(faults.GenerateSchedule(eng.Targets(), r.scheduleConfig(horizon, r.Cfg.Seed+2, r.Cfg.Faults.StragglerProb)))
 	}
-	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), r.Cfg.Clients, r.Cfg.Ops.BigQuery)
+	run := workload.BigQuery(env, e, workload.DefaultBigQueryMix(), r.Cfg.Clients, r.Cfg.Ops.BigQuery,
+		workload.ClosedLoopOpts{Shape: r.Cfg.Shape})
 	return r.measure(taxonomy.BigQuery, env, run, eng)
 }
 

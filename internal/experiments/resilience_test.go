@@ -9,18 +9,16 @@ import (
 
 // smallResilienceConfig keeps the study quick while still applying faults on
 // every platform.
-func smallResilienceConfig() ResilienceConfig {
-	cfg := DefaultResilienceConfig()
-	cfg.SpannerOps = 400
-	cfg.BigTableOps = 400
-	cfg.BigQueryOps = 32
+func smallResilienceConfig() StudyConfig {
+	cfg := DefaultResilienceStudyConfig()
+	cfg.Ops = PlatformOps{Spanner: 400, BigTable: 400, BigQuery: 32}
 	// Shorter runs need denser faults to guarantee some fire on each arm.
-	cfg.MTBFFrac = 0.3
+	cfg.Faults.MTBFFrac = 0.3
 	return cfg
 }
 
 func TestResilienceStudyAvailabilityAndFaults(t *testing.T) {
-	r, err := RunResilienceStudy(smallResilienceConfig())
+	r, err := smallResilienceConfig().Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +58,11 @@ func TestResilienceStudyAvailabilityAndFaults(t *testing.T) {
 
 func TestResilienceStudyDeterministic(t *testing.T) {
 	cfg := smallResilienceConfig()
-	a, err := RunResilienceStudy(cfg)
+	a, err := cfg.Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunResilienceStudy(cfg)
+	b, err := cfg.Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,13 +86,13 @@ func TestResilienceStudyDeterministic(t *testing.T) {
 func TestResilienceStudyValidation(t *testing.T) {
 	cfg := smallResilienceConfig()
 	cfg.Clients = 0
-	if _, err := RunResilienceStudy(cfg); err == nil {
+	if _, err := cfg.Resilience(); err == nil {
 		t.Fatal("zero clients accepted")
 	}
 }
 
 func TestRenderResilienceShape(t *testing.T) {
-	r, err := RunResilienceStudy(smallResilienceConfig())
+	r, err := smallResilienceConfig().Resilience()
 	if err != nil {
 		t.Fatal(err)
 	}

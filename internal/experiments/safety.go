@@ -98,15 +98,6 @@ func runSafetyUnit(cfg StudyConfig, body json.RawMessage) (any, error) {
 	return s.runOne(u.Platform, u.Seed, u.Horizon)
 }
 
-// RunSafetyStudy runs the torture harness: per platform, one fault-free
-// calibration run followed by Seeds faulted runs.
-//
-// Deprecated: construct a StudyConfig and call its Safety method; this
-// wrapper converts and delegates.
-func RunSafetyStudy(cfg SafetyConfig) (*Safety, error) {
-	return cfg.Study().Safety()
-}
-
 // Safety runs the torture harness: per platform, one fault-free calibration
 // run (whose elapsed time becomes the fault-schedule horizon) followed by
 // Check.Seeds faulted runs. Equal configs replay bit-identically, and the

@@ -9,18 +9,16 @@ import (
 
 // smallSafetyConfig shrinks the torture study to a fast smoke: two seeds per
 // platform with the full fault rates.
-func smallSafetyConfig() SafetyConfig {
-	cfg := DefaultSafetyConfig()
-	cfg.Seeds = 2
-	cfg.SpannerOps = 120
-	cfg.BigTableOps = 120
-	cfg.BigQueryOps = 8
+func smallSafetyConfig() StudyConfig {
+	cfg := DefaultSafetyStudyConfig()
+	cfg.Check.Seeds = 2
+	cfg.Ops = PlatformOps{Spanner: 120, BigTable: 120, BigQuery: 8}
 	cfg.Clients = 4
 	return cfg
 }
 
 func TestSafetyStudyFindsNoViolations(t *testing.T) {
-	s, err := RunSafetyStudy(smallSafetyConfig())
+	s, err := smallSafetyConfig().Safety()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +53,12 @@ func TestSafetyStudyFindsNoViolations(t *testing.T) {
 
 func TestSafetyStudyIsDeterministic(t *testing.T) {
 	cfg := smallSafetyConfig()
-	cfg.Seeds = 1
-	a, err := RunSafetyStudy(cfg)
+	cfg.Check.Seeds = 1
+	a, err := cfg.Safety()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunSafetyStudy(cfg)
+	b, err := cfg.Safety()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +70,7 @@ func TestSafetyStudyIsDeterministic(t *testing.T) {
 func TestSafetyStudyRejectsInvalidConfig(t *testing.T) {
 	cfg := smallSafetyConfig()
 	cfg.Clients = 0
-	if _, err := RunSafetyStudy(cfg); err == nil {
+	if _, err := cfg.Safety(); err == nil {
 		t.Fatal("want error for zero clients")
 	}
 }

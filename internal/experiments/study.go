@@ -1,14 +1,12 @@
 package experiments
 
-// This file is the unified Study API. Four PRs of growth left the package
-// with three divergent config structs (CharConfig, SafetyConfig,
-// ResilienceConfig) that repeated the same seeds/parallelism/clients knobs
-// under different names. StudyConfig is the shared core: one struct of
-// grouped knobs (operation budgets, fault rates, checker sizing,
-// observability) with one method entry point per study. The legacy config
-// types survive as thin deprecated views that convert via Study(), so every
-// pre-existing caller — including the facade's re-exports — compiles and
-// behaves identically.
+// This file is the unified Study API: StudyConfig is the shared core — one
+// struct of grouped knobs (operation budgets, fault rates, checker sizing,
+// observability, load, nemesis, pipeline) with one method entry point per
+// study (Characterize, Safety, Resilience, Observe, Overload, Partition,
+// Fleet, Pipeline) and a Default*StudyConfig constructor per study. The
+// legacy per-study config structs and Run* wrappers that predated it have
+// been deleted; StudyConfig is the only way in.
 
 import (
 	"time"
@@ -121,6 +119,24 @@ type PartitionConfig struct {
 	// commit-wait disabled under a deterministic fast clock, BigTable
 	// serving writes from a partitioned server that are discarded at heal).
 	// Their violations are expected and reported separately.
+	IncludeBroken bool
+}
+
+// PipelineConfig sizes the cross-platform pipeline study: how many logical
+// records flow BigTable → BigQuery → Spanner, how they batch into iterative
+// analytics queries, and whether the broken-handoff fixture arm runs.
+type PipelineConfig struct {
+	// Records is the number of logical records flowing end to end.
+	Records int
+	// Batches groups the records into analytic batches; each batch runs one
+	// iterative PageRank query over the shuffle plane.
+	Batches int
+	// Iterations is the PageRank round count per batch query.
+	Iterations int
+	// IncludeBroken adds the broken-handoff demonstration arm (the
+	// BigQuery→Spanner dedup latch disabled under a forced replay). Its
+	// violations are expected and reported separately — an empty set means
+	// the handoff checker missed the planted bug.
 	IncludeBroken bool
 }
 
@@ -251,6 +267,15 @@ type StudyConfig struct {
 	Sketch SketchConfig
 	// Fleet sizes the fleet-scale characterization (Fleet entry point).
 	Fleet FleetConfig
+	// Pipe sizes the cross-platform pipeline study (Pipeline entry point;
+	// the field is short for the same reason Part is — the long name is the
+	// method).
+	Pipe PipelineConfig
+	// Shape optionally modulates arrivals in the overload study (open-loop
+	// tenant arrivals) and think times in the resilience study's closed
+	// loops. The zero value is byte-compatible with unshaped runs; fleet
+	// runs carry their own Fleet.Shape.
+	Shape workload.ArrivalShape
 }
 
 // defaultFaults are the documented fault rates both injecting studies share:
@@ -385,186 +410,23 @@ func DefaultOverloadStudyConfig() StudyConfig {
 	}
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated legacy views. Each converts to the unified core via Study();
-// the Run* entry points accept them unchanged.
-
-// CharConfig sizes the characterization run.
-//
-// Deprecated: use StudyConfig (DefaultCharStudyConfig) with the Characterize
-// method. CharConfig remains as a compatibility view.
-type CharConfig struct {
-	Seed uint64
-	// SpannerQueries, BigTableQueries and BigQueryQueries are per-platform
-	// operation budgets.
-	SpannerQueries  int
-	BigTableQueries int
-	BigQueryQueries int
-	// Clients is the closed-loop client count per platform.
-	Clients int
-	// TraceRate keeps 1/TraceRate of traces.
-	TraceRate int
-	// Parallel bounds concurrent platform simulations (0 = CPUs, 1 = seq).
-	Parallel int
-}
-
-// Study converts the legacy view to the unified core.
-func (c CharConfig) Study() StudyConfig {
+// DefaultPipelineStudyConfig returns the pipeline-study defaults: 48 logical
+// records flowing BigTable → BigQuery → Spanner in four batches, each batch
+// a two-round PageRank over the shuffle plane, with a fault schedule that
+// kills shuffle servers (the middle stage's state plane) over the calibrated
+// horizon and a forced replay exercising the handoff dedup latch.
+func DefaultPipelineStudyConfig() StudyConfig {
 	return StudyConfig{
-		Seed:      c.Seed,
-		Parallel:  c.Parallel,
-		Clients:   c.Clients,
-		TraceRate: c.TraceRate,
-		Ops:       PlatformOps{Spanner: c.SpannerQueries, BigTable: c.BigTableQueries, BigQuery: c.BigQueryQueries},
-	}
-}
-
-// DefaultCharConfig returns the legacy-shaped characterization defaults.
-//
-// Deprecated: use DefaultCharStudyConfig.
-func DefaultCharConfig() CharConfig {
-	return CharConfig{
-		Seed:            1,
-		SpannerQueries:  1500,
-		BigTableQueries: 1500,
-		BigQueryQueries: 250,
-		Clients:         8,
-		TraceRate:       1,
-	}
-}
-
-// SafetyConfig sizes the safety torture study.
-//
-// Deprecated: use StudyConfig (DefaultSafetyStudyConfig) with the Safety
-// method. SafetyConfig remains as a compatibility view.
-type SafetyConfig struct {
-	// BaseSeed seeds the calibration run; faulted runs use BaseSeed..
-	// BaseSeed+Seeds-1.
-	BaseSeed uint64
-	// Seeds is the number of faulted runs per platform.
-	Seeds int
-	// Per-platform operation budgets per run.
-	SpannerOps, BigTableOps, BigQueryOps int
-	// Clients is the closed-loop torture client count per platform.
-	Clients int
-	// HotRows bounds the contended row range.
-	HotRows int
-	// Fault rates, as fractions of the calibrated horizon.
-	MTBFFrac, MTTRFrac float64
-	StragglerProb      float64
-	StragglerFactor    float64
-	NetDegradeProb     float64
-	NetExtraDelay      time.Duration
-	NetDropProb        float64
-	// Parallel bounds concurrent (platform, seed) arms.
-	Parallel int
-}
-
-// Study converts the legacy view to the unified core. The torture harness
-// always records full histories, so TraceRate pins to 1.
-func (c SafetyConfig) Study() StudyConfig {
-	return StudyConfig{
-		Seed:      c.BaseSeed,
-		Parallel:  c.Parallel,
-		Clients:   c.Clients,
+		Seed:      1,
+		Clients:   4,
 		TraceRate: 1,
-		Ops:       PlatformOps{Spanner: c.SpannerOps, BigTable: c.BigTableOps, BigQuery: c.BigQueryOps},
-		Check:     CheckConfig{Seeds: c.Seeds, HotRows: c.HotRows},
+		Check:     CheckConfig{Seeds: 2, HotRows: 8},
 		Faults: FaultConfig{
-			MTBFFrac:        c.MTBFFrac,
-			MTTRFrac:        c.MTTRFrac,
-			StragglerProb:   c.StragglerProb,
-			StragglerFactor: c.StragglerFactor,
-			NetDegradeProb:  c.NetDegradeProb,
-			NetExtraDelay:   c.NetExtraDelay,
-			NetDropProb:     c.NetDropProb,
+			MTBFFrac:        0.6,
+			MTTRFrac:        0.08,
+			StragglerProb:   0.25,
+			StragglerFactor: 4,
 		},
-	}
-}
-
-// DefaultSafetyConfig returns the legacy-shaped torture defaults.
-//
-// Deprecated: use DefaultSafetyStudyConfig.
-func DefaultSafetyConfig() SafetyConfig {
-	return SafetyConfig{
-		BaseSeed:        1,
-		Seeds:           5,
-		SpannerOps:      400,
-		BigTableOps:     400,
-		BigQueryOps:     24,
-		Clients:         6,
-		HotRows:         8,
-		MTBFFrac:        0.5,
-		MTTRFrac:        0.03,
-		StragglerProb:   0.25,
-		StragglerFactor: 4,
-		NetDegradeProb:  0.5,
-		NetExtraDelay:   200 * time.Microsecond,
-		NetDropProb:     0.02,
-	}
-}
-
-// ResilienceConfig sizes the resilience study.
-//
-// Deprecated: use StudyConfig (DefaultResilienceStudyConfig) with the
-// Resilience method. ResilienceConfig remains as a compatibility view.
-type ResilienceConfig struct {
-	Seed uint64
-	// Per-platform operation budgets (shared by both arms).
-	SpannerOps, BigTableOps, BigQueryOps int
-	// Clients is the closed-loop client count per platform.
-	Clients int
-	// Fault rates (see FaultConfig for semantics).
-	MTBFFrac        float64
-	MTTRFrac        float64
-	StragglerProb   float64
-	StragglerFactor float64
-	NetDegradeProb  float64
-	NetExtraDelay   time.Duration
-	NetDropProb     float64
-	// TraceRate keeps 1/TraceRate of traces.
-	TraceRate int
-	// Parallel bounds concurrent platforms.
-	Parallel int
-}
-
-// Study converts the legacy view to the unified core.
-func (c ResilienceConfig) Study() StudyConfig {
-	return StudyConfig{
-		Seed:      c.Seed,
-		Parallel:  c.Parallel,
-		Clients:   c.Clients,
-		TraceRate: c.TraceRate,
-		Ops:       PlatformOps{Spanner: c.SpannerOps, BigTable: c.BigTableOps, BigQuery: c.BigQueryOps},
-		Faults: FaultConfig{
-			MTBFFrac:        c.MTBFFrac,
-			MTTRFrac:        c.MTTRFrac,
-			StragglerProb:   c.StragglerProb,
-			StragglerFactor: c.StragglerFactor,
-			NetDegradeProb:  c.NetDegradeProb,
-			NetExtraDelay:   c.NetExtraDelay,
-			NetDropProb:     c.NetDropProb,
-		},
-	}
-}
-
-// DefaultResilienceConfig returns the legacy-shaped resilience defaults.
-//
-// Deprecated: use DefaultResilienceStudyConfig.
-func DefaultResilienceConfig() ResilienceConfig {
-	return ResilienceConfig{
-		Seed:            1,
-		SpannerOps:      1200,
-		BigTableOps:     1200,
-		BigQueryOps:     96,
-		Clients:         8,
-		MTBFFrac:        0.5,
-		MTTRFrac:        0.03,
-		StragglerProb:   0.25,
-		StragglerFactor: 4,
-		NetDegradeProb:  0.5,
-		NetExtraDelay:   200 * time.Microsecond,
-		NetDropProb:     0.02,
-		TraceRate:       1,
+		Pipe: PipelineConfig{Records: 48, Batches: 4, Iterations: 2},
 	}
 }

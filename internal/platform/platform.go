@@ -42,7 +42,16 @@ type Env struct {
 // NewEnv builds an environment with its own kernel and network, a tracer at
 // the given sampling rate, and a profiler seeded from seed.
 func NewEnv(seed uint64, traceRate int) *Env {
-	k := sim.New()
+	return NewEnvOn(sim.New(), seed, traceRate)
+}
+
+// NewEnvOn builds an environment on an existing kernel, for multi-platform
+// pipelines where several platform stacks must share one simulation clock.
+// Each environment still gets its own network, profiler and RNG stream
+// (per-stage seeds keep the streams decorrelated); pipeline callers
+// typically overwrite Tracer with one shared tracer so a logical request's
+// stage spans carry a single trace ID across platforms.
+func NewEnvOn(k *sim.Kernel, seed uint64, traceRate int) *Env {
 	return &Env{
 		K:      k,
 		Net:    netsim.New(k, netsim.DefaultConfig()),

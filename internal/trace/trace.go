@@ -131,6 +131,17 @@ func (tr *Tracer) Start(p taxonomy.Platform, now time.Duration) *Trace {
 	return &Trace{ID: id, Platform: p, Start: now, sampled: id%tr.rate == 0}
 }
 
+// StartChild begins a stage span that continues an existing logical request
+// on another platform: the child shares the parent's trace ID and sampling
+// decision, so the Chrome export renders every stage of one request at the
+// same thread id across the platforms' process lanes — one end-to-end span
+// crossing system boundaries. No new ID is allocated; the child is finished
+// and collected independently of its parent.
+func (tr *Tracer) StartChild(parent *Trace, p taxonomy.Platform, now time.Duration) *Trace {
+	tr.total++
+	return &Trace{ID: parent.ID, Platform: p, Start: now, sampled: parent.sampled}
+}
+
 // Finish marks the trace complete at time now and retains it if sampled.
 func (tr *Tracer) Finish(t *Trace, now time.Duration) {
 	if t.finished {

@@ -41,6 +41,11 @@ type OverloadConfig struct {
 	// Governor, when non-nil, gates every arrival through weighted per-tenant
 	// admission; the driver registers the tenants (in order) with it.
 	Governor *netsim.TenantGovernor
+	// Shape modulates every tenant's arrival process (each tenant gets an
+	// independent burst envelope from its own RNG stream). The zero value
+	// keeps the exact legacy homogeneous-Poisson draw sequence, and the
+	// flash-crowd rate multiplier composes with the envelope either way.
+	Shape ArrivalShape
 }
 
 // OverloadWindow aggregates one accounting window. Arrivals and Throttled
@@ -187,14 +192,50 @@ func Overload(env *platform.Env, cfg OverloadConfig,
 		rng := env.RNG.Fork()
 		prepare := setup(tn.Name, rng)
 		baseGap := float64(time.Second) / tn.RatePerSec
+		shaped := cfg.Shape.enabled()
+		sh := cfg.Shape.withDefaults()
+		maxMult := sh.maxMult()
+		var burst *burstEnv
+		if shaped && sh.Burst {
+			burst = newBurstEnv(rng, sh)
+		}
+		// nextArrival sleeps until the tenant's next accepted arrival or the
+		// horizon, whichever comes first. Unshaped it is the legacy single Exp
+		// gap; shaped it thins an envelope process at the peak rate, exactly
+		// as openLoop does, with the flash-crowd multiplier folded into the
+		// candidate rate so SetRateMult keeps working mid-run.
+		nextArrival := func(p *sim.Proc) bool {
+			for {
+				gap := baseGap / run.mult[tn.Name]
+				if shaped {
+					gap /= maxMult
+				}
+				p.Sleep(time.Duration(rng.Exp(gap)))
+				if p.Now() >= cfg.Duration {
+					return false
+				}
+				if !shaped {
+					return true
+				}
+				m := 1.0
+				if burst != nil {
+					m *= burst.mult(p.Now())
+				}
+				if sh.Diurnal {
+					m *= sh.diurnalMult(p.Now())
+				}
+				if rng.Float64()*maxMult < m {
+					return true
+				}
+			}
+		}
 		env.K.Go(fmt.Sprintf("overload-%s-arrivals", tn.Name), func(p *sim.Proc) {
 			defer func() {
 				run.gensLeft--
 				run.maybeFinish()
 			}()
 			for {
-				p.Sleep(time.Duration(rng.Exp(baseGap / run.mult[tn.Name])))
-				if p.Now() >= cfg.Duration {
+				if !nextArrival(p) {
 					return
 				}
 				at := p.Now()

@@ -1,0 +1,317 @@
+// Pipeline workload: the cross-platform scenario from the ROADMAP — a
+// BigTable ingest stage feeding a BigQuery iterative-analytics stage
+// (PageRank over the shuffle plane) feeding a Spanner serving stage, all in
+// ONE simulation. Each logical record owns one trace ID: the ingest span,
+// the analytics span and the serving span are children sharing that ID, so
+// the Chrome export renders a single end-to-end request crossing all three
+// platform process lanes. A lineage ledger tracks every record across the
+// stage boundaries and exposes the exactly-once handoff invariant to the
+// safety checker.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"hyperprof/internal/bigquery"
+	"hyperprof/internal/bigtable"
+	"hyperprof/internal/check"
+	"hyperprof/internal/platform"
+	"hyperprof/internal/sim"
+	"hyperprof/internal/spanner"
+	"hyperprof/internal/taxonomy"
+	"hyperprof/internal/trace"
+)
+
+// PipelineConfig sizes and shapes a pipeline run.
+type PipelineConfig struct {
+	// Records is the number of logical records flowing end to end
+	// (<= 0 means 64).
+	Records int
+	// Batches is the number of analytic batches the records are grouped
+	// into; each batch runs one iterative PageRank query when its last
+	// record lands (<= 0 means 4, clamped to Records).
+	Batches int
+	// Clients is the ingest client count (<= 0 means 4, clamped to Records).
+	Clients int
+	// Iterations is the PageRank round count per batch query
+	// (<= 0 means the engine default).
+	Iterations int
+	// ForceReplay deterministically re-runs batch 0's analytics and handoff
+	// after its first pass completes, exercising the dedup latch at the
+	// BigQuery→Spanner boundary the way an at-least-once upstream would.
+	ForceReplay bool
+	// DisableHandoffDedup is the broken-knob fixture: replayed batches
+	// re-serve their outputs, double-writing every record in the batch. The
+	// pipeline-handoff invariant convicts it.
+	DisableHandoffDedup bool
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Records <= 0 {
+		c.Records = 64
+	}
+	if c.Batches <= 0 {
+		c.Batches = 4
+	}
+	if c.Batches > c.Records {
+		c.Batches = c.Records
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Clients > c.Records {
+		c.Clients = c.Records
+	}
+	return c
+}
+
+// PipelineLedger is the per-record lineage record across stage boundaries.
+// The handoff invariant it enforces: every record is ingested exactly once,
+// every batch is analyzed at least once (replays are legal), and every
+// record is served exactly once — a replayed batch must be deduplicated at
+// the BigQuery→Spanner boundary, never double-written.
+type PipelineLedger struct {
+	ingested []int
+	analyzed []int
+	served   []int
+	// servedBatch counts serve passes that actually wrote; deduped counts
+	// serve passes suppressed by the handoff latch.
+	servedBatch []int
+	deduped     int
+	done        bool
+}
+
+func newPipelineLedger(records, batches int) *PipelineLedger {
+	return &PipelineLedger{
+		ingested:    make([]int, records),
+		analyzed:    make([]int, batches),
+		served:      make([]int, records),
+		servedBatch: make([]int, batches),
+	}
+}
+
+// beginServe is the handoff dedup latch: the first serve pass for a batch
+// proceeds, later passes are suppressed — unless the broken knob disables
+// the latch, in which case every pass writes.
+func (l *PipelineLedger) beginServe(b int, dedupDisabled bool) bool {
+	if l.servedBatch[b] > 0 && !dedupDisabled {
+		l.deduped++
+		return false
+	}
+	l.servedBatch[b]++
+	return true
+}
+
+// Replays counts analytic passes beyond the first, summed over batches.
+func (l *PipelineLedger) Replays() int {
+	n := 0
+	for _, a := range l.analyzed {
+		if a > 1 {
+			n += a - 1
+		}
+	}
+	return n
+}
+
+// Deduped counts serve passes suppressed by the handoff latch.
+func (l *PipelineLedger) Deduped() int { return l.deduped }
+
+// RegisterInvariants registers the exactly-once handoff invariant with a
+// checker registry. The check only reports once the pipeline has drained, so
+// a mid-run snapshot of partially-flowed records is not a violation.
+func (l *PipelineLedger) RegisterInvariants(reg *check.Registry) {
+	reg.Register("pipeline-handoff", l.checkHandoff)
+}
+
+func (l *PipelineLedger) checkHandoff() []string {
+	if !l.done {
+		return nil
+	}
+	var out []string
+	for r, n := range l.ingested {
+		if n != 1 {
+			out = append(out, fmt.Sprintf("record %d ingested %d times, want exactly 1", r, n))
+		}
+	}
+	for b, n := range l.analyzed {
+		if n < 1 {
+			out = append(out, fmt.Sprintf("batch %d analyzed %d times, want at least 1", b, n))
+		}
+	}
+	for r, n := range l.served {
+		if n != 1 {
+			out = append(out, fmt.Sprintf("record %d served %d times across the BigQuery→Spanner handoff, want exactly 1", r, n))
+		}
+	}
+	return out
+}
+
+// PipelineRun is the handle to a scheduled pipeline workload.
+type PipelineRun struct {
+	*Run
+	// Ledger is the lineage ledger; register its invariants with the run's
+	// checker registry before env.K.Run().
+	Ledger *PipelineLedger
+	// EndToEnd holds, per record, the ingest-start to serving-finish
+	// latency (zero for records that never completed the last stage).
+	EndToEnd []time.Duration
+}
+
+// Pipeline schedules the three-stage cross-platform workload. All three
+// platforms must have been built on environments sharing env.K (see
+// platform.NewEnvOn), and env.Tracer must be the tracer every stage reports
+// to, so the stage spans of one record share a trace ID. Call env.K.Run()
+// afterwards to execute; the serving and analytics tiers are stopped when
+// the pipeline drains.
+func Pipeline(env *platform.Env, ingest *bigtable.DB, analytics *bigquery.Engine, serving *spanner.DB, cfg PipelineConfig) *PipelineRun {
+	cfg = cfg.withDefaults()
+	run := &PipelineRun{
+		Run:      &Run{Done: sim.NewSignal(env.K)},
+		Ledger:   newPipelineLedger(cfg.Records, cfg.Batches),
+		EndToEnd: make([]time.Duration, cfg.Records),
+	}
+	// Records are grouped into contiguous batches; the first Records%Batches
+	// batches take one extra record.
+	per, extra := cfg.Records/cfg.Batches, cfg.Records%cfg.Batches
+	batchStart := make([]int, cfg.Batches+1)
+	for b := 0; b < cfg.Batches; b++ {
+		n := per
+		if b < extra {
+			n++
+		}
+		batchStart[b+1] = batchStart[b] + n
+	}
+	batchOf := func(r int) int {
+		for b := 0; b < cfg.Batches; b++ {
+			if r < batchStart[b+1] {
+				return b
+			}
+		}
+		return cfg.Batches - 1
+	}
+
+	roots := make([]*trace.Trace, cfg.Records)
+	batchLeft := make([]int, cfg.Batches)
+	batchReady := make([]*sim.Signal, cfg.Batches)
+	for b := range batchReady {
+		batchLeft[b] = batchStart[b+1] - batchStart[b]
+		batchReady[b] = sim.NewSignal(env.K)
+	}
+
+	// Stage 1: ingest clients write records into BigTable, each record under
+	// its own root span. A batch's analytics unblocks when its last record
+	// lands, so the stages overlap in time like a streaming pipeline.
+	ingestBar := sim.NewBarrier(env.K, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		rng := env.RNG.Fork()
+		env.K.Go(fmt.Sprintf("pipeline-ingest-%d", c), func(p *sim.Proc) {
+			defer ingestBar.Done()
+			for r := c; r < cfg.Records; r += cfg.Clients {
+				t := r % ingest.NumTablets()
+				row := rng.Intn(ingest.RowsPerTablet())
+				val := []byte(fmt.Sprintf("pipeline-record-%04d", r))
+				root := env.Tracer.Start(taxonomy.BigTable, p.Now())
+				err := ingest.Put(p, root, t, row, val)
+				env.Tracer.Finish(root, p.Now())
+				roots[r] = root
+				run.Ledger.ingested[r]++
+				run.Completed++
+				if err != nil {
+					run.fail("pipeline-ingest", err)
+				}
+				b := batchOf(r)
+				if batchLeft[b]--; batchLeft[b] == 0 {
+					batchReady[b].Fire()
+				}
+				p.Sleep(time.Duration(rng.Exp(float64(time.Millisecond))))
+			}
+		})
+	}
+
+	// Stages 2+3: one process per batch waits for its records, runs the
+	// iterative analytics query, then hands the derived results to Spanner
+	// through the dedup latch.
+	analyze := func(p *sim.Proc, b int) {
+		recs := batchStart[b+1] - batchStart[b]
+		leader := batchStart[b]
+		qStart := p.Now()
+		// The batch leader's child span rides the query for real intervals;
+		// the other records in the batch observe the shared query as remote
+		// work on their own spans.
+		qtr := env.Tracer.StartChild(roots[leader], taxonomy.BigQuery, qStart)
+		q := bigquery.Query{Kind: bigquery.PageRank, Iterations: cfg.Iterations}
+		var res *bigquery.Result
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if res, err = analytics.Run(p, qtr, q); err == nil {
+				break
+			}
+		}
+		env.Tracer.Finish(qtr, p.Now())
+		for r := leader + 1; r < leader+recs; r++ {
+			tr := env.Tracer.StartChild(roots[r], taxonomy.BigQuery, qStart)
+			tr.Annotate(qStart, p.Now(), trace.Remote)
+			env.Tracer.Finish(tr, p.Now())
+		}
+		run.Completed++
+		if err != nil {
+			run.fail("pipeline-analytics", err)
+			return
+		}
+		run.Ledger.analyzed[b]++
+
+		// Handoff: serve each record's derived value unless the latch says
+		// this batch already served.
+		if !run.Ledger.beginServe(b, cfg.DisableHandoffDedup) {
+			return
+		}
+		top := int64(-1)
+		if len(res.SortedKeys) > 0 {
+			top = res.SortedKeys[0]
+		}
+		for r := leader; r < leader+recs; r++ {
+			str := env.Tracer.StartChild(roots[r], taxonomy.Spanner, p.Now())
+			g := r % serving.NumGroups()
+			row := r % serving.RowsPerGroup()
+			val := []byte(fmt.Sprintf("pipeline-serve-%04d-top-%03d-rank-%d", r, top, res.Groups[top]))
+			var serr error
+			for attempt := 0; attempt < 3; attempt++ {
+				if serr = serving.Commit(p, str, g, row, val); serr == nil {
+					break
+				}
+			}
+			env.Tracer.Finish(str, p.Now())
+			run.Completed++
+			if serr != nil {
+				run.fail("pipeline-serving", serr)
+				continue
+			}
+			run.Ledger.served[r]++
+			run.EndToEnd[r] = p.Now() - roots[r].Start
+		}
+	}
+	batchBar := sim.NewBarrier(env.K, cfg.Batches)
+	for b := 0; b < cfg.Batches; b++ {
+		b := b
+		env.K.Go(fmt.Sprintf("pipeline-batch-%d", b), func(p *sim.Proc) {
+			defer batchBar.Done()
+			p.Wait(batchReady[b])
+			analyze(p, b)
+			if cfg.ForceReplay && b == 0 {
+				analyze(p, b)
+			}
+		})
+	}
+
+	env.K.Go("pipeline-shutdown", func(p *sim.Proc) {
+		p.WaitBarrier(ingestBar)
+		p.WaitBarrier(batchBar)
+		run.Ledger.done = true
+		analytics.Stop()
+		serving.Stop()
+		run.Done.Fire()
+	})
+	return run
+}

@@ -1,0 +1,23 @@
+package workload
+
+import "testing"
+
+// BenchmarkPipelineHandoff measures the cross-platform pipeline's handoff
+// ledger hot path: the dedup latch every BigQuery→Spanner serve pass rides.
+// One op is a full replayed serve pass over every batch — after the first
+// pass each call takes the suppression branch, the path replayed handoffs
+// take under fault injection — and it must stay allocation-free: the
+// faulted arms call it once per replayed serve attempt, inside the
+// simulation's critical path. A whole pass per op keeps the measurement
+// above the sub-nanosecond noise floor of the single latch check.
+func BenchmarkPipelineHandoff(b *testing.B) {
+	b.ReportAllocs()
+	const batches = 64
+	l := newPipelineLedger(256, batches)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for bi := 0; bi < batches; bi++ {
+			l.beginServe(bi, false)
+		}
+	}
+}

@@ -54,14 +54,17 @@ func DefaultSpannerMix() SpannerMix {
 }
 
 // Spanner schedules a Spanner workload of total operations over the given
-// client count. Call env.K.Run() afterwards to execute it.
-func Spanner(env *platform.Env, db *spanner.DB, mix SpannerMix, clients, total int) *Run {
+// client count. Call env.K.Run() afterwards to execute it. Optional opts
+// shape the clients' think times; omitted, the legacy homogeneous Exp
+// schedule is reproduced exactly.
+func Spanner(env *platform.Env, db *spanner.DB, mix SpannerMix, clients, total int, opts ...ClosedLoopOpts) *Run {
 	run := &Run{Done: sim.NewSignal(env.K)}
 	remaining := total
 	bar := sim.NewBarrier(env.K, clients)
 	for c := 0; c < clients; c++ {
 		rng := env.RNG.Fork()
 		picker := stats.NewWeighted(rng, []float64{mix.Reads, mix.Writes, mix.Queries})
+		think := closedLoopShape(opts).thinkShaper(rng)
 		env.K.Go(fmt.Sprintf("spanner-client-%d", c), func(p *sim.Proc) {
 			defer bar.Done()
 			val := []byte("spanner-workload-value-0123456789abcdef")
@@ -85,7 +88,7 @@ func Spanner(env *platform.Env, db *spanner.DB, mix SpannerMix, clients, total i
 				if err != nil {
 					run.fail("spanner", err)
 				}
-				p.Sleep(time.Duration(rng.Exp(float64(time.Millisecond))))
+				p.Sleep(think(p.Now(), float64(time.Millisecond)))
 			}
 		})
 	}
@@ -108,13 +111,14 @@ func DefaultBigTableMix() BigTableMix {
 }
 
 // BigTable schedules a BigTable workload.
-func BigTable(env *platform.Env, db *bigtable.DB, mix BigTableMix, clients, total int) *Run {
+func BigTable(env *platform.Env, db *bigtable.DB, mix BigTableMix, clients, total int, opts ...ClosedLoopOpts) *Run {
 	run := &Run{Done: sim.NewSignal(env.K)}
 	remaining := total
 	bar := sim.NewBarrier(env.K, clients)
 	for c := 0; c < clients; c++ {
 		rng := env.RNG.Fork()
 		picker := stats.NewWeighted(rng, []float64{mix.Gets, mix.Puts, mix.Scans})
+		think := closedLoopShape(opts).thinkShaper(rng)
 		env.K.Go(fmt.Sprintf("bigtable-client-%d", c), func(p *sim.Proc) {
 			defer bar.Done()
 			val := []byte("bigtable-workload-value-0123456789abcdef")
@@ -137,7 +141,7 @@ func BigTable(env *platform.Env, db *bigtable.DB, mix BigTableMix, clients, tota
 				if err != nil {
 					run.fail("bigtable", err)
 				}
-				p.Sleep(time.Duration(rng.Exp(float64(time.Millisecond))))
+				p.Sleep(think(p.Now(), float64(time.Millisecond)))
 			}
 		})
 	}
@@ -160,13 +164,14 @@ func DefaultBigQueryMix() BigQueryMix {
 }
 
 // BigQuery schedules a BigQuery workload.
-func BigQuery(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, clients, total int) *Run {
+func BigQuery(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, clients, total int, opts ...ClosedLoopOpts) *Run {
 	run := &Run{Done: sim.NewSignal(env.K)}
 	remaining := total
 	bar := sim.NewBarrier(env.K, clients)
 	for c := 0; c < clients; c++ {
 		rng := env.RNG.Fork()
 		picker := stats.NewWeighted(rng, []float64{mix.ScanAgg, mix.Join, mix.Report})
+		think := closedLoopShape(opts).thinkShaper(rng)
 		env.K.Go(fmt.Sprintf("bigquery-client-%d", c), func(p *sim.Proc) {
 			defer bar.Done()
 			for remaining > 0 {
@@ -187,7 +192,7 @@ func BigQuery(env *platform.Env, e *bigquery.Engine, mix BigQueryMix, clients, t
 				if err != nil {
 					run.fail("bigquery", err)
 				}
-				p.Sleep(time.Duration(rng.Exp(float64(5 * time.Millisecond))))
+				p.Sleep(think(p.Now(), float64(5*time.Millisecond)))
 			}
 		})
 	}

@@ -22,9 +22,11 @@ netbenchtime="${NETBENCHTIME:-1000000x}"
 benchcount="${BENCHCOUNT:-6}"
 kernpattern='^Benchmark(Sim(KernelEvents|KernelSchedule|KernelRun|KernelDenseTimers|KernelDenseTimersHeapOnly|ProcSwitch)|Stats(SketchRecord|SummaryRecord))$'
 netpattern='^BenchmarkNetMessageDelay$'
+pipepattern='^BenchmarkPipelineHandoff$'
 
 raw="$(go test -run '^$' -bench "$kernpattern" -benchmem -benchtime "$benchtime" -count "$benchcount" .)
-$(go test -run '^$' -bench "$netpattern" -benchmem -benchtime "$netbenchtime" -count "$benchcount" ./internal/netsim/)"
+$(go test -run '^$' -bench "$netpattern" -benchmem -benchtime "$netbenchtime" -count "$benchcount" ./internal/netsim/)
+$(go test -run '^$' -bench "$pipepattern" -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/workload/)"
 printf '%s\n' "$raw"
 
 goversion="$(go env GOVERSION)"
